@@ -1,0 +1,97 @@
+// Shared helpers for the experiment harness (bench_* binaries).
+//
+// Each binary reproduces one experiment from DESIGN.md §6 and prints the
+// paper-style table/series through analysis::Table; EXPERIMENTS.md records
+// prediction vs measurement.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "baseline/ccfpr.hpp"
+#include "baseline/tdma.hpp"
+#include "net/network.hpp"
+#include "workload/periodic.hpp"
+#include "workload/poisson.hpp"
+
+namespace ccredf::bench {
+
+enum class Protocol { kCcrEdf, kCcFpr, kTdma };
+
+inline const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kCcrEdf:
+      return "CCR-EDF";
+    case Protocol::kCcFpr:
+      return "CC-FPR";
+    case Protocol::kTdma:
+      return "TDMA";
+  }
+  return "?";
+}
+
+inline net::NetworkConfig make_config(NodeId nodes, Protocol proto,
+                                      double link_length_m = 10.0,
+                                      std::int64_t payload = 0) {
+  net::NetworkConfig cfg;
+  cfg.nodes = nodes;
+  cfg.link_length_m = link_length_m;
+  cfg.slot_payload_bytes = payload;
+  switch (proto) {
+    case Protocol::kCcrEdf:
+      break;  // default factory
+    case Protocol::kCcFpr:
+      cfg.protocol_factory = baseline::ccfpr_factory();
+      break;
+    case Protocol::kTdma:
+      cfg.protocol_factory = baseline::tdma_factory();
+      break;
+  }
+  return cfg;
+}
+
+/// Opens every connection of a periodic set; returns how many admitted.
+inline int open_all(net::Network& n,
+                    const std::vector<core::ConnectionParams>& set) {
+  int admitted = 0;
+  for (const auto& c : set) {
+    if (n.open_connection(c).admitted) ++admitted;
+  }
+  return admitted;
+}
+
+/// Result digest used by several experiments.
+struct RunDigest {
+  std::int64_t rt_delivered = 0;
+  double rt_sched_miss = 0.0;
+  double rt_user_miss = 0.0;
+  std::int64_t inversions = 0;
+  double mean_latency_us = 0.0;
+  double slot_fraction = 0.0;
+  double goodput_bps = 0.0;
+  double grants_per_busy_slot = 0.0;
+};
+
+inline RunDigest digest(const net::Network& n) {
+  RunDigest d;
+  const auto& rt = n.stats().cls(core::TrafficClass::kRealTime);
+  d.rt_delivered = rt.delivered;
+  d.rt_sched_miss = rt.scheduling_miss_ratio();
+  d.rt_user_miss = rt.user_miss_ratio();
+  d.inversions = n.stats().priority_inversions;
+  d.mean_latency_us = rt.latency.mean() / 1e6;
+  d.slot_fraction = n.stats().slot_time_fraction();
+  d.goodput_bps = n.stats().goodput_bps();
+  d.grants_per_busy_slot = n.stats().mean_grants_per_busy_slot();
+  return d;
+}
+
+inline void header(const std::string& id, const std::string& title,
+                   const std::string& paper_ref) {
+  std::cout << "\n######## " << id << ": " << title << "\n"
+            << "# paper artefact: " << paper_ref << "\n\n";
+}
+
+}  // namespace ccredf::bench

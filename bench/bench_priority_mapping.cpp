@@ -1,0 +1,130 @@
+// E8 (paper Table 1, §3): the laxity -> priority mapping.  Prints the
+// Table 1 class allocation, the logarithmic mapping curve, and an
+// ablation: logarithmic vs linear mapping under deadline-diverse load
+// (the paper argues the logarithmic map's fine resolution near the
+// deadline is what EDF needs).
+#include "bench_common.hpp"
+
+#include "core/priority.hpp"
+
+using namespace ccredf;
+using namespace ccredf::bench;
+
+int main() {
+  header("E8", "laxity-to-priority mapping", "Table 1, Section 3");
+
+  // Table 1 reproduction.
+  const core::PriorityLayout layout;
+  analysis::Table t1("E8a: priority-level allocation (paper Table 1)");
+  t1.columns({"level(s)", "user service"});
+  t1.row().cell("0").cell("nothing to send");
+  t1.row().cell("1").cell("non-real time");
+  t1.row()
+      .cell(std::to_string(layout.best_effort_lo()) + "-" +
+            std::to_string(layout.best_effort_hi()))
+      .cell("best effort");
+  t1.row()
+      .cell(std::to_string(layout.real_time_lo()) + "-" +
+            std::to_string(layout.real_time_hi()))
+      .cell("logical real-time connection");
+  t1.print(std::cout);
+
+  // The logarithmic curve.
+  const core::LogarithmicMapper log_map;
+  analysis::Table t2("E8b: logarithmic mapping, RT band (5-bit field)");
+  t2.columns({"laxity (slots)", "priority level"});
+  for (const std::int64_t lax :
+       {0LL, 1LL, 3LL, 7LL, 15LL, 63LL, 255LL, 1023LL, 16383LL, 100000LL}) {
+    t2.row().cell(lax).cell(static_cast<std::int64_t>(
+        log_map.map(layout, core::TrafficClass::kRealTime, lax)));
+  }
+  t2.note("one level per laxity doubling: finest resolution close to the "
+          "deadline, as the paper prescribes");
+  t2.print(std::cout);
+
+  // Ablation: log vs linear mapper under mixed-deadline best-effort load.
+  analysis::Table t3(
+      "E8c: mapper ablation -- BE deadline misses under mixed laxities");
+  t3.columns({"mapper", "quantum", "delivered", "sched-miss ratio"});
+  struct Variant {
+    net::NetworkConfig::Mapper mapper;
+    std::int64_t quantum;
+    const char* label;
+  };
+  for (const Variant v :
+       {Variant{net::NetworkConfig::Mapper::kLogarithmic, 0, "logarithmic"},
+        Variant{net::NetworkConfig::Mapper::kLinear, 64, "linear"},
+        Variant{net::NetworkConfig::Mapper::kLinear, 512, "linear"}}) {
+    auto cfg = make_config(8, Protocol::kCcrEdf);
+    cfg.mapper = v.mapper;
+    if (v.quantum > 0) cfg.linear_quantum_slots = v.quantum;
+    net::Network n(cfg);
+    // Near-capacity best effort with laxities spanning two decades: at
+    // feasible load, misses come only from the mapper mis-ordering two
+    // queued messages, so the mapper's near-deadline resolution is the
+    // differentiator.  (Heavy overload would instead measure EDF's
+    // overload pathology -- stale expired messages pinned at maximum
+    // priority -- which no mapping can fix.)
+    workload::PoissonParams p;
+    p.rate_per_node = 0.11;
+    p.min_laxity_slots = 4;
+    p.max_laxity_slots = 400;
+    p.min_size_slots = 1;
+    p.max_size_slots = 2;
+    p.seed = 77;
+    workload::PoissonGenerator gen(
+        n, p, sim::TimePoint::origin() + n.timing().slot() * 8000);
+    n.run_slots(9000);
+    const auto& be = n.stats().cls(core::TrafficClass::kBestEffort);
+    t3.row()
+        .cell(v.label)
+        .cell(v.quantum == 0 ? std::string("-")
+                             : std::to_string(v.quantum))
+        .cell(be.delivered)
+        .pct(be.scheduling_miss_ratio(), 2);
+  }
+  t3.note("a linear quantum must trade range for resolution: q=512 cannot "
+          "separate urgencies closer than ~512 slots and misses grow; a "
+          "well-tuned quantum matches the logarithmic map on THIS "
+          "workload, but the log map needs no tuning -- it spans the "
+          "whole laxity range with fine near-deadline resolution in the "
+          "same 5 field bits (the paper's rationale)");
+  t3.print(std::cout);
+
+  // Field-width ablation: the paper fixes 5 bits (Fig. 4); what do more
+  // or fewer bits buy?  Wider fields enlarge every collection packet
+  // (N * field_bits extra control bits) but refine EDF ordering.
+  analysis::Table t4(
+      "E8d: priority field width ablation (8 nodes, near-capacity BE)");
+  t4.columns({"field bits", "RT band levels", "collection bits",
+              "delivered", "sched-miss ratio"});
+  for (const unsigned bits : {3u, 4u, 5u, 6u, 8u}) {
+    auto cfg = make_config(8, Protocol::kCcrEdf);
+    cfg.priority.field_bits = bits;
+    net::Network n(cfg);
+    workload::PoissonParams p;
+    p.rate_per_node = 0.11;
+    p.min_laxity_slots = 4;
+    p.max_laxity_slots = 400;
+    p.min_size_slots = 1;
+    p.max_size_slots = 2;
+    p.seed = 77;
+    workload::PoissonGenerator gen(
+        n, p, sim::TimePoint::origin() + n.timing().slot() * 8000);
+    n.run_slots(9000);
+    const auto& be = n.stats().cls(core::TrafficClass::kBestEffort);
+    const core::PriorityLayout& lay = cfg.priority;
+    t4.row()
+        .cell(static_cast<std::int64_t>(bits))
+        .cell(static_cast<std::int64_t>(lay.real_time_hi() -
+                                        lay.real_time_lo() + 1))
+        .cell(n.codec().collection_bits())
+        .cell(be.delivered)
+        .pct(be.scheduling_miss_ratio(), 2);
+  }
+  t4.note("5 bits already resolves ~15 laxity doublings in the RT band; "
+          "wider fields grow every collection packet for little gain -- "
+          "supporting the paper's choice");
+  t4.print(std::cout);
+  return 0;
+}

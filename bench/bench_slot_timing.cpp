@@ -1,0 +1,73 @@
+// E2 (paper Fig. 3, Eq. 2): the control channel must finish collecting
+// requests for slot N+1 before slot N ends, which sets the minimum slot
+// length t_minslot = N * t_node + t_prop.  Sweeps node count and ring
+// length, reporting the minimum payload and verifying in simulation that
+// arbitration always completes in time.
+#include "bench_common.hpp"
+
+#include "core/frames.hpp"
+#include "core/schedulability.hpp"
+
+using namespace ccredf;
+using namespace ccredf::bench;
+
+int main() {
+  header("E2", "minimum slot length and control/data overlap",
+         "Fig. 3, Eq. 2, Section 4");
+
+  analysis::Table t("E2a: Eq. 2 minimum slot vs nodes and link length");
+  t.columns({"nodes", "link (m)", "t_minslot (ns)", "min payload (B)",
+             "collection bits", "control fits min slot"});
+  for (const NodeId nodes : {NodeId{4}, NodeId{8}, NodeId{16}, NodeId{32},
+                             NodeId{64}}) {
+    for (const double len : {5.0, 10.0, 50.0}) {
+      const phy::RingPhy ring(phy::optobus(), nodes, len);
+      const auto min_payload = core::SlotTiming::min_payload_bytes(ring);
+      const core::SlotTiming timing(ring, min_payload);
+      const core::FrameCodec codec(nodes, core::PriorityLayout{}, false);
+      // The collection packet must also fit the slot bit-wise: its bits
+      // ride the same clock as the payload bytes.
+      const bool fits =
+          codec.collection_bits() + codec.distribution_bits() <=
+          min_payload + static_cast<std::int64_t>(nodes) *
+                            ring.link().node_passthrough_bits;
+      t.row()
+          .cell(static_cast<std::int64_t>(nodes))
+          .cell(len, 0)
+          .cell(timing.min_slot().ns(), 1)
+          .cell(min_payload)
+          .cell(codec.collection_bits())
+          .cell(fits ? "yes" : "NO");
+    }
+  }
+  t.note("Eq. 2: t_minslot = N*t_node + t_prop; propagation dominates for "
+         "long rings, per-node passthrough for large N");
+  t.print(std::cout);
+
+  // Simulated verification: at the minimum slot size the engine keeps the
+  // arbitration pipeline full -- a saturated ring stays 100% busy.
+  analysis::Table v("E2b: simulated pipeline check at minimum slot size");
+  v.columns({"nodes", "slots run", "busy slots", "pipeline intact"});
+  for (const NodeId nodes : {NodeId{4}, NodeId{16}, NodeId{32}}) {
+    auto cfg = make_config(nodes, Protocol::kCcrEdf);
+    cfg.slot_payload_bytes = 0;  // auto = Eq. 2 minimum (>= floor)
+    net::Network n(cfg);
+    workload::PoissonParams p;
+    p.rate_per_node = 3.0;
+    p.seed = 5;
+    workload::PoissonGenerator gen(
+        n, p, sim::TimePoint::origin() + n.timing().slot() * 1200);
+    n.run_slots(1000);
+    // After the 2-slot pipeline fill, every slot should carry data.
+    const bool intact = n.stats().busy_slots >= n.stats().slots - 3;
+    v.row()
+        .cell(static_cast<std::int64_t>(nodes))
+        .cell(n.stats().slots)
+        .cell(n.stats().busy_slots)
+        .cell(intact ? "yes" : "NO");
+  }
+  v.note("arbitration for slot k+1 rides the control channel during slot "
+         "k (Fig. 3): a saturated ring never idles a slot");
+  v.print(std::cout);
+  return 0;
+}

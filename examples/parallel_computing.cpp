@@ -1,0 +1,65 @@
+// Parallel/distributed-computing services: barrier synchronisation and
+// global reduction riding the control channel (paper §1, §7).
+//
+// Simulates a bulk-synchronous computation: each node "computes" for a
+// random time, contributes a partial sum, and waits at a barrier; the
+// reduction result is available to everyone at the end of the slot in
+// which the last contribution arrived.
+//
+//   $ ./examples/parallel_computing
+#include <iostream>
+
+#include "net/network.hpp"
+#include "services/barrier.hpp"
+#include "services/reduce.hpp"
+#include "sim/rng.hpp"
+
+using namespace ccredf;
+
+int main() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 16;
+  net::Network network(cfg);
+  services::BarrierService barrier(network);
+  services::GlobalReduceService reduce(network);
+  sim::Rng rng(2024);
+
+  const NodeSet everyone = network.topology().all_nodes();
+  std::int64_t expected_total = 0;
+
+  for (int superstep = 0; superstep < 5; ++superstep) {
+    reduce.begin(everyone, services::ReduceOp::kSum);
+    barrier.begin(everyone);
+
+    // Each node finishes its local work at a random time within the next
+    // ~50 slots, then contributes and arrives at the barrier.
+    std::int64_t step_sum = 0;
+    for (NodeId node = 0; node < network.nodes(); ++node) {
+      const auto delay =
+          network.timing().slot() * rng.uniform_int(1, 50);
+      const auto value = rng.uniform_int(1, 1000);
+      step_sum += value;
+      network.sim().schedule_in(delay, [&, node, value] {
+        reduce.contribute(node, value);
+        barrier.arrive(node);
+      });
+    }
+    expected_total += step_sum;
+
+    network.run_slots(80);
+    if (!barrier.complete() || !reduce.complete()) {
+      std::cerr << "superstep " << superstep << " did not complete!\n";
+      return 1;
+    }
+    std::cout << "superstep " << superstep << ": sum=" << *reduce.result()
+              << " (expected " << step_sum << "), barrier latency "
+              << barrier.latency()->ns() << " ns after last arrival\n";
+    if (*reduce.result() != step_sum) return 1;
+  }
+
+  std::cout << "\n5 supersteps, " << barrier.barriers_completed()
+            << " barriers and " << 5 << " reductions completed -- all on "
+            << "the control channel, zero data slots consumed\n"
+            << "(busy data slots: " << network.stats().busy_slots << ")\n";
+  return 0;
+}

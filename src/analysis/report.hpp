@@ -1,0 +1,66 @@
+// ASCII table/series rendering for the experiment harness.
+//
+// Every bench prints its results through Table so the output of
+// `for b in build/bench/*; do $b; done` reads as the paper's tables and
+// figure series, one block per experiment.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccredf::analysis {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Defines the column headers; call once, before add_row.
+  void columns(std::vector<std::string> headers);
+
+  class Row {
+   public:
+    explicit Row(Table& t) : t_(t) {}
+    Row& cell(const std::string& s);
+    Row& cell(const char* s) { return cell(std::string(s)); }
+    Row& cell(double v, int precision = 3);
+    Row& cell(std::int64_t v);
+    Row& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+    Row& pct(double fraction, int precision = 2);  // renders "12.34%"
+
+   private:
+    Table& t_;
+  };
+
+  /// Starts a new row; fill it with chained cell() calls.
+  Row row();
+
+  /// A full-width annotation line under the last row.
+  void note(std::string text);
+
+  /// Prints the ASCII rendering.  When the environment variable
+  /// CCREDF_RESULTS_DIR is set, also writes `<dir>/<slug(title)>.csv`
+  /// so every table/series doubles as machine-readable figure data.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  /// Comma-separated rendering (RFC-4180-style quoting).
+  [[nodiscard]] std::string csv() const;
+  /// Writes csv() to `path`; returns false on I/O failure.
+  bool export_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return cells_.size(); }
+
+ private:
+  friend class Row;
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+  std::vector<std::pair<std::size_t, std::string>> notes_;  // after row i
+};
+
+/// Convenience formatters shared by benches.
+[[nodiscard]] std::string format_si(double v, const char* unit);
+
+}  // namespace ccredf::analysis

@@ -1,0 +1,14 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccredf::detail {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ccredf assertion failed: %s (%s:%d)\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace ccredf::detail

@@ -1,0 +1,49 @@
+// Error handling policy (C++ Core Guidelines E.*):
+//  - configuration mistakes (bad topology, illegal parameters) throw
+//    ConfigError at setup time;
+//  - protocol invariant violations detected at run time throw
+//    ProtocolError -- these indicate a bug, not a recoverable condition;
+//  - hot-path checks use CCREDF_ASSERT, compiled out in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccredf {
+
+/// Invalid user-supplied configuration (caught at construction time).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A protocol invariant was violated; indicates an internal bug.
+class ProtocolError : public std::logic_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace ccredf
+
+/// Always-on precondition check for configuration/API boundaries.
+#define CCREDF_EXPECT(cond, msg)                  \
+  do {                                            \
+    if (!(cond)) throw ::ccredf::ConfigError(msg); \
+  } while (false)
+
+/// Debug-only internal invariant check (hot paths).  Define
+/// CCREDF_FORCE_ASSERTS to keep the checks in optimised builds (the test
+/// suite does).
+#if defined(NDEBUG) && !defined(CCREDF_FORCE_ASSERTS)
+#define CCREDF_ASSERT(cond) ((void)0)
+#else
+#define CCREDF_ASSERT(cond)                                       \
+  do {                                                            \
+    if (!(cond))                                                  \
+      ::ccredf::detail::assert_fail(#cond, __FILE__, __LINE__);   \
+  } while (false)
+#endif

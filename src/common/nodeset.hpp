@@ -1,0 +1,120 @@
+// Bit-mask sets of nodes and links.
+//
+// The TCMA collection-phase request carries two N-bit mask fields per node
+// (paper Fig. 4): the *link reservation field* (which ring links the
+// transmission needs) and the *destination field* (which nodes must receive
+// the packet -- one bit for unicast, several for multicast, all for
+// broadcast).  Both are represented as 64-bit masks.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ccredf {
+
+/// A set of node (or link) indices in [0, kMaxNodes), stored as a bit mask.
+class NodeSet {
+ public:
+  constexpr NodeSet() = default;
+
+  /// Constructs from a raw mask (low bit = node 0).
+  static constexpr NodeSet from_mask(std::uint64_t mask) {
+    NodeSet s;
+    s.bits_ = mask;
+    return s;
+  }
+
+  /// The singleton set {id}.
+  static NodeSet single(NodeId id) {
+    CCREDF_EXPECT(id < kMaxNodes, "NodeSet: index out of range");
+    return from_mask(std::uint64_t{1} << id);
+  }
+
+  /// The full set {0, 1, ..., n-1}.
+  static NodeSet first_n(NodeId n) {
+    CCREDF_EXPECT(n <= kMaxNodes, "NodeSet: size out of range");
+    if (n == 64) return from_mask(~std::uint64_t{0});
+    return from_mask((std::uint64_t{1} << n) - 1);
+  }
+
+  [[nodiscard]] constexpr bool contains(NodeId id) const {
+    return id < kMaxNodes && ((bits_ >> id) & 1u) != 0;
+  }
+
+  constexpr void insert(NodeId id) { bits_ |= std::uint64_t{1} << id; }
+  constexpr void erase(NodeId id) { bits_ &= ~(std::uint64_t{1} << id); }
+
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr int size() const { return std::popcount(bits_); }
+  [[nodiscard]] constexpr std::uint64_t mask() const { return bits_; }
+
+  [[nodiscard]] constexpr bool intersects(NodeSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+  [[nodiscard]] constexpr bool is_subset_of(NodeSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  [[nodiscard]] constexpr NodeSet operator|(NodeSet o) const {
+    return from_mask(bits_ | o.bits_);
+  }
+  [[nodiscard]] constexpr NodeSet operator&(NodeSet o) const {
+    return from_mask(bits_ & o.bits_);
+  }
+  [[nodiscard]] constexpr NodeSet operator~() const {
+    return from_mask(~bits_);
+  }
+  constexpr NodeSet& operator|=(NodeSet o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr NodeSet& operator&=(NodeSet o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+  constexpr bool operator==(const NodeSet&) const = default;
+
+  /// Lowest-index member, or kInvalidNode when empty.
+  [[nodiscard]] constexpr NodeId lowest() const {
+    return empty() ? kInvalidNode
+                   : static_cast<NodeId>(std::countr_zero(bits_));
+  }
+  /// Highest-index member, or kInvalidNode when empty.
+  [[nodiscard]] constexpr NodeId highest() const {
+    return empty() ? kInvalidNode
+                   : static_cast<NodeId>(63 - std::countl_zero(bits_));
+  }
+
+  /// Iteration over members in increasing index order.
+  class iterator {
+   public:
+    constexpr explicit iterator(std::uint64_t rest) : rest_(rest) {}
+    constexpr NodeId operator*() const {
+      return static_cast<NodeId>(std::countr_zero(rest_));
+    }
+    constexpr iterator& operator++() {
+      rest_ &= rest_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    constexpr bool operator!=(const iterator& o) const {
+      return rest_ != o.rest_;
+    }
+
+   private:
+    std::uint64_t rest_;
+  };
+  [[nodiscard]] constexpr iterator begin() const { return iterator{bits_}; }
+  [[nodiscard]] constexpr iterator end() const { return iterator{0}; }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+/// Links are indexed like nodes (link i leaves node i); the reservation
+/// field is the same shape of mask.
+using LinkSet = NodeSet;
+
+}  // namespace ccredf

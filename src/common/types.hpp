@@ -1,0 +1,43 @@
+// Fundamental identifier types shared by every CCR-EDF subsystem.
+//
+// The network is a unidirectional ring of N nodes (paper §2).  Node i's
+// outgoing fibre-ribbon link is link i, connecting node i to node
+// (i + 1) mod N.  All identifier types are kept as plain integers for
+// arithmetic convenience; `NodeSet` / `LinkSet` (nodeset.hpp) provide the
+// bit-mask fields used in the control-channel packets (paper Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ccredf {
+
+/// Index of a node on the ring, 0-based, clockwise in transmission order.
+using NodeId = std::uint32_t;
+
+/// Index of a unidirectional link: link `i` runs from node `i` to node
+/// `(i + 1) % N`.
+using LinkId = std::uint32_t;
+
+/// Monotonic index of a time slot since simulation start.
+using SlotIndex = std::int64_t;
+
+/// Unique identifier of one message (one request unit queued at a node).
+using MessageId = std::uint64_t;
+
+/// Identifier of a logical real-time connection (paper §6).
+using ConnectionId = std::uint32_t;
+
+/// The bit-mask fields in the control packets are modelled with 64-bit
+/// masks; the paper targets LANs/SANs where "the number of nodes ... is
+/// relatively small" (§1), so 64 nodes is ample headroom.
+inline constexpr NodeId kMaxNodes = 64;
+
+/// Sentinel for "no node" (e.g. no master elected yet).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no connection" (best-effort / non-real-time messages).
+inline constexpr ConnectionId kNoConnection =
+    std::numeric_limits<ConnectionId>::max();
+
+}  // namespace ccredf

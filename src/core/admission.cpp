@@ -1,0 +1,67 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+
+namespace ccredf::core {
+
+double AdmissionController::weight(const ConnectionParams& params) const {
+  switch (policy_) {
+    case AdmissionPolicy::kDensity: {
+      const auto d = std::min(params.effective_deadline_slots(),
+                              params.period_slots);
+      return static_cast<double>(params.size_slots) /
+             static_cast<double>(d);
+    }
+    case AdmissionPolicy::kUtilisation:
+      break;
+  }
+  return params.utilisation();
+}
+
+AdmissionController::Decision AdmissionController::request(
+    const ConnectionParams& params, sim::TimePoint now) {
+  params.validate();
+  ++requests_;
+  Decision d;
+  const double u_new = weight(params);
+  // Eq. 5 against Eq. 6's bound.  A small epsilon forgives accumulated
+  // floating-point error when many connections sum exactly to U_max.
+  constexpr double kEps = 1e-12;
+  if (utilisation_ + u_new <= u_max_ + kEps) {
+    Connection c;
+    c.id = next_id_++;
+    c.params = params;
+    c.admitted = now;
+    utilisation_ += u_new;
+    d.admitted = true;
+    d.id = c.id;
+    ma_.emplace(c.id, std::move(c));
+  } else {
+    ++rejections_;
+  }
+  d.utilisation_after = utilisation_;
+  return d;
+}
+
+bool AdmissionController::release(ConnectionId id) {
+  auto it = ma_.find(id);
+  if (it == ma_.end()) return false;
+  utilisation_ -= weight(it->second.params);
+  if (utilisation_ < 0.0) utilisation_ = 0.0;  // guard rounding drift
+  ma_.erase(it);
+  return true;
+}
+
+const Connection* AdmissionController::find(ConnectionId id) const {
+  const auto it = ma_.find(id);
+  return it == ma_.end() ? nullptr : &it->second;
+}
+
+std::vector<Connection> AdmissionController::snapshot() const {
+  std::vector<Connection> v;
+  v.reserve(ma_.size());
+  for (const auto& [id, c] : ma_) v.push_back(c);
+  return v;
+}
+
+}  // namespace ccredf::core

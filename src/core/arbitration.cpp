@@ -1,0 +1,58 @@
+#include "core/arbitration.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ccredf::core {
+
+ArbitrationResult Arbiter::arbitrate(const std::vector<Request>& requests,
+                                     NodeId current_master) const {
+  CCREDF_EXPECT(requests.size() == topo_.nodes(),
+                "Arbiter: need exactly one request per node");
+  CCREDF_EXPECT(current_master < topo_.nodes(),
+                "Arbiter: invalid current master");
+
+  // Sort node indices by (priority desc, index asc).
+  std::vector<NodeId> order(requests.size());
+  for (NodeId i = 0; i < requests.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return request_before(requests[a].priority, a, requests[b].priority, b);
+  });
+
+  ArbitrationResult result;
+  const NodeId top = order.front();
+  if (!requests[top].wants_slot()) {
+    // Nobody has anything to send: the current master keeps clocking and
+    // no data flows next slot.
+    result.packet.hp_node = current_master;
+    result.next_master = current_master;
+    return result;
+  }
+
+  const NodeId next_master = top;
+  const LinkId break_link = topo_.break_link(next_master);
+  LinkSet taken;
+  for (const NodeId node : order) {
+    const Request& rq = requests[node];
+    if (!rq.wants_slot()) break;  // sorted: the rest are idle too
+    if (rq.links.intersects(taken)) continue;
+    if (rq.links.contains(break_link)) continue;  // would cross clock break
+    taken |= rq.links;
+    result.packet.granted.insert(node);
+    ++result.granted_count;
+    if (!spatial_reuse_) break;  // analysis mode: single grant per slot
+  }
+
+  // Invariant (paper §2): the top-priority request is always granted --
+  // its segment starts at the next master and spans <= N-1 links, so it
+  // cannot contain the break link, and it is considered first.
+  CCREDF_ASSERT(result.packet.granted.contains(top));
+
+  result.packet.hp_node = next_master;
+  result.next_master = next_master;
+  result.granted_links = taken;
+  return result;
+}
+
+}  // namespace ccredf::core

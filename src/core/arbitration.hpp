@@ -1,0 +1,62 @@
+// The master's per-slot arbitration (paper §3).
+//
+// The master sorts the N collected requests by priority (ties broken by
+// node index), names the highest-priority requester as next master, and
+// greedily grants as many non-overlapping requests as possible (spatial
+// reuse).  Because the next master is the top-priority requester and a
+// segment spans at most N-1 links, the top request can never cross the
+// clock break -- the paper's central claim -- and the arbiter enforces
+// the break-link constraint for every *other* grant.
+#pragma once
+
+#include <vector>
+
+#include "common/nodeset.hpp"
+#include "common/types.hpp"
+#include "core/frames.hpp"
+#include "ring/topology.hpp"
+
+namespace ccredf::core {
+
+struct ArbitrationResult {
+  /// The distribution-phase packet to broadcast.
+  DistributionPacket packet;
+  /// Convenience mirror of packet.hp_node.
+  NodeId next_master = kInvalidNode;
+  /// Number of requests granted this slot (0..N).
+  int granted_count = 0;
+  /// The union of links granted (diagnostics / tests).
+  LinkSet granted_links;
+};
+
+class Arbiter {
+ public:
+  /// `spatial_reuse` off restricts grants to the single highest-priority
+  /// request, the assumption under which the schedulability analysis of
+  /// §5-6 is exact ("one message per slot can always be guaranteed").
+  Arbiter(ring::RingTopology topo, bool spatial_reuse)
+      : topo_(topo), spatial_reuse_(spatial_reuse) {}
+
+  /// Sorted request evaluation for the coming slot.  `requests` holds one
+  /// entry per node (idle nodes send priority 0).  `current_master` keeps
+  /// the clock when nobody requests.
+  [[nodiscard]] ArbitrationResult arbitrate(
+      const std::vector<Request>& requests, NodeId current_master) const;
+
+  /// The deterministic request ordering used by the master: higher
+  /// priority first, lower node index breaking ties (paper §3).
+  [[nodiscard]] static bool request_before(Priority pa, NodeId na,
+                                           Priority pb, NodeId nb) {
+    if (pa != pb) return pa > pb;
+    return na < nb;
+  }
+
+  [[nodiscard]] bool spatial_reuse() const { return spatial_reuse_; }
+  [[nodiscard]] const ring::RingTopology& topology() const { return topo_; }
+
+ private:
+  ring::RingTopology topo_;
+  bool spatial_reuse_;
+};
+
+}  // namespace ccredf::core

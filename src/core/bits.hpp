@@ -1,0 +1,87 @@
+// Bit-level serialisation for the control-channel packets.
+//
+// The control channel is bit-serial (one bit per clock tick), so the
+// collection/distribution packets are defined as exact bit layouts
+// (paper Fig. 4-5).  BitWriter/BitReader give MSB-first packing so the
+// encoded frames are byte-for-byte testable and their length in bits is
+// exactly the control-channel occupancy used in the timing model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ccredf::core {
+
+class BitWriter {
+ public:
+  /// Appends the low `width` bits of `value`, MSB first.
+  void write(std::uint64_t value, unsigned width) {
+    CCREDF_EXPECT(width <= 64, "BitWriter: width > 64");
+    for (unsigned i = width; i > 0; --i) {
+      push_bit(((value >> (i - 1)) & 1u) != 0);
+    }
+  }
+
+  void push_bit(bool b) {
+    const std::size_t byte = nbits_ / 8;
+    if (byte >= bytes_.size()) bytes_.push_back(0);
+    if (b) bytes_[byte] = static_cast<std::uint8_t>(
+        bytes_[byte] | (0x80u >> (nbits_ % 8)));
+    ++nbits_;
+  }
+
+  [[nodiscard]] std::size_t bit_count() const { return nbits_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::vector<std::uint8_t>& bytes, std::size_t nbits)
+      : bytes_(bytes), nbits_(nbits) {}
+
+  /// Reads `width` bits, MSB first.
+  [[nodiscard]] std::uint64_t read(unsigned width) {
+    CCREDF_EXPECT(width <= 64, "BitReader: width > 64");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      v = (v << 1) | (pop_bit() ? 1u : 0u);
+    }
+    return v;
+  }
+
+  [[nodiscard]] bool pop_bit() {
+    CCREDF_EXPECT(pos_ < nbits_, "BitReader: read past end");
+    const bool b =
+        (bytes_[pos_ / 8] & (0x80u >> (pos_ % 8))) != 0;
+    ++pos_;
+    return b;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return nbits_ - pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t nbits_;
+  std::size_t pos_ = 0;
+};
+
+/// ceil(log2(n)) for n >= 1 -- width of the hp-node index field (Fig. 5).
+[[nodiscard]] constexpr unsigned index_bits(std::uint64_t n) {
+  unsigned b = 0;
+  std::uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++b;
+  }
+  return b == 0 ? 1 : b;
+}
+
+}  // namespace ccredf::core

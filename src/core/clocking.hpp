@@ -1,0 +1,51 @@
+// Clock hand-over between slots (paper §2 and §4, Fig. 6-7).
+//
+// At the end of a slot the master stops the clock one bit after the
+// distribution packet; the next master detects the silence one bit later
+// and starts clocking.  The gap between slots is therefore the
+// propagation from the old master to the new one (Eq. 1, D = downstream
+// hops) plus those two bit times.  When the master keeps the role
+// (D = 0) the slot boundary is seamless apart from the stop/detect bits.
+#pragma once
+
+#include "common/types.hpp"
+#include "phy/ring_phy.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::core {
+
+class HandoverModel {
+ public:
+  explicit HandoverModel(const phy::RingPhy* phy) : phy_(phy) {}
+
+  /// Gap between the end of a slot mastered by `from` and the start of the
+  /// next slot mastered by `to`.
+  [[nodiscard]] sim::Duration gap(NodeId from, NodeId to) const {
+    const NodeId hops = phy_->hops_between(from, to);
+    const auto& lp = phy_->link();
+    sim::Duration g = lp.control_time(2 * lp.clock_stop_bits);
+    if (hops > 0) g += phy_->handover_time(from, hops);
+    return g;
+  }
+
+  /// Worst-case gap (Eq. 1 with D = N-1, plus stop/detect bits) -- the
+  /// t_handover_max of Eq. 4 and Eq. 6.
+  [[nodiscard]] sim::Duration max_gap() const {
+    const auto& lp = phy_->link();
+    return phy_->max_handover_time() +
+           lp.control_time(2 * lp.clock_stop_bits);
+  }
+
+  /// Constant gap of the *simple* strategy (CC-FPR [9]): hand-over always
+  /// to the next downstream node, D = 1.
+  [[nodiscard]] sim::Duration round_robin_gap(NodeId from) const {
+    const auto& lp = phy_->link();
+    return phy_->handover_time(from, 1) +
+           lp.control_time(2 * lp.clock_stop_bits);
+  }
+
+ private:
+  const phy::RingPhy* phy_;  // non-owning; outlives the model
+};
+
+}  // namespace ccredf::core

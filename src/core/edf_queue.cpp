@@ -1,0 +1,121 @@
+#include "core/edf_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ccredf::core {
+
+namespace {
+bool edf_before(const Message& a, const Message& b) {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  return a.id < b.id;
+}
+}  // namespace
+
+void EdfQueueSet::insert_edf(std::deque<Message>& q, Message msg) {
+  const auto pos =
+      std::upper_bound(q.begin(), q.end(), msg, edf_before);
+  q.insert(pos, std::move(msg));
+}
+
+void EdfQueueSet::push(Message msg) {
+  CCREDF_EXPECT(msg.remaining_slots >= 1 && msg.size_slots >= 1,
+                "EdfQueueSet: message must need at least one slot");
+  switch (msg.traffic_class) {
+    case TrafficClass::kRealTime:
+      insert_edf(rt_, std::move(msg));
+      break;
+    case TrafficClass::kBestEffort:
+      insert_edf(be_, std::move(msg));
+      break;
+    case TrafficClass::kNonRealTime:
+      nrt_.push_back(std::move(msg));  // FIFO
+      break;
+  }
+}
+
+const Message* EdfQueueSet::first_eligible(const std::deque<Message>& q,
+                                           sim::TimePoint sample) {
+  for (const Message& m : q) {
+    if (m.arrival <= sample) return &m;
+  }
+  return nullptr;
+}
+
+const Message* EdfQueueSet::head(sim::TimePoint sample) const {
+  // Class precedence (paper §3): RT strictly before BE before NRT, even if
+  // a queued BE message has a tighter deadline.
+  if (const Message* m = first_eligible(rt_, sample)) return m;
+  if (const Message* m = first_eligible(be_, sample)) return m;
+  if (const Message* m = first_eligible(nrt_, sample)) return m;
+  return nullptr;
+}
+
+std::optional<Message> EdfQueueSet::consume_in(std::deque<Message>& q,
+                                               MessageId id) {
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (it->id != id) continue;
+    if (--it->remaining_slots > 0) return std::nullopt;
+    Message done = std::move(*it);
+    q.erase(it);
+    return done;
+  }
+  throw ProtocolError("EdfQueueSet: consume_slot for unknown message");
+}
+
+bool EdfQueueSet::contains(MessageId id) const {
+  for (const auto* q : {&rt_, &be_, &nrt_}) {
+    for (const Message& m : *q) {
+      if (m.id == id) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Message> EdfQueueSet::consume_slot(MessageId id) {
+  for (auto* q : {&rt_, &be_, &nrt_}) {
+    for (const Message& m : *q) {
+      if (m.id == id) return consume_in(*q, id);
+    }
+  }
+  throw ProtocolError("EdfQueueSet: consume_slot for unknown message");
+}
+
+std::size_t EdfQueueSet::drop_connection(ConnectionId id) {
+  std::size_t dropped = 0;
+  for (auto* q : {&rt_, &be_, &nrt_}) {
+    const auto before = q->size();
+    std::erase_if(*q, [id](const Message& m) { return m.connection == id; });
+    dropped += before - q->size();
+  }
+  return dropped;
+}
+
+std::size_t EdfQueueSet::clear() {
+  const std::size_t n = size();
+  rt_.clear();
+  be_.clear();
+  nrt_.clear();
+  return n;
+}
+
+std::size_t EdfQueueSet::size_of(TrafficClass c) const {
+  switch (c) {
+    case TrafficClass::kRealTime:
+      return rt_.size();
+    case TrafficClass::kBestEffort:
+      return be_.size();
+    case TrafficClass::kNonRealTime:
+      return nrt_.size();
+  }
+  return 0;
+}
+
+std::optional<sim::TimePoint> EdfQueueSet::earliest_rt_deadline() const {
+  if (rt_.empty()) return std::nullopt;
+  return rt_.front().deadline;
+}
+
+}  // namespace ccredf::core

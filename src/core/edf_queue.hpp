@@ -1,0 +1,67 @@
+// Per-node message queues with EDF ordering and class precedence.
+//
+// The paper's local queueing rules (§3): a node offers its logical
+// real-time connection traffic first; best-effort is requested only when
+// no RT message is queued; non-real-time only when neither RT nor BE is
+// queued.  Within the RT and BE queues, messages are kept in
+// earliest-deadline-first order (ties broken by arrival, then id, for
+// determinism); the NRT queue is FIFO.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "core/message.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::core {
+
+class EdfQueueSet {
+ public:
+  /// Inserts a message into its class queue (EDF position for RT/BE).
+  void push(Message msg);
+
+  /// The message the node would request a slot for at time `sample`:
+  /// the earliest-deadline *eligible* (arrival <= sample) message of the
+  /// highest non-empty class.  Returns nullptr when nothing is eligible.
+  /// The pointer stays valid until the next mutating call.
+  [[nodiscard]] const Message* head(sim::TimePoint sample) const;
+
+  /// True iff message `id` is still queued.
+  [[nodiscard]] bool contains(MessageId id) const;
+
+  /// Marks one slot of message `id` as transmitted; removes the message
+  /// when its last slot has been sent and returns the completed Message.
+  std::optional<Message> consume_slot(MessageId id);
+
+  /// Removes every queued message of a closed connection; returns how
+  /// many were dropped.
+  std::size_t drop_connection(ConnectionId id);
+
+  /// Removes all queued messages (node failure); returns how many.
+  std::size_t clear();
+
+  [[nodiscard]] std::size_t size() const {
+    return rt_.size() + be_.size() + nrt_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t size_of(TrafficClass c) const;
+
+  /// Oldest unexpired deadline in the RT queue (for diagnostics).
+  [[nodiscard]] std::optional<sim::TimePoint> earliest_rt_deadline() const;
+
+ private:
+  // Deques keep EDF order by sorted insertion; traffic is light enough
+  // per node (one request per slot) that O(n) insertion is immaterial
+  // next to the simulation itself.
+  std::deque<Message> rt_;
+  std::deque<Message> be_;
+  std::deque<Message> nrt_;
+
+  static void insert_edf(std::deque<Message>& q, Message msg);
+  [[nodiscard]] static const Message* first_eligible(
+      const std::deque<Message>& q, sim::TimePoint sample);
+  std::optional<Message> consume_in(std::deque<Message>& q, MessageId id);
+};
+
+}  // namespace ccredf::core

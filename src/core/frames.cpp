@@ -1,0 +1,106 @@
+#include "core/frames.hpp"
+
+#include "common/error.hpp"
+
+namespace ccredf::core {
+
+namespace {
+// Extracts the low `n` bits of a mask written MSB-first as node 0 first.
+// We serialise mask fields node-0-first to match the figure's field order.
+void write_mask(BitWriter& w, std::uint64_t mask, NodeId n) {
+  for (NodeId i = 0; i < n; ++i) w.push_bit(((mask >> i) & 1u) != 0);
+}
+
+std::uint64_t read_mask(BitReader& r, NodeId n) {
+  std::uint64_t mask = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (r.pop_bit()) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+}  // namespace
+
+FrameCodec::FrameCodec(NodeId nodes, PriorityLayout layout, bool with_acks)
+    : n_(nodes), layout_(layout), with_acks_(with_acks),
+      idx_bits_(index_bits(nodes)) {
+  CCREDF_EXPECT(nodes >= 2 && nodes <= kMaxNodes,
+                "FrameCodec: node count out of range");
+  layout_.validate();
+}
+
+std::int64_t FrameCodec::collection_bits() const {
+  // start + N * (prio + links + dests)
+  return 1 + static_cast<std::int64_t>(n_) *
+                 (layout_.field_bits + 2ll * n_);
+}
+
+std::int64_t FrameCodec::distribution_bits() const {
+  // start + result bits + hp index + optional ack bits
+  std::int64_t bits = 1 + n_ + idx_bits_;
+  if (with_acks_) bits += n_;
+  return bits;
+}
+
+FrameCodec::Encoded FrameCodec::encode(const CollectionPacket& p) const {
+  CCREDF_EXPECT(p.requests.size() == n_,
+                "CollectionPacket: must carry one request per node");
+  BitWriter w;
+  w.push_bit(true);  // start bit
+  for (const Request& rq : p.requests) {
+    CCREDF_EXPECT(rq.priority <= layout_.max_level(),
+                  "Request: priority exceeds field width");
+    // A node with nothing to send must zero the other fields (paper §3).
+    if (!rq.wants_slot()) {
+      CCREDF_EXPECT(rq.links.empty() && rq.dests.empty(),
+                    "Request: idle request must carry zero fields");
+    }
+    w.write(rq.priority, layout_.field_bits);
+    write_mask(w, rq.links.mask(), n_);
+    write_mask(w, rq.dests.mask(), n_);
+  }
+  return Encoded{w.bytes(), w.bit_count()};
+}
+
+FrameCodec::Encoded FrameCodec::encode(const DistributionPacket& p) const {
+  CCREDF_EXPECT(p.hp_node < n_, "DistributionPacket: invalid hp-node index");
+  CCREDF_EXPECT(p.has_acks == with_acks_,
+                "DistributionPacket: ack field presence mismatch");
+  BitWriter w;
+  w.push_bit(true);  // start bit
+  write_mask(w, p.granted.mask(), n_);
+  w.write(p.hp_node, idx_bits_);
+  if (with_acks_) write_mask(w, p.acks.mask(), n_);
+  return Encoded{w.bytes(), w.bit_count()};
+}
+
+CollectionPacket FrameCodec::decode_collection(const Encoded& e) const {
+  CCREDF_EXPECT(e.bit_count == static_cast<std::size_t>(collection_bits()),
+                "CollectionPacket: wrong frame length");
+  BitReader r(e.bytes, e.bit_count);
+  CCREDF_EXPECT(r.pop_bit(), "CollectionPacket: missing start bit");
+  CollectionPacket p;
+  p.requests.reserve(n_);
+  for (NodeId i = 0; i < n_; ++i) {
+    Request rq;
+    rq.priority = static_cast<Priority>(r.read(layout_.field_bits));
+    rq.links = LinkSet::from_mask(read_mask(r, n_));
+    rq.dests = NodeSet::from_mask(read_mask(r, n_));
+    p.requests.push_back(rq);
+  }
+  return p;
+}
+
+DistributionPacket FrameCodec::decode_distribution(const Encoded& e) const {
+  CCREDF_EXPECT(e.bit_count == static_cast<std::size_t>(distribution_bits()),
+                "DistributionPacket: wrong frame length");
+  BitReader r(e.bytes, e.bit_count);
+  CCREDF_EXPECT(r.pop_bit(), "DistributionPacket: missing start bit");
+  DistributionPacket p;
+  p.granted = NodeSet::from_mask(read_mask(r, n_));
+  p.hp_node = static_cast<NodeId>(r.read(idx_bits_));
+  p.has_acks = with_acks_;
+  if (with_acks_) p.acks = NodeSet::from_mask(read_mask(r, n_));
+  return p;
+}
+
+}  // namespace ccredf::core

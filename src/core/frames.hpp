@@ -1,0 +1,90 @@
+// TCMA control-channel frames, bit-exact (paper Fig. 4-5).
+//
+// Collection-phase packet (built hop by hop, master receives it whole):
+//   start bit | request[0] | request[1] | ... | request[N-1]
+//   request  = priority (5 bits) | link reservation (N bits)
+//            | destination field (N bits)
+//
+// Distribution-phase packet (master -> all, end aligned with slot end):
+//   start bit | request results (N bits, 1 = granted)
+//   | index of hp-node (ceil(log2 N) bits)
+//   | other fields: ack bits (N bits, reliable service [11]), present when
+//     the network enables reliable transmission.
+//
+// A node with nothing to send writes priority 0 and zeroes in the other
+// fields (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/nodeset.hpp"
+#include "common/types.hpp"
+#include "core/bits.hpp"
+#include "core/priority.hpp"
+
+namespace ccredf::core {
+
+/// One node's slot request inside the collection packet.
+struct Request {
+  Priority priority = 0;  // 0 = nothing to send
+  LinkSet links;          // link reservation field
+  NodeSet dests;          // destination field
+
+  [[nodiscard]] bool wants_slot() const { return priority != 0; }
+  bool operator==(const Request&) const = default;
+};
+
+struct CollectionPacket {
+  std::vector<Request> requests;  // exactly N entries, indexed by node
+
+  bool operator==(const CollectionPacket&) const = default;
+};
+
+struct DistributionPacket {
+  NodeSet granted;                // request-result bits
+  NodeId hp_node = kInvalidNode;  // index of the highest-priority node ==
+                                  // next master; when no node requested,
+                                  // arbitration sets this to the current
+                                  // master (it keeps the role), so the
+                                  // field is always a valid index on wire
+  bool has_acks = false;
+  NodeSet acks;  // per-source ack of the previous slot's transfers
+
+  bool operator==(const DistributionPacket&) const = default;
+};
+
+/// Encodes/decodes the frames for an N-node ring with the given priority
+/// layout.  The encoded bit counts are the exact control-channel occupancy
+/// used in the timing model.
+class FrameCodec {
+ public:
+  FrameCodec(NodeId nodes, PriorityLayout layout, bool with_acks);
+
+  [[nodiscard]] NodeId nodes() const { return n_; }
+  [[nodiscard]] const PriorityLayout& layout() const { return layout_; }
+
+  /// Bits in a complete collection packet (start + N requests).
+  [[nodiscard]] std::int64_t collection_bits() const;
+  /// Bits in a distribution packet (start + results + index + extras).
+  [[nodiscard]] std::int64_t distribution_bits() const;
+
+  struct Encoded {
+    std::vector<std::uint8_t> bytes;
+    std::size_t bit_count = 0;
+  };
+
+  [[nodiscard]] Encoded encode(const CollectionPacket& p) const;
+  [[nodiscard]] Encoded encode(const DistributionPacket& p) const;
+  [[nodiscard]] CollectionPacket decode_collection(const Encoded& e) const;
+  [[nodiscard]] DistributionPacket decode_distribution(const Encoded& e)
+      const;
+
+ private:
+  NodeId n_;
+  PriorityLayout layout_;
+  bool with_acks_;
+  unsigned idx_bits_;
+};
+
+}  // namespace ccredf::core

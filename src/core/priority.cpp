@@ -1,0 +1,31 @@
+#include "core/priority.hpp"
+
+#include <algorithm>
+
+namespace ccredf::core {
+
+Priority LaxityMapper::map(const PriorityLayout& layout, TrafficClass cls,
+                           std::int64_t laxity_slots) const {
+  const Priority lo = layout.class_lo(cls);
+  const Priority hi = layout.class_hi(cls);
+  const std::int64_t clamped = std::max<std::int64_t>(laxity_slots, 0);
+  const std::int64_t down = steps(clamped);
+  const std::int64_t band = hi - lo;
+  const std::int64_t level = hi - std::min(down, band);
+  return static_cast<Priority>(level);
+}
+
+std::int64_t LogarithmicMapper::steps(std::int64_t laxity_slots) const {
+  // floor(log2(1 + laxity)): 1+laxity in [2^k, 2^(k+1)) => k steps, so
+  // laxity 0 => 0, 1..2 => 1, 3..6 => 2, 7..14 => 3, ... -- one level per
+  // doubling, finest resolution near the deadline.
+  std::int64_t v = 1 + laxity_slots;
+  std::int64_t k = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace ccredf::core

@@ -1,0 +1,38 @@
+#include "fault/injector.hpp"
+
+namespace ccredf::fault {
+
+FaultInjector::FaultInjector(net::Network& net, std::uint64_t seed)
+    : net_(net), rng_(seed) {
+  net_.set_fault_hook(this);
+}
+
+void FaultInjector::schedule_token_loss(SlotIndex slot) {
+  scheduled_losses_.insert(slot);
+}
+
+void FaultInjector::set_random_token_loss(double p) {
+  CCREDF_EXPECT(p >= 0.0 && p < 1.0,
+                "FaultInjector: loss probability out of [0,1)");
+  random_loss_p_ = p;
+}
+
+void FaultInjector::schedule_node_failure(NodeId id, sim::TimePoint at) {
+  net_.sim().schedule_at(at, [this, id] { net_.fail_node(id); });
+}
+
+void FaultInjector::schedule_node_restore(NodeId id, sim::TimePoint at) {
+  net_.sim().schedule_at(at, [this, id] { net_.restore_node(id); });
+}
+
+bool FaultInjector::drop_distribution(SlotIndex slot) {
+  bool drop = false;
+  if (scheduled_losses_.erase(slot) > 0) drop = true;
+  if (!drop && random_loss_p_ > 0.0 && rng_.bernoulli(random_loss_p_)) {
+    drop = true;
+  }
+  if (drop) ++injected_;
+  return drop;
+}
+
+}  // namespace ccredf::fault

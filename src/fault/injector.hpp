@@ -1,0 +1,56 @@
+// Fault injection (realises the paper's §8 future-work scenarios).
+//
+// Two fault families:
+//   * token loss -- the distribution packet ending a chosen slot is
+//     destroyed, so no node learns the next master; the network recovers
+//     through the designated-restarter timeout built into the engine
+//     (paper §8: "a time out and a designated node that always will
+//     start could solve this");
+//   * fail-silent node -- a node stops requesting, transmitting and
+//     receiving at a chosen time (its ribbon is optically bypassed);
+//     if it was the master, the clock dies and the token-loss recovery
+//     path kicks in.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::fault {
+
+class FaultInjector final : public net::FaultHook {
+ public:
+  /// Attaches to `net` as its fault hook; `net` must outlive the injector.
+  explicit FaultInjector(net::Network& net, std::uint64_t seed = 1);
+
+  /// Destroy the distribution packet that ends slot `slot`.
+  void schedule_token_loss(SlotIndex slot);
+
+  /// Destroy distribution packets independently with probability `p`.
+  void set_random_token_loss(double p);
+
+  /// Fail node `id` at simulated time `at`.
+  void schedule_node_failure(NodeId id, sim::TimePoint at);
+
+  /// Restore node `id` at simulated time `at`.
+  void schedule_node_restore(NodeId id, sim::TimePoint at);
+
+  [[nodiscard]] std::int64_t token_losses_injected() const {
+    return injected_;
+  }
+
+  // net::FaultHook
+  bool drop_distribution(SlotIndex slot) override;
+
+ private:
+  net::Network& net_;
+  sim::Rng rng_;
+  std::unordered_set<SlotIndex> scheduled_losses_;
+  double random_loss_p_ = 0.0;
+  std::int64_t injected_ = 0;
+};
+
+}  // namespace ccredf::fault

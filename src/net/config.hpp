@@ -1,0 +1,83 @@
+// Network construction parameters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/admission.hpp"
+#include "core/priority.hpp"
+#include "phy/link.hpp"
+
+namespace ccredf::phy {
+class RingPhy;
+}
+namespace ccredf::ring {
+class RingTopology;
+}
+
+namespace ccredf::net {
+
+class MacProtocol;
+struct NetworkConfig;
+
+/// Builds the MAC protocol once the physical ring exists.  Leaving the
+/// factory empty selects CCR-EDF; the baseline module provides factories
+/// for CC-FPR and TDMA.
+using ProtocolFactory = std::function<std::unique_ptr<MacProtocol>(
+    const phy::RingPhy&, const ring::RingTopology&, const NetworkConfig&)>;
+
+struct NetworkConfig {
+  NodeId nodes = 8;
+
+  phy::RibbonLinkParams link = phy::optobus();
+  /// Uniform link length (paper assumes equal lengths); ignored when
+  /// `link_lengths_m` is non-empty.
+  double link_length_m = 10.0;
+  std::vector<double> link_lengths_m;
+
+  /// Data payload per slot in bytes; 0 selects
+  /// max(Eq. 2 minimum, default_payload_floor).
+  std::int64_t slot_payload_bytes = 0;
+  std::int64_t default_payload_floor = 64;
+
+  core::PriorityLayout priority{};
+
+  /// Spatial reuse on (run-time behaviour) or off (the §5 analysis mode:
+  /// one message per slot).
+  bool spatial_reuse = true;
+
+  /// Carry the reliable-service ack field in the distribution packet.
+  bool with_acks = false;
+
+  enum class Mapper { kLogarithmic, kLinear };
+  Mapper mapper = Mapper::kLogarithmic;
+  /// Slots per priority level for the linear mapper ablation.
+  std::int64_t linear_quantum_slots = 8;
+
+  /// Node designated to restart the clock after token loss (paper §8
+  /// suggests "a designated node that always will start").
+  NodeId designated_restarter = 0;
+  /// Idle slots-equivalents the restarter waits before declaring the
+  /// token lost.
+  std::int64_t recovery_timeout_slots = 4;
+
+  /// Per-node transmit-buffer capacity in messages; 0 = unlimited.
+  /// When full, new best-effort / non-real-time messages are tail-dropped
+  /// (counted in NetworkStats); real-time releases are never dropped --
+  /// admitted connections have bounded backlog by Eq. 5, so a sane cap
+  /// cannot be exceeded by well-behaved sources.
+  std::size_t max_queue_messages = 0;
+
+  /// Feasibility test used by the admission controller; kDensity stays
+  /// safe for connections with constrained deadlines D_i < P_i.
+  core::AdmissionPolicy admission_policy =
+      core::AdmissionPolicy::kUtilisation;
+
+  /// Empty => CCR-EDF.
+  ProtocolFactory protocol_factory;
+};
+
+}  // namespace ccredf::net

@@ -1,0 +1,408 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "net/ccredf_protocol.hpp"
+#include "ring/segment.hpp"
+
+namespace ccredf::net {
+
+namespace {
+std::unique_ptr<core::LaxityMapper> make_mapper(const NetworkConfig& cfg) {
+  switch (cfg.mapper) {
+    case NetworkConfig::Mapper::kLinear:
+      return std::make_unique<core::LinearMapper>(cfg.linear_quantum_slots);
+    case NetworkConfig::Mapper::kLogarithmic:
+      break;
+  }
+  return std::make_unique<core::LogarithmicMapper>();
+}
+
+std::unique_ptr<phy::RingPhy> make_phy(const NetworkConfig& cfg) {
+  if (!cfg.link_lengths_m.empty()) {
+    return std::make_unique<phy::RingPhy>(cfg.link, cfg.link_lengths_m);
+  }
+  return std::make_unique<phy::RingPhy>(cfg.link, cfg.nodes,
+                                        cfg.link_length_m);
+}
+}  // namespace
+
+Network::Network(NetworkConfig cfg)
+    : cfg_(std::move(cfg)),
+      phy_(make_phy(cfg_)),
+      topo_(cfg_.nodes),
+      admission_(0.0) {
+  CCREDF_EXPECT(cfg_.nodes >= 2 && cfg_.nodes <= kMaxNodes,
+                "Network: node count out of range");
+  CCREDF_EXPECT(phy_->nodes() == cfg_.nodes,
+                "Network: link length list does not match node count");
+  CCREDF_EXPECT(cfg_.designated_restarter < cfg_.nodes,
+                "Network: designated restarter out of range");
+  CCREDF_EXPECT(cfg_.recovery_timeout_slots >= 1,
+                "Network: recovery timeout must be at least one slot");
+
+  codec_ = std::make_unique<core::FrameCodec>(cfg_.nodes, cfg_.priority,
+                                              cfg_.with_acks);
+  std::int64_t payload = cfg_.slot_payload_bytes;
+  if (payload == 0) {
+    // Auto payload: the exact control-phase budget.  Eq. 2 counts only
+    // propagation + passthrough; the collection packet's own bits (one
+    // control bit rides per payload byte) and the distribution packet
+    // must also fit the slot -- a constraint Eq. 2 leaves implicit and
+    // which dominates on short rings.  Explicitly configured payloads
+    // are only held to the paper's Eq. 2 (SlotTiming validates).
+    payload = std::max(core::SlotTiming::min_payload_bytes(*phy_) +
+                           codec_->collection_bits() +
+                           codec_->distribution_bits(),
+                       cfg_.default_payload_floor);
+  }
+  timing_ = std::make_unique<core::SlotTiming>(*phy_, payload);
+  control_ = std::make_unique<core::ControlTiming>(
+      phy_.get(), codec_->collection_bits(), codec_->distribution_bits());
+  mapper_ = make_mapper(cfg_);
+  if (cfg_.protocol_factory) {
+    protocol_ = cfg_.protocol_factory(*phy_, topo_, cfg_);
+  } else {
+    protocol_ = std::make_unique<CcrEdfProtocol>(phy_.get(), topo_,
+                                                 cfg_.spatial_reuse);
+  }
+  CCREDF_EXPECT(protocol_ != nullptr, "Network: protocol factory failed");
+  // Eq. 6: the admission bound always uses the CCR-EDF worst-case gap
+  // (the paper's analysis); baseline runs admit the same sets so that E6
+  // compares protocols on identical load.
+  admission_ =
+      core::AdmissionController(timing_->u_max(), cfg_.admission_policy);
+
+  nodes_.reserve(cfg_.nodes);
+  for (NodeId i = 0; i < cfg_.nodes; ++i) nodes_.emplace_back(i);
+}
+
+Node& Network::node(NodeId id) {
+  CCREDF_EXPECT(id < nodes_.size(), "Network: node index out of range");
+  return nodes_[id];
+}
+
+NodeSet Network::broadcast_dests(NodeId src) const {
+  NodeSet all = topo_.all_nodes();
+  all.erase(src);
+  return all;
+}
+
+core::Priority Network::priority_of(const core::Message& m,
+                                    sim::TimePoint sample) const {
+  const std::int64_t laxity = m.laxity_slots(sample, timing_->slot());
+  return mapper_->map(cfg_.priority, m.traffic_class, laxity);
+}
+
+MessageId Network::enqueue(NodeId src, NodeSet dests, core::TrafficClass cls,
+                           std::int64_t size_slots, sim::TimePoint deadline,
+                           ConnectionId conn, std::int64_t release_index) {
+  CCREDF_EXPECT(src < nodes_.size(), "enqueue: bad source");
+  CCREDF_EXPECT(size_slots >= 1, "enqueue: size must be >= 1 slot");
+  CCREDF_EXPECT(!dests.empty() && !dests.contains(src),
+                "enqueue: destinations must be non-empty and exclude src");
+  const MessageId id = next_message_id_++;
+  if (nodes_[src].failed()) return id;  // dropped: source is down
+  if (cfg_.max_queue_messages != 0 &&
+      cls != core::TrafficClass::kRealTime &&
+      nodes_[src].queues().size() >= cfg_.max_queue_messages) {
+    ++stats_.buffer_drops;  // tail drop at a full transmit buffer
+    return id;
+  }
+  core::Message m;
+  m.id = id;
+  m.source = src;
+  m.dests = dests;
+  m.traffic_class = cls;
+  m.size_slots = size_slots;
+  m.remaining_slots = size_slots;
+  m.arrival = sim_.now();
+  m.deadline = deadline;
+  m.connection = conn;
+  m.release_index = release_index;
+  m.payload_bytes = size_slots * timing_->payload_bytes();
+  nodes_[src].queues().push(std::move(m));
+  return id;
+}
+
+MessageId Network::send(NodeId src, NodeSet dests, core::TrafficClass cls,
+                        std::int64_t size_slots,
+                        sim::Duration relative_deadline) {
+  const sim::TimePoint deadline =
+      relative_deadline >= sim::Duration::infinity()
+          ? sim::TimePoint::infinity()
+          : sim_.now() + relative_deadline;
+  return enqueue(src, dests, cls, size_slots, deadline, kNoConnection, 0);
+}
+
+MessageId Network::send_best_effort(NodeId src, NodeSet dests,
+                                    std::int64_t size_slots,
+                                    sim::Duration relative_deadline) {
+  return send(src, dests, core::TrafficClass::kBestEffort, size_slots,
+              relative_deadline);
+}
+
+MessageId Network::send_non_realtime(NodeId src, NodeSet dests,
+                                     std::int64_t size_slots) {
+  return send(src, dests, core::TrafficClass::kNonRealTime, size_slots,
+              sim::Duration::infinity());
+}
+
+Network::OpenResult Network::open_connection(
+    const core::ConnectionParams& params) {
+  CCREDF_EXPECT(params.source < nodes_.size(), "connection: bad source");
+  CCREDF_EXPECT(!params.dests.contains(params.source),
+                "connection: source cannot be a destination");
+  const auto decision = admission_.request(params, sim_.now());
+  trace_.emit(sim_.now(), sim::TraceCategory::kAdmission, [&] {
+    std::ostringstream os;
+    os << (decision.admitted ? "admitted" : "rejected") << " connection from "
+       << params.source << " u=" << params.utilisation()
+       << " total=" << decision.utilisation_after << "/" << admission_.u_max();
+    return os.str();
+  });
+  if (!decision.admitted) return OpenResult{false, kNoConnection};
+
+  ReleaseState st;
+  st.params = params;
+  st.base = sim_.now() + timing_->slot() * params.offset_slots;
+  const ConnectionId id = decision.id;
+  releases_.emplace(id, st);
+  auto& stored = releases_.at(id);
+  stored.next_event = sim_.schedule_at(
+      st.base, [this, id] { release_message(id); });
+  return OpenResult{true, id};
+}
+
+void Network::release_message(ConnectionId id) {
+  auto it = releases_.find(id);
+  if (it == releases_.end() || !it->second.open) return;
+  ReleaseState& st = it->second;
+  const core::ConnectionParams& p = st.params;
+  const sim::TimePoint release_t =
+      st.base + timing_->slot() * (p.period_slots * st.released);
+  const sim::TimePoint deadline =
+      release_t + timing_->slot() * p.effective_deadline_slots();
+  enqueue(p.source, p.dests, core::TrafficClass::kRealTime, p.size_slots,
+          deadline, id, st.released);
+  ++stats_.per_connection[id].released;
+  ++st.released;
+  const sim::TimePoint next =
+      st.base + timing_->slot() * (p.period_slots * st.released);
+  st.next_event = sim_.schedule_at(next, [this, id] { release_message(id); });
+}
+
+bool Network::close_connection(ConnectionId id) {
+  auto it = releases_.find(id);
+  if (it == releases_.end() || !it->second.open) return false;
+  it->second.open = false;
+  sim_.cancel(it->second.next_event);
+  nodes_[it->second.params.source].queues().drop_connection(id);
+  return admission_.release(id);
+}
+
+void Network::fail_node(NodeId id) {
+  Node& n = node(id);
+  n.set_failed(true);
+  n.queues().clear();
+  trace_.emit(sim_.now(), sim::TraceCategory::kFault,
+              [id] { return "node " + std::to_string(id) + " failed"; });
+}
+
+void Network::restore_node(NodeId id) {
+  node(id).set_failed(false);
+  trace_.emit(sim_.now(), sim::TraceCategory::kFault,
+              [id] { return "node " + std::to_string(id) + " restored"; });
+}
+
+void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
+  int executed = 0;
+  for (const NodeId g : current_granted_) {
+    const auto& b = bindings_[g];
+    Node& src = nodes_[g];
+    if (!b || src.failed() || !src.queues().contains(b->message)) {
+      ++stats_.wasted_grants;
+      continue;
+    }
+    ++executed;
+    ++stats_.total_grants;
+    auto done = src.queues().consume_slot(b->message);
+    if (!done) continue;  // more slots of this message remain
+
+    core::Delivery d;
+    d.id = done->id;
+    d.source = done->source;
+    d.dests = done->dests;
+    d.traffic_class = done->traffic_class;
+    d.connection = done->connection;
+    d.arrival = done->arrival;
+    d.completed = slot_end + phy_->path_delay(g, b->hops);
+    d.deadline = done->deadline;
+    d.size_slots = done->size_slots;
+    rec.deliveries.push_back(d);
+
+    for (const NodeId dst : b->dests) {
+      if (!nodes_[dst].failed()) nodes_[dst].deliver(d);
+    }
+    auto& cs = stats_.cls(done->traffic_class);
+    ++cs.delivered;
+    cs.bytes += done->payload_bytes;
+    cs.latency.add(d.latency());
+    const bool sched_miss = !d.met_deadline();
+    // Eq. 3: the user-level bound adds the protocol latency (Eq. 4).
+    const bool user_miss =
+        sched_miss &&
+        d.completed > d.deadline + timing_->worst_case_latency();
+    if (sched_miss) ++cs.scheduling_misses;
+    if (user_miss) ++cs.user_misses;
+    if (done->connection != kNoConnection) {
+      auto& conn = stats_.per_connection[done->connection];
+      ++conn.delivered;
+      conn.latency.add(d.latency());
+      if (sched_miss) ++conn.scheduling_misses;
+      if (user_miss) ++conn.user_misses;
+    }
+  }
+  if (executed > 0) {
+    ++stats_.busy_slots;
+    if (executed > 1) ++stats_.reuse_slots;
+  }
+}
+
+std::vector<core::Request> Network::collect_requests() {
+  std::vector<core::Request> reqs(nodes());
+  for (auto& b : bindings_) b.reset();
+  for (NodeId h = 0; h < nodes(); ++h) {
+    const NodeId j = topo_.downstream(master_, h);
+    // The collection packet reaches node j after propagating h hops and
+    // being delayed in each intermediate node (t_node of Eq. 2).
+    const sim::TimePoint sample =
+        slot_start_ + control_->sample_offset(master_, h);
+    sim_.run_until(sample);
+    Node& nd = nodes_[j];
+    if (nd.failed()) continue;
+    const core::Message* m = nd.queues().head(sample);
+    if (m == nullptr) continue;
+    const auto seg = ring::Segment::for_transmission(topo_, j, m->dests);
+    reqs[j].priority = priority_of(*m, sample);
+    reqs[j].links = seg.links();
+    reqs[j].dests = m->dests;
+    bindings_[j] = Binding{m->id, seg.hops(), m->dests};
+  }
+  return reqs;
+}
+
+void Network::step_slot() {
+  sim_.run_until(slot_start_);
+  const sim::Duration t_slot = timing_->slot();
+  const sim::TimePoint slot_end = slot_start_ + t_slot;
+
+  SlotRecord rec;
+  rec.index = slot_;
+  rec.start = slot_start_;
+  rec.end = slot_end;
+  rec.master = master_;
+  rec.granted = current_granted_;
+
+  // Phase 1: the data of this slot (granted during slot k-1).
+  execute_grants(rec, slot_end);
+  stats_.time_in_slots += t_slot;
+  if (cfg_.with_acks) {
+    // Receivers acknowledge last slot's completed transfers in this
+    // slot's distribution packet (ref [11]); lost with the packet on a
+    // token loss.
+    rec.acks = pending_acks_;
+    pending_acks_ = NodeSet{};
+    for (const auto& d : rec.deliveries) pending_acks_.insert(d.source);
+  }
+
+  // Phase 2: collection for slot k+1 rides the control channel now.
+  std::vector<core::Request> requests = collect_requests();
+
+  // Phase 3: arbitration at the master; the distribution packet ends with
+  // the slot.  A token loss (fault injection, or the master dying at any
+  // point before the packet's last bit) means no node learns the outcome
+  // -- so drain events through slot end before judging.
+  sim_.run_until(slot_end);
+  bool token_lost =
+      fault_hook_ != nullptr && fault_hook_->drop_distribution(slot_);
+  if (nodes_[master_].failed()) token_lost = true;
+  SlotPlan plan;
+  if (!token_lost) {
+    plan = protocol_->plan_next_slot(requests, master_, slot_);
+    // Priority-inversion accounting: the globally most urgent requester
+    // must be among the granted (always true for CCR-EDF; the simple
+    // clocking strategy of CC-FPR violates it -- paper §1).
+    NodeId hp = kInvalidNode;
+    core::Priority best = 0;
+    for (NodeId i = 0; i < requests.size(); ++i) {
+      if (requests[i].priority > best) {
+        best = requests[i].priority;
+        hp = i;
+      }
+    }
+    if (hp != kInvalidNode && !plan.granted.contains(hp)) {
+      ++stats_.priority_inversions;
+    }
+  }
+
+  sim::Duration gap;
+  if (token_lost) {
+    // Recovery (paper §8): the designated node times out and restarts the
+    // clock; the planned grants died with the distribution packet.
+    ++recoveries_;
+    rec.token_lost = true;
+    gap = (t_slot + protocol_->max_gap()) * cfg_.recovery_timeout_slots;
+    recovery_time_ += gap;
+    // The designated restarter takes over; if it is itself down, the
+    // first live node downstream of it assumes the role (a failed
+    // "always starts" node needs a deputy or the ring stays dark).
+    NodeId restarter = cfg_.designated_restarter;
+    for (NodeId i = 0; i < nodes() && nodes_[restarter].failed(); ++i) {
+      restarter = topo_.downstream(restarter);
+    }
+    plan.next_master = restarter;
+    plan.granted = NodeSet{};
+    rec.acks = NodeSet{};  // the acks died with the distribution packet
+    for (auto& b : bindings_) b.reset();
+  } else {
+    gap = protocol_->gap(master_, plan.next_master);
+  }
+
+  rec.gap_after = gap;
+  rec.next_master = plan.next_master;
+  rec.requests = std::move(requests);
+
+  stats_.time_in_gaps += gap;
+  stats_.gap.add(gap);
+  stats_.handover_hops.add(
+      static_cast<double>(topo_.hops(master_, plan.next_master)));
+  ++stats_.slots;
+
+  trace_.emit(slot_start_, sim::TraceCategory::kSlot, [&] {
+    std::ostringstream os;
+    os << "slot " << slot_ << " master=" << master_ << " granted="
+       << rec.granted.size() << " next=" << plan.next_master
+       << " gap=" << gap.ns() << "ns";
+    return os.str();
+  });
+
+  current_granted_ = plan.granted;
+  master_ = plan.next_master;
+  slot_start_ = slot_end + gap;
+  ++slot_;
+
+  for (const auto& obs : observers_) obs(rec);
+}
+
+void Network::run_slots(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) step_slot();
+}
+
+void Network::run_for(sim::Duration d) {
+  const sim::TimePoint horizon = sim_.now() + d;
+  while (slot_start_ < horizon) step_slot();
+}
+
+}  // namespace ccredf::net

@@ -1,0 +1,217 @@
+// The slot-stepped network engine binding phy + ring + MAC + EDF.
+//
+// Per slot k (master m_k, start T_k, fixed data time t_slot):
+//   1. fire queued events up to T_k (message releases, user actions);
+//   2. execute the grants decided during slot k-1: move one slot of each
+//      granted message; completed messages are delivered with timestamp
+//      T_k + t_slot + propagation to the furthest destination;
+//   3. collection phase: the control packet leaves the master and visits
+//      node j at T_k + prop(m_k -> j) + j_passthroughs; each node's head
+//      eligible message (arrival <= its sampling time) becomes its
+//      request, with laxity mapped to the priority field;
+//   4. the protocol plans slot k+1 (grants + next master m_{k+1});
+//   5. the slot ends at T_k + t_slot; the clock hand-over gap to m_{k+1}
+//      follows (Eq. 1), so T_{k+1} = T_k + t_slot + gap.
+// This realises the paper's pipeline: arbitration for slot k+1 rides the
+// control channel while slot k's data flows (Fig. 3).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/nodeset.hpp"
+#include "common/types.hpp"
+#include "core/admission.hpp"
+#include "core/connection.hpp"
+#include "core/control_timing.hpp"
+#include "core/frames.hpp"
+#include "core/message.hpp"
+#include "core/priority.hpp"
+#include "core/schedulability.hpp"
+#include "net/config.hpp"
+#include "net/node.hpp"
+#include "net/protocol.hpp"
+#include "net/stats.hpp"
+#include "phy/ring_phy.hpp"
+#include "ring/topology.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace ccredf::net {
+
+/// Everything that happened in one slot, handed to observers at slot end.
+struct SlotRecord {
+  SlotIndex index = 0;
+  sim::TimePoint start;
+  sim::TimePoint end;
+  sim::Duration gap_after = sim::Duration::zero();
+  NodeId master = kInvalidNode;
+  NodeId next_master = kInvalidNode;
+  /// Requests sampled this slot (arbitrating slot k+1).
+  std::vector<core::Request> requests;
+  /// Nodes that transmitted during THIS slot.
+  NodeSet granted;
+  /// Messages whose final slot completed this slot.
+  std::vector<core::Delivery> deliveries;
+  /// When the network runs with the reliable-service ack field
+  /// (NetworkConfig::with_acks), the per-source acknowledgement bits
+  /// carried by this slot's distribution packet: sources whose transfer
+  /// completed in the PREVIOUS slot (the receivers' acks ride the next
+  /// control-channel round, paper ref [11]).
+  NodeSet acks;
+  /// True when this slot boundary suffered a token loss (fault runs).
+  bool token_lost = false;
+};
+
+/// Run-time fault injection hooks (see src/fault/ for implementations).
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  /// Return true to destroy the distribution packet ending `slot`
+  /// (token loss: no node learns the next master).
+  virtual bool drop_distribution(SlotIndex slot) = 0;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig cfg);
+
+  // -- construction products --------------------------------------------
+  [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+  [[nodiscard]] const phy::RingPhy& phy() const { return *phy_; }
+  [[nodiscard]] const ring::RingTopology& topology() const { return topo_; }
+  [[nodiscard]] const core::SlotTiming& timing() const { return *timing_; }
+  [[nodiscard]] const core::ControlTiming& control_timing() const {
+    return *control_;
+  }
+  [[nodiscard]] const core::FrameCodec& codec() const { return *codec_; }
+  [[nodiscard]] MacProtocol& protocol() { return *protocol_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] core::AdmissionController& admission() { return admission_; }
+  [[nodiscard]] const core::AdmissionController& admission() const {
+    return admission_;
+  }
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] NodeId nodes() const { return cfg_.nodes; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] NetworkStats& mutable_stats() { return stats_; }
+  /// Per-connection accounting (empty record if never released).
+  [[nodiscard]] const ConnectionStats& connection_stats(ConnectionId id) {
+    return stats_.per_connection[id];
+  }
+  [[nodiscard]] sim::Duration slot_duration() const {
+    return timing_->slot();
+  }
+  [[nodiscard]] NodeId current_master() const { return master_; }
+  [[nodiscard]] SlotIndex current_slot() const { return slot_; }
+
+  // -- user traffic -------------------------------------------------------
+  /// Enqueues a message at `src` now.  `relative_deadline` is the EDF
+  /// (scheduling) deadline; pass Duration::infinity() for none.
+  MessageId send(NodeId src, NodeSet dests, core::TrafficClass cls,
+                 std::int64_t size_slots, sim::Duration relative_deadline);
+
+  MessageId send_best_effort(NodeId src, NodeSet dests,
+                             std::int64_t size_slots,
+                             sim::Duration relative_deadline);
+  MessageId send_non_realtime(NodeId src, NodeSet dests,
+                              std::int64_t size_slots);
+  /// Broadcast = all nodes except the source.
+  [[nodiscard]] NodeSet broadcast_dests(NodeId src) const;
+
+  // -- logical real-time connections (admission-controlled) ---------------
+  struct OpenResult {
+    bool admitted = false;
+    ConnectionId id = kNoConnection;
+  };
+  /// Runs the Eq. 5-6 admission test; on success, periodic releases are
+  /// scheduled automatically (period/deadline in slots of wall time
+  /// P_i * t_slot, matching the units of the analysis).
+  OpenResult open_connection(const core::ConnectionParams& params);
+  /// Stops releases and drops this connection's queued messages.
+  bool close_connection(ConnectionId id);
+
+  // -- execution -----------------------------------------------------------
+  void run_slots(std::int64_t n);
+  void run_for(sim::Duration d);
+
+  // -- instrumentation ------------------------------------------------------
+  using SlotObserver = std::function<void(const SlotRecord&)>;
+  void add_slot_observer(SlotObserver obs) {
+    observers_.push_back(std::move(obs));
+  }
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
+  /// Fail-silent node (fault experiments); queued messages are dropped.
+  void fail_node(NodeId id);
+  void restore_node(NodeId id);
+
+  /// Count of token-loss recoveries performed.
+  [[nodiscard]] std::int64_t recoveries() const { return recoveries_; }
+  /// Wall time lost to recovery timeouts.
+  [[nodiscard]] sim::Duration recovery_time() const {
+    return recovery_time_;
+  }
+
+ private:
+  struct Binding {
+    MessageId message = 0;
+    NodeId hops = 0;       // to furthest destination
+    NodeSet dests;
+  };
+  struct ReleaseState {
+    core::ConnectionParams params;
+    sim::TimePoint base;  // time of release 0
+    sim::EventId next_event = 0;
+    std::int64_t released = 0;
+    bool open = true;
+  };
+
+  void step_slot();
+  void execute_grants(SlotRecord& rec, sim::TimePoint slot_end);
+  std::vector<core::Request> collect_requests();
+  void release_message(ConnectionId id);
+  MessageId enqueue(NodeId src, NodeSet dests, core::TrafficClass cls,
+                    std::int64_t size_slots, sim::TimePoint deadline,
+                    ConnectionId conn, std::int64_t release_index);
+  [[nodiscard]] core::Priority priority_of(const core::Message& m,
+                                           sim::TimePoint sample) const;
+
+  NetworkConfig cfg_;
+  std::unique_ptr<phy::RingPhy> phy_;
+  ring::RingTopology topo_;
+  std::unique_ptr<core::SlotTiming> timing_;
+  std::unique_ptr<core::ControlTiming> control_;
+  std::unique_ptr<core::FrameCodec> codec_;
+  std::unique_ptr<core::LaxityMapper> mapper_;
+  std::unique_ptr<MacProtocol> protocol_;
+  core::AdmissionController admission_;
+  sim::Simulator sim_;
+  sim::Trace trace_;
+  std::vector<Node> nodes_;
+  std::vector<SlotObserver> observers_;
+  FaultHook* fault_hook_ = nullptr;
+
+  // Slot-engine state.
+  SlotIndex slot_ = 0;
+  sim::TimePoint slot_start_;
+  NodeId master_ = 0;
+  std::array<std::optional<Binding>, kMaxNodes> bindings_{};
+  NodeSet current_granted_;
+
+  std::unordered_map<ConnectionId, ReleaseState> releases_;
+  /// Sources whose transfers completed last slot (ack bits for the next
+  /// distribution packet when with_acks is enabled).
+  NodeSet pending_acks_;
+  MessageId next_message_id_ = 1;
+  NetworkStats stats_;
+  std::int64_t recoveries_ = 0;
+  sim::Duration recovery_time_ = sim::Duration::zero();
+};
+
+}  // namespace ccredf::net

@@ -1,0 +1,56 @@
+// One station on the ring: user-facing queues, inbox and counters.
+//
+// The Node is deliberately passive -- the slot engine samples its queues
+// during the collection phase and pushes deliveries into its inbox; user
+// code enqueues messages through Network's send_* API and drains the
+// inbox (or registers a callback).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/edf_queue.hpp"
+#include "core/message.hpp"
+
+namespace ccredf::net {
+
+class Node {
+ public:
+  using DeliveryCallback = std::function<void(const core::Delivery&)>;
+
+  explicit Node(NodeId id) : id_(id) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] core::EdfQueueSet& queues() { return queues_; }
+  [[nodiscard]] const core::EdfQueueSet& queues() const { return queues_; }
+
+  /// Messages delivered to this node, in completion order.
+  [[nodiscard]] const std::vector<core::Delivery>& inbox() const {
+    return inbox_;
+  }
+  void clear_inbox() { inbox_.clear(); }
+
+  /// Invoked (in addition to inbox recording) on every delivery.
+  void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  void deliver(const core::Delivery& d) {
+    inbox_.push_back(d);
+    if (on_delivery_) on_delivery_(d);
+  }
+
+  /// Fail-silent state (fault experiments): a failed node neither
+  /// requests slots nor accepts deliveries; its ribbon is optically
+  /// bypassed so the ring stays closed.
+  [[nodiscard]] bool failed() const { return failed_; }
+  void set_failed(bool f) { failed_ = f; }
+
+ private:
+  NodeId id_;
+  core::EdfQueueSet queues_;
+  std::vector<core::Delivery> inbox_;
+  DeliveryCallback on_delivery_;
+  bool failed_ = false;
+};
+
+}  // namespace ccredf::net

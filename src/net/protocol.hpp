@@ -1,0 +1,46 @@
+// Pluggable medium-access protocol interface.
+//
+// The slot engine (net::Network) is protocol-agnostic: each slot it
+// collects one Request per node and asks the protocol to plan the next
+// slot (grants + next master).  CCR-EDF, the baseline CC-FPR and static
+// TDMA all implement this interface, so every experiment compares them on
+// an identical substrate.
+#pragma once
+
+#include <vector>
+
+#include "common/nodeset.hpp"
+#include "common/types.hpp"
+#include "core/frames.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::net {
+
+struct SlotPlan {
+  /// Master (clock generator) of the next slot.
+  NodeId next_master = kInvalidNode;
+  /// Nodes granted a transmission in the next slot.
+  NodeSet granted;
+};
+
+class MacProtocol {
+ public:
+  virtual ~MacProtocol() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Plans the next slot from the requests collected during the current
+  /// one.  `requests` has exactly one entry per node (priority 0 = idle).
+  [[nodiscard]] virtual SlotPlan plan_next_slot(
+      const std::vector<core::Request>& requests, NodeId current_master,
+      SlotIndex slot) = 0;
+
+  /// Clock hand-over gap between a slot mastered by `from` and the next
+  /// mastered by `to`.
+  [[nodiscard]] virtual sim::Duration gap(NodeId from, NodeId to) const = 0;
+
+  /// Worst-case gap (enters Eq. 4 and Eq. 6 for this protocol).
+  [[nodiscard]] virtual sim::Duration max_gap() const = 0;
+};
+
+}  // namespace ccredf::net

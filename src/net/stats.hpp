@@ -1,0 +1,109 @@
+// Aggregated measurements collected by the slot engine.
+//
+// Latencies and deadline accounting are kept per traffic class.  For
+// real-time traffic two miss notions are tracked (paper §5): a
+// *scheduling* miss (delivery after the EDF deadline t_deadline) and a
+// *user-level* miss (delivery after t_maxdelay = t_deadline + t_latency,
+// Eq. 3) -- the admission guarantee covers the latter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/message.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::net {
+
+/// Per-logical-real-time-connection accounting.
+struct ConnectionStats {
+  std::int64_t released = 0;
+  std::int64_t delivered = 0;
+  std::int64_t scheduling_misses = 0;
+  std::int64_t user_misses = 0;
+  sim::OnlineStats latency;  // arrival -> completion, ps
+};
+
+struct ClassStats {
+  std::int64_t delivered = 0;
+  std::int64_t scheduling_misses = 0;
+  std::int64_t user_misses = 0;
+  std::int64_t bytes = 0;
+  sim::OnlineStats latency;  // arrival -> completion, ps
+
+  [[nodiscard]] double scheduling_miss_ratio() const {
+    return delivered == 0
+               ? 0.0
+               : static_cast<double>(scheduling_misses) /
+                     static_cast<double>(delivered);
+  }
+  [[nodiscard]] double user_miss_ratio() const {
+    return delivered == 0 ? 0.0
+                          : static_cast<double>(user_misses) /
+                                static_cast<double>(delivered);
+  }
+};
+
+struct NetworkStats {
+  std::int64_t slots = 0;
+  /// Slots in which at least one transmission was granted.
+  std::int64_t busy_slots = 0;
+  std::int64_t total_grants = 0;
+  /// Slots carrying two or more simultaneous transmissions (spatial reuse).
+  std::int64_t reuse_slots = 0;
+  /// Grants whose bound message had vanished by transmission time
+  /// (connection torn down between arbitration and slot).
+  std::int64_t wasted_grants = 0;
+  /// Messages tail-dropped at a full transmit buffer (BE/NRT only; see
+  /// NetworkConfig::max_queue_messages).
+  std::int64_t buffer_drops = 0;
+  /// Slots where the globally highest-priority requester was NOT granted
+  /// -- the priority-inversion pathology of the simple clocking strategy;
+  /// always zero for CCR-EDF.
+  std::int64_t priority_inversions = 0;
+  /// Clock hand-over hops distribution and gap durations.
+  sim::OnlineStats handover_hops;
+  sim::OnlineStats gap;  // ps
+  /// Wall-clock accounting.
+  sim::Duration time_in_slots = sim::Duration::zero();
+  sim::Duration time_in_gaps = sim::Duration::zero();
+
+  std::array<ClassStats, 3> per_class;  // indexed by TrafficClass
+  std::unordered_map<ConnectionId, ConnectionStats> per_connection;
+
+  [[nodiscard]] ClassStats& cls(core::TrafficClass c) {
+    return per_class[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const ClassStats& cls(core::TrafficClass c) const {
+    return per_class[static_cast<std::size_t>(c)];
+  }
+
+  /// Fraction of wall time spent inside slots (upper-bounds throughput;
+  /// compare with Eq. 6's U_max).
+  [[nodiscard]] double slot_time_fraction() const {
+    const sim::Duration total = time_in_slots + time_in_gaps;
+    return total == sim::Duration::zero() ? 0.0
+                                          : time_in_slots.ratio(total);
+  }
+
+  /// Mean simultaneous transmissions per busy slot (>1 iff spatial reuse
+  /// pays off; paper Fig. 2).
+  [[nodiscard]] double mean_grants_per_busy_slot() const {
+    return busy_slots == 0 ? 0.0
+                           : static_cast<double>(total_grants) /
+                                 static_cast<double>(busy_slots);
+  }
+
+  /// Delivered payload bits per second of simulated wall time.
+  [[nodiscard]] double goodput_bps() const {
+    const sim::Duration total = time_in_slots + time_in_gaps;
+    if (total == sim::Duration::zero()) return 0.0;
+    std::int64_t bytes = 0;
+    for (const auto& c : per_class) bytes += c.bytes;
+    return static_cast<double>(bytes) * 8.0 / total.s();
+  }
+};
+
+}  // namespace ccredf::net

@@ -1,0 +1,83 @@
+// Fibre-ribbon link model (paper §2, Fig. 1).
+//
+// Each unidirectional ribbon carries ten fibres: eight data fibres move one
+// byte per clock tick, one fibre carries that clock, and one carries the
+// bit-serial control channel (also clocked by the clock fibre, one control
+// bit per tick).  Hence one "bit time" (clock period) moves one *byte* of
+// data and one *bit* of control -- the 8x asymmetry that lets arbitration
+// for slot N+1 overlap the data of slot N (paper Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::phy {
+
+struct RibbonLinkParams {
+  /// Clock-fibre frequency in Hz; one tick clocks one byte of data and one
+  /// control bit.
+  std::int64_t clock_rate_hz = 400'000'000;
+
+  /// Number of parallel data fibres (the paper fixes eight).
+  int data_fibres = 8;
+
+  /// Propagation constant of light in the fibre, ps per metre
+  /// (~5 ns/m for silica, the paper's P in Eq. 1).
+  std::int64_t propagation_ps_per_m = 5'000;
+
+  /// Delay a control packet experiences passing through each node during
+  /// the collection phase (append latency), in bit times; the paper's
+  /// t_node in Eq. 2.
+  int node_passthrough_bits = 2;
+
+  /// Bits of silence after the distribution packet before the master stops
+  /// the clock, and again before the next master detects the stop
+  /// (paper Fig. 7 shows one bit time for each).
+  int clock_stop_bits = 1;
+
+  void validate() const {
+    CCREDF_EXPECT(clock_rate_hz > 0, "clock rate must be positive");
+    CCREDF_EXPECT(data_fibres > 0, "need at least one data fibre");
+    CCREDF_EXPECT(propagation_ps_per_m > 0,
+                  "propagation constant must be positive");
+    CCREDF_EXPECT(node_passthrough_bits >= 0,
+                  "node passthrough cannot be negative");
+    CCREDF_EXPECT(clock_stop_bits >= 1, "need at least one stop bit");
+  }
+
+  /// Duration of one clock tick.
+  [[nodiscard]] sim::Duration bit_time() const {
+    return sim::Duration::picoseconds(1'000'000'000'000 / clock_rate_hz);
+  }
+
+  /// Time for `bytes` of payload on the byte-parallel data channel.
+  [[nodiscard]] sim::Duration data_time(std::int64_t bytes) const {
+    return bit_time() * bytes;
+  }
+
+  /// Time for `bits` on the bit-serial control channel.
+  [[nodiscard]] sim::Duration control_time(std::int64_t bits) const {
+    return bit_time() * bits;
+  }
+
+  /// Aggregate data bit rate across the ribbon (bits/s).
+  [[nodiscard]] std::int64_t aggregate_data_rate() const {
+    return clock_rate_hz * data_fibres;
+  }
+};
+
+/// Motorola OPTOBUS-class preset: 10-fibre ribbon, 8 data fibres at
+/// 400 Mbit/s each => 3.2 Gbit/s aggregate, matching the "3 Gbits/s
+/// parallel optical links" of the paper's reference [10].
+[[nodiscard]] inline RibbonLinkParams optobus() { return RibbonLinkParams{}; }
+
+/// A slower conservative preset (155 MHz clock) for sensitivity studies.
+[[nodiscard]] inline RibbonLinkParams conservative_ribbon() {
+  RibbonLinkParams p;
+  p.clock_rate_hz = 155'000'000;
+  return p;
+}
+
+}  // namespace ccredf::phy

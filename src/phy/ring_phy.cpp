@@ -1,0 +1,66 @@
+#include "phy/ring_phy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ccredf::phy {
+
+RingPhy::RingPhy(RibbonLinkParams link, NodeId nodes, double link_length_m)
+    : RingPhy(link, std::vector<double>(nodes, link_length_m)) {}
+
+RingPhy::RingPhy(RibbonLinkParams link, std::vector<double> link_lengths_m)
+    : link_(link), lengths_m_(std::move(link_lengths_m)) {
+  validate();
+  delays_.reserve(lengths_m_.size());
+  std::int64_t total_ps = 0;
+  for (const double len : lengths_m_) {
+    const auto ps = static_cast<std::int64_t>(std::llround(
+        len * static_cast<double>(link_.propagation_ps_per_m)));
+    delays_.push_back(sim::Duration::picoseconds(ps));
+    total_ps += ps;
+  }
+  ring_delay_ = sim::Duration::picoseconds(total_ps);
+  mean_length_m_ = std::accumulate(lengths_m_.begin(), lengths_m_.end(), 0.0) /
+                   static_cast<double>(lengths_m_.size());
+}
+
+void RingPhy::validate() const {
+  link_.validate();
+  CCREDF_EXPECT(lengths_m_.size() >= 2, "RingPhy: need at least two nodes");
+  CCREDF_EXPECT(lengths_m_.size() <= kMaxNodes,
+                "RingPhy: too many nodes (kMaxNodes)");
+  CCREDF_EXPECT(
+      std::all_of(lengths_m_.begin(), lengths_m_.end(),
+                  [](double l) { return l > 0.0; }),
+      "RingPhy: link lengths must be positive");
+}
+
+sim::Duration RingPhy::link_delay(LinkId l) const {
+  CCREDF_EXPECT(l < delays_.size(), "RingPhy: link index out of range");
+  return delays_[l];
+}
+
+sim::Duration RingPhy::path_delay(NodeId from, NodeId hops) const {
+  CCREDF_EXPECT(from < nodes(), "RingPhy: node index out of range");
+  CCREDF_EXPECT(hops < nodes(), "RingPhy: path longer than N-1 hops");
+  sim::Duration d = sim::Duration::zero();
+  NodeId l = from;
+  for (NodeId i = 0; i < hops; ++i) {
+    d += delays_[l];
+    l = (l + 1) % nodes();
+  }
+  return d;
+}
+
+sim::Duration RingPhy::max_handover_time() const {
+  // N-1 hops starting anywhere; with unequal links the worst start is the
+  // one whose *excluded* link is shortest.
+  sim::Duration worst = sim::Duration::zero();
+  for (NodeId from = 0; from < nodes(); ++from) {
+    worst = std::max(worst, path_delay(from, nodes() - 1));
+  }
+  return worst;
+}
+
+}  // namespace ccredf::phy

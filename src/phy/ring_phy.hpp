@@ -1,0 +1,65 @@
+// Physical timing of the whole ring: per-link lengths and the propagation
+// quantities entering Eq. 1 (clock hand-over) and Eq. 2 (minimum slot).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "phy/link.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::phy {
+
+class RingPhy {
+ public:
+  /// All links share `link_length_m` (the paper assumes equal lengths).
+  RingPhy(RibbonLinkParams link, NodeId nodes, double link_length_m);
+
+  /// Per-link lengths (metres); size() must equal `nodes`.
+  RingPhy(RibbonLinkParams link, std::vector<double> link_lengths_m);
+
+  [[nodiscard]] NodeId nodes() const {
+    return static_cast<NodeId>(lengths_m_.size());
+  }
+  [[nodiscard]] const RibbonLinkParams& link() const { return link_; }
+
+  /// Propagation delay over link `l` (node l -> node l+1).
+  [[nodiscard]] sim::Duration link_delay(LinkId l) const;
+
+  /// Propagation delay along `hops` consecutive links starting at node
+  /// `from` (downstream direction).
+  [[nodiscard]] sim::Duration path_delay(NodeId from, NodeId hops) const;
+
+  /// Propagation once around the entire ring (t_prop in Eq. 2).
+  [[nodiscard]] sim::Duration ring_delay() const { return ring_delay_; }
+
+  /// Average link length in metres (the L of Eq. 1).
+  [[nodiscard]] double mean_length_m() const { return mean_length_m_; }
+
+  /// Eq. 1: t_handover = P * L * D, with per-link lengths summed exactly.
+  /// `from` is the current master; `hops` in [1, N-1] is the downstream
+  /// distance to the next master.
+  [[nodiscard]] sim::Duration handover_time(NodeId from, NodeId hops) const {
+    return path_delay(from, hops);
+  }
+
+  /// Worst-case hand-over: D = N - 1 from the worst starting node.
+  [[nodiscard]] sim::Duration max_handover_time() const;
+
+  /// Number of downstream hops from `from` to `to` (1..N-1; 0 if equal).
+  [[nodiscard]] NodeId hops_between(NodeId from, NodeId to) const {
+    return (to + nodes() - from) % nodes();
+  }
+
+ private:
+  void validate() const;
+
+  RibbonLinkParams link_;
+  std::vector<double> lengths_m_;
+  std::vector<sim::Duration> delays_;
+  sim::Duration ring_delay_;
+  double mean_length_m_ = 0.0;
+};
+
+}  // namespace ccredf::phy

@@ -1,0 +1,47 @@
+#include "ring/segment.hpp"
+
+#include "common/error.hpp"
+
+namespace ccredf::ring {
+
+LinkSet links_on_path(const RingTopology& topo, NodeId source, NodeId hops) {
+  CCREDF_EXPECT(source < topo.nodes(), "links_on_path: bad source");
+  CCREDF_EXPECT(hops < topo.nodes(), "links_on_path: path too long");
+  LinkSet links;
+  LinkId l = topo.link_from(source);
+  for (NodeId i = 0; i < hops; ++i) {
+    links.insert(l);
+    l = (l + 1) % topo.links();
+  }
+  return links;
+}
+
+Segment Segment::for_transmission(const RingTopology& topo, NodeId source,
+                                  NodeSet dests) {
+  CCREDF_EXPECT(source < topo.nodes(), "Segment: bad source");
+  CCREDF_EXPECT(!dests.empty(), "Segment: empty destination set");
+  CCREDF_EXPECT(!dests.contains(source),
+                "Segment: source cannot be a destination");
+  CCREDF_EXPECT(dests.is_subset_of(topo.all_nodes()),
+                "Segment: destination outside topology");
+
+  Segment seg;
+  seg.source_ = source;
+  seg.dests_ = dests;
+  // Furthest destination = maximal downstream hop distance from the source.
+  NodeId best_hops = 0;
+  NodeId best_node = kInvalidNode;
+  for (const NodeId d : dests) {
+    const NodeId h = topo.hops(source, d);
+    if (h > best_hops) {
+      best_hops = h;
+      best_node = d;
+    }
+  }
+  seg.furthest_ = best_node;
+  seg.hops_ = best_hops;
+  seg.links_ = links_on_path(topo, source, best_hops);
+  return seg;
+}
+
+}  // namespace ccredf::ring

@@ -1,0 +1,59 @@
+// Transmission segments and spatial reuse (paper §2, Fig. 2).
+//
+// A transmission from source s to a destination set D occupies the
+// consecutive links from s through the *furthest* destination (multicast
+// packets are read by every destination they pass).  Two transmissions may
+// share a slot iff their link sets are disjoint and neither crosses the
+// clock-break link -- this is the spatial-reuse ("pipeline ring") property
+// that lets aggregate throughput exceed the single-link rate.
+#pragma once
+
+#include "common/nodeset.hpp"
+#include "common/types.hpp"
+#include "ring/topology.hpp"
+
+namespace ccredf::ring {
+
+/// The downstream path of one transmission.
+class Segment {
+ public:
+  /// Builds the segment for `source` -> `dests` on `topo`.  `dests` must be
+  /// non-empty and must not contain the source (a node cannot send to
+  /// itself over the ring).
+  static Segment for_transmission(const RingTopology& topo, NodeId source,
+                                  NodeSet dests);
+
+  [[nodiscard]] NodeId source() const { return source_; }
+  [[nodiscard]] NodeSet dests() const { return dests_; }
+  /// The destination farthest downstream from the source.
+  [[nodiscard]] NodeId furthest_dest() const { return furthest_; }
+  /// Number of links occupied (1..N-1).
+  [[nodiscard]] NodeId hops() const { return hops_; }
+  /// The occupied links, as the reservation mask of paper Fig. 4.
+  [[nodiscard]] LinkSet links() const { return links_; }
+
+  /// True iff this segment and `other` can share a slot (disjoint links).
+  [[nodiscard]] bool compatible_with(const Segment& other) const {
+    return !links_.intersects(other.links_);
+  }
+
+  /// True iff the segment avoids the clock-break link of `master`.
+  [[nodiscard]] bool feasible_under_master(const RingTopology& topo,
+                                           NodeId master) const {
+    return !links_.contains(topo.break_link(master));
+  }
+
+ private:
+  Segment() = default;
+  NodeId source_ = kInvalidNode;
+  NodeSet dests_;
+  NodeId furthest_ = kInvalidNode;
+  NodeId hops_ = 0;
+  LinkSet links_;
+};
+
+/// Computes the links used from `source` over `hops` downstream links.
+[[nodiscard]] LinkSet links_on_path(const RingTopology& topo, NodeId source,
+                                    NodeId hops);
+
+}  // namespace ccredf::ring

@@ -1,0 +1,60 @@
+// Unidirectional ring topology arithmetic (paper §2, Fig. 1-2).
+//
+// Nodes 0..N-1; link i runs from node i to node (i+1) % N.  During a slot
+// the master node generates the clock, which propagates N-1 hops and dies
+// on the link *into* the master -- the "clock break".  No data can move on
+// that link, so every legal transmission segment must avoid it.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/nodeset.hpp"
+#include "common/types.hpp"
+
+namespace ccredf::ring {
+
+class RingTopology {
+ public:
+  explicit RingTopology(NodeId nodes) : n_(nodes) {
+    CCREDF_EXPECT(nodes >= 2 && nodes <= kMaxNodes,
+                  "RingTopology: node count out of range [2, kMaxNodes]");
+  }
+
+  [[nodiscard]] NodeId nodes() const { return n_; }
+  [[nodiscard]] NodeId links() const { return n_; }
+
+  [[nodiscard]] NodeId downstream(NodeId node, NodeId hops = 1) const {
+    return (node + hops) % n_;
+  }
+  [[nodiscard]] NodeId upstream(NodeId node, NodeId hops = 1) const {
+    return (node + n_ - hops % n_) % n_;
+  }
+
+  /// Downstream hop distance from `from` to `to` (0 if equal, else 1..N-1).
+  [[nodiscard]] NodeId hops(NodeId from, NodeId to) const {
+    return (to + n_ - from) % n_;
+  }
+
+  /// The link leaving node `node`.
+  [[nodiscard]] LinkId link_from(NodeId node) const { return node; }
+
+  /// The link entering node `node`.
+  [[nodiscard]] LinkId link_into(NodeId node) const {
+    return (node + n_ - 1) % n_;
+  }
+
+  /// The clock-break link when `master` clocks the ring: the clock signal
+  /// is generated at the master and propagates N-1 hops, so the link into
+  /// the master carries no clock and no data (paper §2).
+  [[nodiscard]] LinkId break_link(NodeId master) const {
+    return link_into(master);
+  }
+
+  /// All nodes as a destination mask (broadcast excludes the source; the
+  /// caller removes it).
+  [[nodiscard]] NodeSet all_nodes() const { return NodeSet::first_n(n_); }
+
+ private:
+  NodeId n_;
+};
+
+}  // namespace ccredf::ring

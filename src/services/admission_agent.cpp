@@ -1,0 +1,73 @@
+#include "services/admission_agent.hpp"
+
+#include "common/error.hpp"
+
+namespace ccredf::services {
+
+AdmissionAgent::AdmissionAgent(net::Network& net, Params params)
+    : net_(net), params_(params) {
+  CCREDF_EXPECT(params_.admission_node < net.nodes(),
+                "AdmissionAgent: admission node out of range");
+  CCREDF_EXPECT(params_.message_laxity_slots >= 1,
+                "AdmissionAgent: message laxity must be >= 1 slot");
+  CCREDF_EXPECT(params_.activation_margin_slots >= 0,
+                "AdmissionAgent: negative activation margin");
+  net_.add_slot_observer(
+      [this](const net::SlotRecord& rec) { on_slot(rec); });
+}
+
+void AdmissionAgent::decide(PendingRequest req) {
+  // The test runs at the admission node, now.  Accepted connections get
+  // the activation margin so the first release follows the notification.
+  core::ConnectionParams p = req.params;
+  p.offset_slots += params_.activation_margin_slots;
+  const auto result = net_.open_connection(p);
+
+  if (req.requester == params_.admission_node) {
+    ++replied_;
+    if (req.cb) req.cb(result.admitted, result.id);
+    return;
+  }
+  // Reply rides best effort back to the requester (paper §6).
+  const MessageId reply = net_.send_best_effort(
+      params_.admission_node, NodeSet::single(req.requester), 1,
+      net_.timing().slot() * params_.message_laxity_slots);
+  awaiting_reply_.emplace(
+      reply, PendingReply{result.admitted, result.id, std::move(req.cb)});
+}
+
+void AdmissionAgent::request(NodeId requester,
+                             core::ConnectionParams params, Callback cb) {
+  CCREDF_EXPECT(requester < net_.nodes(), "AdmissionAgent: bad requester");
+  ++sent_;
+  PendingRequest req{requester, std::move(params), std::move(cb)};
+  if (requester == params_.admission_node) {
+    decide(std::move(req));  // co-located: no message exchange
+    return;
+  }
+  const MessageId msg = net_.send_best_effort(
+      requester, NodeSet::single(params_.admission_node), 1,
+      net_.timing().slot() * params_.message_laxity_slots);
+  awaiting_arrival_.emplace(msg, std::move(req));
+}
+
+void AdmissionAgent::on_slot(const net::SlotRecord& rec) {
+  for (const core::Delivery& d : rec.deliveries) {
+    if (const auto it = awaiting_arrival_.find(d.id);
+        it != awaiting_arrival_.end()) {
+      PendingRequest req = std::move(it->second);
+      awaiting_arrival_.erase(it);
+      decide(std::move(req));
+      continue;
+    }
+    if (const auto it = awaiting_reply_.find(d.id);
+        it != awaiting_reply_.end()) {
+      PendingReply reply = std::move(it->second);
+      awaiting_reply_.erase(it);
+      ++replied_;
+      if (reply.cb) reply.cb(reply.admitted, reply.id);
+    }
+  }
+}
+
+}  // namespace ccredf::services

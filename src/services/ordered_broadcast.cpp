@@ -1,0 +1,47 @@
+#include "services/ordered_broadcast.hpp"
+
+#include "common/error.hpp"
+
+namespace ccredf::services {
+
+OrderedBroadcast::OrderedBroadcast(net::Network& net)
+    : net_(net), handlers_(net.nodes()) {
+  net_.add_slot_observer(
+      [this](const net::SlotRecord& rec) { on_slot(rec); });
+}
+
+void OrderedBroadcast::set_handler(NodeId node, Handler h) {
+  CCREDF_EXPECT(node < handlers_.size(), "OrderedBroadcast: bad node");
+  handlers_[node] = std::move(h);
+}
+
+MessageId OrderedBroadcast::broadcast(NodeId src, std::int64_t size_slots,
+                                      sim::Duration relative_deadline) {
+  const MessageId id = net_.send(src, net_.broadcast_dests(src),
+                                 core::TrafficClass::kBestEffort,
+                                 size_slots, relative_deadline);
+  mine_.insert(id);
+  return id;
+}
+
+void OrderedBroadcast::on_slot(const net::SlotRecord& rec) {
+  // A broadcast's final slot occupies the whole ring, so at most one of
+  // our broadcasts completes per slot; slot order IS the total order.
+  for (const core::Delivery& d : rec.deliveries) {
+    const auto it = mine_.find(d.id);
+    if (it == mine_.end()) continue;
+    mine_.erase(it);
+    Ordered o;
+    o.sequence = next_sequence_++;
+    o.id = d.id;
+    o.source = d.source;
+    o.delivered = d.completed;
+    for (const NodeId dst : d.dests) {
+      if (handlers_[dst]) handlers_[dst](dst, o);
+    }
+    // The source also learns its own broadcast's position.
+    if (handlers_[d.source]) handlers_[d.source](d.source, o);
+  }
+}
+
+}  // namespace ccredf::services

@@ -1,0 +1,100 @@
+#include "services/reliable.hpp"
+
+#include "common/error.hpp"
+
+namespace ccredf::services {
+
+ReliableChannel::ReliableChannel(net::Network& net, Params params)
+    : net_(net), params_(params), rng_(params.seed) {
+  CCREDF_EXPECT(params_.loss_probability >= 0.0 &&
+                    params_.loss_probability < 1.0,
+                "ReliableChannel: loss probability out of [0,1)");
+  CCREDF_EXPECT(params_.timeout_slots >= 1,
+                "ReliableChannel: timeout must be at least one slot");
+  net_.add_slot_observer(
+      [this](const net::SlotRecord& rec) { on_slot(rec); });
+}
+
+sim::Duration ReliableChannel::timeout() const {
+  return net_.timing().slot_plus_max_gap() * params_.timeout_slots;
+}
+
+MessageId ReliableChannel::send(NodeId src, NodeId dst,
+                                std::int64_t size_slots,
+                                sim::Duration relative_deadline,
+                                CompletionCallback cb) {
+  CCREDF_EXPECT(src != dst, "ReliableChannel: src == dst");
+  Transfer t;
+  t.src = src;
+  t.dst = dst;
+  t.size_slots = size_slots;
+  t.relative_deadline = relative_deadline;
+  t.cb = std::move(cb);
+  ++started_;
+  // The ack timeout starts only when the sender observes its own
+  // transmission complete (it clocked the data out itself), so queueing
+  // delay can never trigger a spurious retransmission.
+  t.current_attempt = net_.send_best_effort(src, NodeSet::single(dst),
+                                            size_slots, relative_deadline);
+  t.transfer_id = t.current_attempt;
+  t.attempts = 1;
+  by_attempt_.emplace(t.current_attempt, t.transfer_id);
+  const MessageId id = t.transfer_id;
+  live_.emplace(id, std::move(t));
+  return id;
+}
+
+void ReliableChannel::attempt(Transfer& t) {
+  t.current_attempt = net_.send_best_effort(
+      t.src, NodeSet::single(t.dst), t.size_slots, t.relative_deadline);
+  ++t.attempts;
+  ++retx_;
+  by_attempt_.emplace(t.current_attempt, t.transfer_id);
+}
+
+void ReliableChannel::on_slot(const net::SlotRecord& rec) {
+  for (const core::Delivery& d : rec.deliveries) {
+    const auto ait = by_attempt_.find(d.id);
+    if (ait == by_attempt_.end()) continue;
+    const MessageId transfer_id = ait->second;
+    by_attempt_.erase(ait);
+    const auto it = live_.find(transfer_id);
+    if (it == live_.end()) continue;
+    Transfer& t = it->second;
+    if (d.id != t.current_attempt) continue;  // stale attempt
+
+    if (!rng_.bernoulli(params_.loss_probability)) {
+      // Ack rides the next distribution packet; the sender knows at the
+      // following slot end, approximately one slot extent after delivery.
+      TransferResult r{t.transfer_id, true, t.attempts,
+                       d.completed + net_.timing().slot_plus_max_gap()};
+      ++delivered_;
+      auto cb = std::move(t.cb);
+      live_.erase(it);
+      if (cb) cb(r);
+      continue;
+    }
+
+    // Corrupted transfer: the destination stays silent.  The sender saw
+    // its transmission complete; with no ack after the timeout it
+    // retransmits (or gives up at the attempt cap).
+    if (params_.max_attempts > 0 && t.attempts >= params_.max_attempts) {
+      TransferResult r{t.transfer_id, false, t.attempts, net_.sim().now()};
+      ++failed_;
+      auto cb = std::move(t.cb);
+      live_.erase(it);
+      if (cb) cb(r);
+      continue;
+    }
+    t.timeout_event = net_.sim().schedule_in(
+        timeout(), [this, transfer_id] { on_timeout(transfer_id); });
+  }
+}
+
+void ReliableChannel::on_timeout(MessageId transfer_id) {
+  const auto it = live_.find(transfer_id);
+  if (it == live_.end()) return;
+  attempt(it->second);
+}
+
+}  // namespace ccredf::services

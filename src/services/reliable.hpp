@@ -1,0 +1,91 @@
+// Reliable transmission service (paper §1: "flow control and packet
+// acknowledgement ... provided as an intrinsic part of the network" [4]).
+//
+// The destination acknowledges a received message in the distribution
+// packet's ack field; the sender retransmits after a timeout when the
+// acknowledgement does not appear (e.g. the transfer was corrupted).
+// Since the simulated medium itself is error-free, the service injects
+// losses with a configurable probability to exercise the recovery path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/nodeset.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::services {
+
+class ReliableChannel {
+ public:
+  struct Params {
+    /// Probability a transfer is corrupted and must be retransmitted.
+    double loss_probability = 0.0;
+    /// Ack timeout (as a multiple of the worst-case slot extent), counted
+    /// from the moment the sender observes its own transmission complete
+    /// -- queueing delay never triggers a spurious retransmission.
+    std::int64_t timeout_slots = 8;
+    /// Give up after this many attempts (0 = never).
+    int max_attempts = 16;
+    std::uint64_t seed = 42;
+  };
+
+  struct TransferResult {
+    MessageId id = 0;
+    bool delivered = false;
+    int attempts = 0;
+    sim::TimePoint completed;
+  };
+  using CompletionCallback = std::function<void(const TransferResult&)>;
+
+  ReliableChannel(net::Network& net, Params params);
+
+  /// Sends `size_slots` of data from `src` to `dst` reliably as
+  /// best-effort traffic; `cb` fires on final success or failure.
+  /// Returns the transfer id (the first attempt's message id).
+  MessageId send(NodeId src, NodeId dst, std::int64_t size_slots,
+                 sim::Duration relative_deadline, CompletionCallback cb);
+
+  [[nodiscard]] std::int64_t transfers_started() const { return started_; }
+  [[nodiscard]] std::int64_t transfers_delivered() const {
+    return delivered_;
+  }
+  [[nodiscard]] std::int64_t transfers_failed() const { return failed_; }
+  [[nodiscard]] std::int64_t retransmissions() const { return retx_; }
+
+ private:
+  struct Transfer {
+    MessageId transfer_id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::int64_t size_slots = 1;
+    sim::Duration relative_deadline = sim::Duration::zero();
+    int attempts = 0;
+    MessageId current_attempt = 0;
+    sim::EventId timeout_event = 0;
+    CompletionCallback cb;
+  };
+
+  void on_slot(const net::SlotRecord& rec);
+  void attempt(Transfer& t);
+  void on_timeout(MessageId transfer_id);
+  [[nodiscard]] sim::Duration timeout() const;
+
+  net::Network& net_;
+  Params params_;
+  sim::Rng rng_;
+  /// Keyed by transfer id; `by_attempt_` maps in-flight message ids back.
+  std::unordered_map<MessageId, Transfer> live_;
+  std::unordered_map<MessageId, MessageId> by_attempt_;
+  std::int64_t started_ = 0;
+  std::int64_t delivered_ = 0;
+  std::int64_t failed_ = 0;
+  std::int64_t retx_ = 0;
+};
+
+}  // namespace ccredf::services

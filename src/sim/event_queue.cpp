@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace ccredf::sim {
+
+EventId EventQueue::schedule(TimePoint at, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  pending_.emplace(id, Pending{std::move(fn), false});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.cancelled) return false;
+  it->second.cancelled = true;
+  --live_;
+  return true;
+}
+
+TimePoint EventQueue::next_time() {
+  while (!heap_.empty()) {
+    auto it = pending_.find(heap_.top().id);
+    if (it != pending_.end() && !it->second.cancelled)
+      return heap_.top().time;
+    if (it != pending_.end()) pending_.erase(it);
+    heap_.pop();
+  }
+  return TimePoint::infinity();
+}
+
+EventQueue::Fired EventQueue::pop() {
+  CCREDF_EXPECT(live_ > 0, "EventQueue::pop on empty queue");
+  for (;;) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = pending_.find(top.id);
+    const bool cancelled = (it == pending_.end()) || it->second.cancelled;
+    Fired fired{top.time, cancelled ? Callback{} : std::move(it->second.fn)};
+    if (it != pending_.end()) pending_.erase(it);
+    if (!cancelled) {
+      --live_;
+      return fired;
+    }
+  }
+}
+
+}  // namespace ccredf::sim

@@ -1,0 +1,69 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// Events at equal timestamps fire in scheduling order (a strictly
+// increasing sequence number breaks ties), which keeps simulations
+// deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ccredf::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`; returns a handle for cancel().
+  EventId schedule(TimePoint at, Callback fn);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled.  Cancellation is lazy (O(1)); the slot is skipped on pop.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending event; infinity when empty.  Non-const
+  /// because it eagerly discards lazily-cancelled heap entries.
+  [[nodiscard]] TimePoint next_time();
+
+  /// Pops and returns the earliest event (time + callback).  Precondition:
+  /// !empty().
+  struct Fired {
+    TimePoint time;
+    Callback fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    EventId id;
+    // Ordered as a max-heap by std::priority_queue, so invert.
+    bool operator<(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  struct Pending {
+    Callback fn;
+    bool cancelled = false;
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<EventId, Pending> pending_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace ccredf::sim

@@ -1,0 +1,97 @@
+#include "sim/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace ccredf::sim {
+
+std::uint64_t Rng::splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed expansion via splitmix64, per the xoshiro authors' recommendation;
+  // guards against the all-zero state.
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  CCREDF_EXPECT(bound > 0, "Rng::uniform_u64: bound must be positive");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CCREDF_EXPECT(lo <= hi, "Rng::uniform_int: empty range");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::exponential(double mean) {
+  CCREDF_EXPECT(mean > 0.0, "Rng::exponential: mean must be positive");
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+Duration Rng::exponential(Duration mean) {
+  const double ps = exponential(static_cast<double>(mean.ps()));
+  return Duration::picoseconds(static_cast<std::int64_t>(ps));
+}
+
+double Rng::normal(double mu, double sigma) {
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mu + sigma * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_u64(i));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace ccredf::sim

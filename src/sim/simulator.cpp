@@ -1,0 +1,28 @@
+#include "sim/simulator.hpp"
+
+namespace ccredf::sim {
+
+std::size_t Simulator::run_until(TimePoint horizon) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++fired;
+  }
+  if (horizon > now_) now_ = horizon;
+  return fired;
+}
+
+std::size_t Simulator::run_all() {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace ccredf::sim

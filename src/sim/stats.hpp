@@ -1,0 +1,98 @@
+// Online statistics used by the experiment harness.
+//
+// OnlineStats: numerically stable running mean/variance/min/max (Welford).
+// Histogram:  fixed-width bins with exact-sample quantile support for
+//             moderate sample counts (keeps raw samples up to a cap, then
+//             falls back to binned quantiles).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::sim {
+
+class OnlineStats {
+ public:
+  void add(double x);
+  void add(Duration d) { add(static_cast<double>(d.ps())); }
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Interprets the accumulated values as picosecond durations.
+  [[nodiscard]] Duration mean_duration() const {
+    return Duration::picoseconds(static_cast<std::int64_t>(mean()));
+  }
+  [[nodiscard]] Duration max_duration() const {
+    return Duration::picoseconds(static_cast<std::int64_t>(max()));
+  }
+  [[nodiscard]] Duration min_duration() const {
+    return Duration::picoseconds(static_cast<std::int64_t>(min()));
+  }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins spanning [lo, hi); out-of-range samples are
+  /// counted in saturating edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add(Duration d) { add(static_cast<double>(d.ps())); }
+
+  [[nodiscard]] std::int64_t count() const { return total_; }
+  [[nodiscard]] std::int64_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// q in [0,1]; exact while <= sample cap, binned (midpoint) afterwards.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Multi-line ASCII rendering for reports.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+  // Raw samples retained for exact quantiles on small runs.
+  static constexpr std::size_t kSampleCap = 1u << 16;
+  mutable std::vector<double> samples_;
+  mutable bool samples_sorted_ = false;
+  bool samples_valid_ = true;
+};
+
+/// Simple named monotonic counter (protocol event counts).
+class Counter {
+ public:
+  void inc(std::int64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace ccredf::sim

@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace ccredf::sim {
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  const std::int64_t ps = d.ps();
+  const std::int64_t a = std::llabs(ps);
+  if (a < 10'000) return os << ps << "ps";
+  if (a < 10'000'000) return os << d.ns() << "ns";
+  if (a < 10'000'000'000) return os << d.us() << "us";
+  if (a < 10'000'000'000'000) return os << d.ms() << "ms";
+  return os << d.s() << "s";
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << "t+" << t.since_origin();
+}
+
+}  // namespace ccredf::sim

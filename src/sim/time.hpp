@@ -1,0 +1,155 @@
+// Simulated-time arithmetic.
+//
+// All protocol timing in the paper reduces to products of propagation
+// constant, fibre length and bit time (Eq. 1-2), so time is represented
+// exactly as a 64-bit count of picoseconds: at 1 ps resolution a signed
+// 64-bit tick counter covers ~106 days of simulated time, far beyond any
+// experiment, with no floating-point drift between equal slots.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace ccredf::sim {
+
+/// A span of simulated time (may be negative in intermediate arithmetic).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration picoseconds(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration nanoseconds(std::int64_t v) {
+    return Duration{v * 1'000};
+  }
+  static constexpr Duration microseconds(std::int64_t v) {
+    return Duration{v * 1'000'000};
+  }
+  static constexpr Duration milliseconds(std::int64_t v) {
+    return Duration{v * 1'000'000'000};
+  }
+  static constexpr Duration seconds(std::int64_t v) {
+    return Duration{v * 1'000'000'000'000};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  /// Larger than any duration arising in practice; used as "never".
+  static constexpr Duration infinity() {
+    return Duration{std::int64_t{1} << 62};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr double ns() const {
+    return static_cast<double>(ps_) / 1e3;
+  }
+  [[nodiscard]] constexpr double us() const {
+    return static_cast<double>(ps_) / 1e6;
+  }
+  [[nodiscard]] constexpr double ms() const {
+    return static_cast<double>(ps_) / 1e9;
+  }
+  [[nodiscard]] constexpr double s() const {
+    return static_cast<double>(ps_) / 1e12;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration{ps_ + o.ps_};
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration{ps_ - o.ps_};
+  }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration{ps_ * k};
+  }
+  constexpr Duration operator/(std::int64_t k) const {
+    return Duration{ps_ / k};
+  }
+  /// Integer ratio of two durations, rounding down.
+  constexpr std::int64_t operator/(Duration o) const { return ps_ / o.ps_; }
+  /// Remainder of integer division.
+  constexpr Duration operator%(Duration o) const {
+    return Duration{ps_ % o.ps_};
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  constexpr Duration operator-() const { return Duration{-ps_}; }
+
+  /// Ratio as a real number (for utilisation computations, Eq. 5-6).
+  [[nodiscard]] constexpr double ratio(Duration denom) const {
+    return static_cast<double>(ps_) / static_cast<double>(denom.ps_);
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t ps) : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+/// An absolute instant on the simulated clock (ps since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint origin() { return TimePoint{}; }
+  static constexpr TimePoint at(Duration since_origin) {
+    return TimePoint{since_origin.ps()};
+  }
+  /// Later than every reachable instant; used as "never".
+  static constexpr TimePoint infinity() {
+    return TimePoint{std::int64_t{1} << 62};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr Duration since_origin() const {
+    return Duration::picoseconds(ps_);
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{ps_ + d.ps()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{ps_ - d.ps()};
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::picoseconds(ps_ - o.ps_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    ps_ += d.ps();
+    return *this;
+  }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ps) : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+namespace literals {
+constexpr Duration operator""_ps(unsigned long long v) {
+  return Duration::picoseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace ccredf::sim

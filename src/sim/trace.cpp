@@ -1,0 +1,39 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace ccredf::sim {
+
+namespace {
+const char* category_name(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kSlot:
+      return "slot";
+    case TraceCategory::kArbitration:
+      return "arb";
+    case TraceCategory::kData:
+      return "data";
+    case TraceCategory::kService:
+      return "svc";
+    case TraceCategory::kFault:
+      return "fault";
+    case TraceCategory::kAdmission:
+      return "adm";
+  }
+  return "?";
+}
+}  // namespace
+
+void Trace::emit(TimePoint t, TraceCategory c,
+                 const std::function<std::string()>& make_text) {
+  if (!enabled(c)) return;
+  std::string text = make_text();
+  if (stream_ != nullptr) {
+    *stream_ << t << " [" << category_name(c) << "] " << text << "\n";
+  }
+  if (capture_) {
+    records_.push_back(TraceRecord{t, c, std::move(text)});
+  }
+}
+
+}  // namespace ccredf::sim

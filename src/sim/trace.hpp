@@ -1,0 +1,66 @@
+// Structured trace log for protocol debugging and the experiment harness.
+//
+// Tracing is category-filtered and zero-cost when a category is disabled
+// (the message lambda is never evaluated).  Records can be kept in memory
+// (tests assert on them) and/or streamed to an ostream.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ccredf::sim {
+
+enum class TraceCategory : unsigned {
+  kSlot = 1u << 0,       // slot boundaries, master identity, gaps
+  kArbitration = 1u << 1,  // requests, sort results, grants
+  kData = 1u << 2,       // data-packet movement
+  kService = 1u << 3,    // barrier / reduction / reliable-transfer events
+  kFault = 1u << 4,      // injected faults and recovery actions
+  kAdmission = 1u << 5,  // connection admission decisions
+};
+
+struct TraceRecord {
+  TimePoint time;
+  TraceCategory category;
+  std::string text;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  void enable(TraceCategory c) { mask_ |= static_cast<unsigned>(c); }
+  void disable(TraceCategory c) { mask_ &= ~static_cast<unsigned>(c); }
+  void enable_all() { mask_ = ~0u; }
+  void disable_all() { mask_ = 0; }
+  [[nodiscard]] bool enabled(TraceCategory c) const {
+    return (mask_ & static_cast<unsigned>(c)) != 0;
+  }
+
+  /// Keep records in memory (default off).
+  void set_capture(bool on) { capture_ = on; }
+  /// Also stream formatted records to `os` (nullptr to disable).
+  void set_stream(std::ostream* os) { stream_ = os; }
+
+  /// Emits a record if the category is enabled; `make_text` is only
+  /// invoked when needed.
+  void emit(TimePoint t, TraceCategory c,
+            const std::function<std::string()>& make_text);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+ private:
+  unsigned mask_ = 0;
+  bool capture_ = false;
+  std::ostream* stream_ = nullptr;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace ccredf::sim

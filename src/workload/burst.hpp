@@ -1,0 +1,61 @@
+// Bursty on/off traffic (two-state Markov-modulated Poisson process).
+//
+// Each node alternates between an idle phase and a burst phase with
+// exponentially distributed dwell times; during a burst it emits
+// best-effort messages at a high rate towards a single "burst peer".
+// This is the classic model of file transfers / swapped video scenes and
+// stresses the priority machinery far harder than plain Poisson traffic:
+// bursts pile deep queues behind one head-of-line request per node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/priority.hpp"
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::workload {
+
+struct BurstParams {
+  /// Mean idle-phase length in slot extents.
+  double mean_idle_slots = 200.0;
+  /// Mean burst-phase length in slot extents.
+  double mean_burst_slots = 40.0;
+  /// Messages per slot extent while bursting.
+  double burst_rate = 1.0;
+  std::int64_t min_size_slots = 1;
+  std::int64_t max_size_slots = 6;
+  std::int64_t min_laxity_slots = 50;
+  std::int64_t max_laxity_slots = 1000;
+  core::TrafficClass traffic_class = core::TrafficClass::kBestEffort;
+  std::uint64_t seed = 3;
+
+  void validate() const;
+};
+
+class BurstGenerator {
+ public:
+  BurstGenerator(net::Network& net, BurstParams params,
+                 sim::TimePoint until);
+
+  [[nodiscard]] std::int64_t generated() const { return generated_; }
+  [[nodiscard]] std::int64_t bursts_started() const { return bursts_; }
+
+ private:
+  void enter_idle(NodeId node);
+  void enter_burst(NodeId node);
+  void emit(NodeId node);
+
+  net::Network& net_;
+  BurstParams params_;
+  sim::TimePoint until_;
+  sim::Rng rng_;
+  std::vector<NodeId> peer_;  // current burst destination per node
+  std::int64_t generated_ = 0;
+  std::int64_t bursts_ = 0;
+};
+
+}  // namespace ccredf::workload

@@ -1,0 +1,70 @@
+#include "workload/multimedia.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/nodeset.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::workload {
+
+MultimediaScenario make_multimedia_scenario(const MultimediaParams& p) {
+  CCREDF_EXPECT(p.nodes >= 3, "multimedia: need at least three nodes");
+  sim::Rng rng(p.seed);
+  MultimediaScenario s;
+
+  auto pick_pair = [&rng, &p](NodeId& src, NodeId& dst) {
+    src = static_cast<NodeId>(rng.uniform_u64(p.nodes));
+    do {
+      dst = static_cast<NodeId>(rng.uniform_u64(p.nodes));
+    } while (dst == src);
+  };
+
+  auto add = [&s](core::ConnectionParams c, std::string label) {
+    c.validate();
+    s.total_utilisation += c.utilisation();
+    s.connections.push_back(c);
+    s.labels.push_back(std::move(label));
+  };
+
+  for (int v = 0; v < p.video_streams; ++v) {
+    core::ConnectionParams c;
+    NodeId src, dst;
+    pick_pair(src, dst);
+    c.source = src;
+    c.dests = NodeSet::single(dst);
+    c.size_slots = p.video_frame_slots;
+    c.period_slots = p.video_period_slots;
+    c.offset_slots = static_cast<std::int64_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(p.video_period_slots)));
+    std::ostringstream label;
+    label << "video" << v << " " << src << "->" << dst;
+    add(c, label.str());
+  }
+
+  for (int a = 0; a < p.audio_streams; ++a) {
+    core::ConnectionParams c;
+    NodeId src, dst;
+    pick_pair(src, dst);
+    c.source = src;
+    c.dests = NodeSet::single(dst);
+    c.size_slots = p.audio_packet_slots;
+    c.period_slots = p.audio_period_slots;
+    c.offset_slots = static_cast<std::int64_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(p.audio_period_slots)));
+    std::ostringstream label;
+    label << "audio" << a << " " << src << "->" << dst;
+    add(c, label.str());
+  }
+
+  s.background.rate_per_node = 0.02;
+  s.background.traffic_class = core::TrafficClass::kBestEffort;
+  s.background.min_size_slots = 1;
+  s.background.max_size_slots = 8;
+  s.background.min_laxity_slots = 50;
+  s.background.max_laxity_slots = 500;
+  s.background.seed = p.seed + 1;
+  return s;
+}
+
+}  // namespace ccredf::workload

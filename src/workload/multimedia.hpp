@@ -1,0 +1,44 @@
+// Distributed-multimedia LAN scenario (paper §1 names "distributed
+// multimedia systems" as a target application).
+//
+// A set of video streams (large periodic messages, deadline = frame
+// period), audio streams (small periodic messages, tight deadlines) and
+// background file transfer (best-effort) between workstation nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/connection.hpp"
+#include "workload/poisson.hpp"
+
+namespace ccredf::workload {
+
+struct MultimediaParams {
+  NodeId nodes = 8;
+  int video_streams = 3;
+  int audio_streams = 4;
+  /// Frame period of video streams, in slots.
+  std::int64_t video_period_slots = 400;
+  /// Slots per video frame.
+  std::int64_t video_frame_slots = 24;
+  /// Period of audio packets, in slots.
+  std::int64_t audio_period_slots = 80;
+  std::int64_t audio_packet_slots = 1;
+  std::uint64_t seed = 11;
+};
+
+struct MultimediaScenario {
+  std::vector<core::ConnectionParams> connections;
+  std::vector<std::string> labels;
+  double total_utilisation = 0.0;
+  /// Suggested background best-effort load for the same network.
+  PoissonParams background;
+};
+
+[[nodiscard]] MultimediaScenario make_multimedia_scenario(
+    const MultimediaParams& params);
+
+}  // namespace ccredf::workload

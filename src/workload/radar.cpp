@@ -1,0 +1,82 @@
+#include "workload/radar.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/nodeset.hpp"
+
+namespace ccredf::workload {
+
+RadarScenario make_radar_scenario(const RadarParams& p) {
+  CCREDF_EXPECT(p.beamformers >= 1 && p.doppler_banks >= 1,
+                "radar: need at least one beamformer and one Doppler bank");
+  CCREDF_EXPECT(p.cpi_slots >= 4, "radar: CPI too short");
+
+  RadarScenario s;
+  const NodeId frontend = 0;
+  const NodeId beam0 = 1;
+  const NodeId doppler0 = static_cast<NodeId>(1 + p.beamformers);
+  const NodeId detector =
+      static_cast<NodeId>(1 + p.beamformers + p.doppler_banks);
+  const NodeId tracker = detector + 1;
+  s.nodes_required = tracker + 1;
+
+  auto add = [&s](core::ConnectionParams c, std::string label) {
+    c.validate();
+    s.total_utilisation += c.utilisation();
+    s.connections.push_back(c);
+    s.labels.push_back(std::move(label));
+  };
+
+  // Front end multicasts raw samples to every beamformer.
+  {
+    core::ConnectionParams c;
+    c.source = frontend;
+    for (int b = 0; b < p.beamformers; ++b) {
+      c.dests.insert(beam0 + static_cast<NodeId>(b));
+    }
+    c.size_slots = p.frontend_slots;
+    c.period_slots = p.cpi_slots;
+    add(c, "frontend->beamformers (raw samples)");
+  }
+
+  // Corner turn: each beamformer to each Doppler bank.
+  for (int b = 0; b < p.beamformers; ++b) {
+    for (int d = 0; d < p.doppler_banks; ++d) {
+      core::ConnectionParams c;
+      c.source = beam0 + static_cast<NodeId>(b);
+      c.dests = NodeSet::single(doppler0 + static_cast<NodeId>(d));
+      c.size_slots = p.corner_turn_slots;
+      c.period_slots = p.cpi_slots;
+      std::ostringstream label;
+      label << "corner-turn beam" << b << "->doppler" << d;
+      add(c, label.str());
+    }
+  }
+
+  // Doppler banks to the CFAR detector.
+  for (int d = 0; d < p.doppler_banks; ++d) {
+    core::ConnectionParams c;
+    c.source = doppler0 + static_cast<NodeId>(d);
+    c.dests = NodeSet::single(detector);
+    c.size_slots = p.detection_slots;
+    c.period_slots = p.cpi_slots;
+    std::ostringstream label;
+    label << "doppler" << d << "->detector";
+    add(c, label.str());
+  }
+
+  // Detector to tracker/display.
+  {
+    core::ConnectionParams c;
+    c.source = detector;
+    c.dests = NodeSet::single(tracker);
+    c.size_slots = p.track_slots;
+    c.period_slots = p.cpi_slots;
+    add(c, "detector->tracker (plots)");
+  }
+
+  return s;
+}
+
+}  // namespace ccredf::workload

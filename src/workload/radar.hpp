@@ -1,0 +1,53 @@
+// Radar signal-processing pipeline scenario (the paper's motivating
+// application, §1 and references [1], [2]).
+//
+// The processing chain of a pulsed-Doppler radar mapped onto the ring:
+//
+//   node 0            receiver / ADC front end
+//   nodes 1..B        beamformers (front end multicasts samples to all)
+//   nodes B+1..B+D    Doppler filter banks; the beam->Doppler "corner
+//                     turn" is all-to-all between the two groups
+//   node B+D+1        CFAR detector (fan-in from every Doppler node)
+//   node B+D+2        tracker / display
+//
+// Every stage is a periodic logical real-time connection with period
+// equal to the coherent processing interval (CPI) and deadline = period.
+// Data volumes shrink down the chain, as in the referenced systems.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/connection.hpp"
+
+namespace ccredf::workload {
+
+struct RadarParams {
+  int beamformers = 3;   // B
+  int doppler_banks = 2;  // D
+  /// CPI expressed in slots.
+  std::int64_t cpi_slots = 600;
+  /// Slots of raw sample data the front end multicasts per CPI.
+  std::int64_t frontend_slots = 60;
+  /// Slots each beamformer sends to EACH Doppler bank per CPI.
+  std::int64_t corner_turn_slots = 12;
+  /// Slots each Doppler bank sends to the CFAR detector per CPI.
+  std::int64_t detection_slots = 6;
+  /// Slots the detector sends to the tracker per CPI.
+  std::int64_t track_slots = 2;
+};
+
+struct RadarScenario {
+  std::vector<core::ConnectionParams> connections;
+  std::vector<std::string> labels;  // parallel to connections
+  NodeId nodes_required = 0;
+  double total_utilisation = 0.0;
+};
+
+/// Builds the connection set; callers open each connection on a network
+/// with at least `nodes_required` nodes.
+[[nodiscard]] RadarScenario make_radar_scenario(const RadarParams& params);
+
+}  // namespace ccredf::workload

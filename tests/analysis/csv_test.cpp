@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/report.hpp"
+
+namespace ccredf::analysis {
+namespace {
+
+Table sample() {
+  Table t("CSV Sample");
+  t.columns({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{1});
+  t.row().cell("beta,gamma").cell(2.5, 1);
+  t.row().cell("say \"hi\"").cell(std::int64_t{3});
+  return t;
+}
+
+TEST(Csv, HeaderAndRows) {
+  const std::string csv = sample().csv();
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,1");
+}
+
+TEST(Csv, QuotesCommasAndQuotes) {
+  const std::string csv = sample().csv();
+  EXPECT_NE(csv.find("\"beta,gamma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, ExportWritesFile) {
+  const std::string path = ::testing::TempDir() + "/ccredf_csv_test.csv";
+  ASSERT_TRUE(sample().export_csv(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "name,value");
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ExportToBadPathFails) {
+  EXPECT_FALSE(sample().export_csv("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(Csv, PrintHonoursResultsDirEnv) {
+  const std::string dir = ::testing::TempDir();
+  setenv("CCREDF_RESULTS_DIR", dir.c_str(), 1);
+  std::ostringstream os;
+  sample().print(os);
+  unsetenv("CCREDF_RESULTS_DIR");
+  const std::string path = dir + "/csv-sample.csv";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(Csv, NotesExcludedFromCsv) {
+  Table t("N");
+  t.columns({"v"});
+  t.row().cell("x");
+  t.note("a note");
+  EXPECT_EQ(t.csv().find("a note"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccredf::analysis

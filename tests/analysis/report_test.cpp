@@ -1,0 +1,90 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ccredf::analysis {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t("Demo");
+  t.columns({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{42});
+  t.row().cell("beta").cell(2.5, 1);
+  const std::string out = t.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t("Align");
+  t.columns({"a", "b"});
+  t.row().cell("longvalue").cell("x");
+  t.row().cell("s").cell("y");
+  std::istringstream in(t.str());
+  std::string line;
+  std::getline(in, line);  // title
+  std::getline(in, line);  // header
+  std::string sep;
+  std::getline(in, sep);  // separator
+  std::string r1, r2;
+  std::getline(in, r1);
+  std::getline(in, r2);
+  EXPECT_EQ(r1.size(), r2.size());  // fixed-width columns
+}
+
+TEST(Table, PercentFormatting) {
+  Table t("P");
+  t.columns({"v"});
+  t.row().pct(0.12345, 2);
+  EXPECT_NE(t.str().find("12.35%"), std::string::npos);
+}
+
+TEST(Table, NotesInterleaved) {
+  Table t("N");
+  t.columns({"v"});
+  t.row().cell("first");
+  t.note("after first");
+  t.row().cell("second");
+  const std::string out = t.str();
+  const auto first = out.find("first");
+  const auto note = out.find("# after first");
+  const auto second = out.find("second");
+  EXPECT_LT(first, note);
+  EXPECT_LT(note, second);
+}
+
+TEST(Table, RowBeforeColumnsThrows) {
+  Table t("X");
+  EXPECT_THROW((void)t.row(), ConfigError);
+}
+
+TEST(Table, DoubleColumnsThrows) {
+  Table t("X");
+  t.columns({"a"});
+  EXPECT_THROW(t.columns({"b"}), ConfigError);
+}
+
+TEST(Table, RowCount) {
+  Table t("C");
+  t.columns({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(FormatSi, ScalesUnits) {
+  EXPECT_NE(format_si(3.2e9, "bit/s").find("G"), std::string::npos);
+  EXPECT_NE(format_si(5.0e6, "bit/s").find("M"), std::string::npos);
+  EXPECT_NE(format_si(7.0e3, "B").find("k"), std::string::npos);
+  EXPECT_EQ(format_si(42.0, "B").find("k"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccredf::analysis

@@ -1,0 +1,121 @@
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::core {
+namespace {
+
+using sim::TimePoint;
+
+ConnectionParams conn(std::int64_t e, std::int64_t p) {
+  ConnectionParams c;
+  c.source = 0;
+  c.dests = NodeSet::single(1);
+  c.size_slots = e;
+  c.period_slots = p;
+  return c;
+}
+
+TEST(Admission, AcceptsWithinBound) {
+  AdmissionController a(0.8);
+  const auto d = a.request(conn(1, 4), TimePoint::origin());
+  EXPECT_TRUE(d.admitted);
+  EXPECT_NE(d.id, kNoConnection);
+  EXPECT_DOUBLE_EQ(d.utilisation_after, 0.25);
+  EXPECT_EQ(a.active_connections(), 1u);
+}
+
+TEST(Admission, RejectsBeyondBound) {
+  AdmissionController a(0.5);
+  EXPECT_TRUE(a.request(conn(1, 4), TimePoint::origin()).admitted);  // 0.25
+  EXPECT_TRUE(a.request(conn(1, 4), TimePoint::origin()).admitted);  // 0.50
+  const auto d = a.request(conn(1, 100), TimePoint::origin());
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.id, kNoConnection);
+  EXPECT_EQ(a.rejections(), 1);
+  EXPECT_EQ(a.active_connections(), 2u);
+}
+
+TEST(Admission, ExactBoundaryIsAdmitted) {
+  // Eq. 5 is a <= test.
+  AdmissionController a(0.5);
+  EXPECT_TRUE(a.request(conn(1, 2), TimePoint::origin()).admitted);
+  EXPECT_FALSE(a.request(conn(1, 1000), TimePoint::origin()).admitted);
+}
+
+TEST(Admission, ManySmallConnectionsSumToExactlyBound) {
+  // Floating-point sum of ten 0.05 shares against a 0.5 bound -- the
+  // epsilon in the controller must forgive accumulated rounding.
+  AdmissionController a(0.5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(a.request(conn(1, 20), TimePoint::origin()).admitted) << i;
+  }
+  EXPECT_FALSE(a.request(conn(1, 20), TimePoint::origin()).admitted);
+}
+
+TEST(Admission, ReleaseFreesUtilisation) {
+  AdmissionController a(0.5);
+  const auto d1 = a.request(conn(1, 2), TimePoint::origin());
+  ASSERT_TRUE(d1.admitted);
+  EXPECT_FALSE(a.request(conn(1, 2), TimePoint::origin()).admitted);
+  EXPECT_TRUE(a.release(d1.id));
+  EXPECT_TRUE(a.request(conn(1, 2), TimePoint::origin()).admitted);
+}
+
+TEST(Admission, ReleaseUnknownFails) {
+  AdmissionController a(0.5);
+  EXPECT_FALSE(a.release(42));
+}
+
+TEST(Admission, IdsAreUnique) {
+  AdmissionController a(10.0);
+  const auto d1 = a.request(conn(1, 10), TimePoint::origin());
+  const auto d2 = a.request(conn(1, 10), TimePoint::origin());
+  EXPECT_NE(d1.id, d2.id);
+}
+
+TEST(Admission, FindReturnsStoredConnection) {
+  AdmissionController a(1.0);
+  const auto d = a.request(conn(2, 8),
+                           TimePoint::origin() + sim::Duration::seconds(1));
+  const Connection* c = a.find(d.id);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->params.size_slots, 2);
+  EXPECT_EQ(c->admitted,
+            TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_EQ(a.find(d.id + 100), nullptr);
+}
+
+TEST(Admission, SnapshotListsAll) {
+  AdmissionController a(1.0);
+  (void)a.request(conn(1, 10), TimePoint::origin());
+  (void)a.request(conn(1, 5), TimePoint::origin());
+  EXPECT_EQ(a.snapshot().size(), 2u);
+}
+
+TEST(Admission, CountsRequests) {
+  AdmissionController a(0.3);
+  (void)a.request(conn(1, 4), TimePoint::origin());
+  (void)a.request(conn(1, 2), TimePoint::origin());  // rejected
+  EXPECT_EQ(a.requests_seen(), 2);
+  EXPECT_EQ(a.rejections(), 1);
+}
+
+TEST(Admission, InvalidParamsThrow) {
+  AdmissionController a(1.0);
+  auto bad = conn(0, 4);
+  EXPECT_THROW((void)a.request(bad, TimePoint::origin()), ConfigError);
+}
+
+TEST(Admission, UtilisationNeverNegativeAfterReleases) {
+  AdmissionController a(1.0);
+  const auto d = a.request(conn(1, 3), TimePoint::origin());
+  EXPECT_TRUE(a.release(d.id));
+  EXPECT_GE(a.utilisation(), 0.0);
+  EXPECT_NEAR(a.utilisation(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ccredf::core

@@ -1,0 +1,196 @@
+#include "core/arbitration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ring/segment.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::core {
+namespace {
+
+Request req(Priority prio, const ring::RingTopology& topo, NodeId src,
+            NodeId dst) {
+  Request r;
+  r.priority = prio;
+  const auto seg = ring::Segment::for_transmission(topo, src,
+                                                   NodeSet::single(dst));
+  r.links = seg.links();
+  r.dests = NodeSet::single(dst);
+  return r;
+}
+
+TEST(Arbiter, NoRequestsKeepsMaster) {
+  const ring::RingTopology topo(4);
+  const Arbiter arb(topo, true);
+  const std::vector<Request> reqs(4);
+  const auto r = arb.arbitrate(reqs, 2);
+  EXPECT_EQ(r.next_master, 2u);
+  EXPECT_EQ(r.granted_count, 0);
+  EXPECT_TRUE(r.packet.granted.empty());
+}
+
+TEST(Arbiter, SingleRequestWinsAndBecomesMaster) {
+  const ring::RingTopology topo(4);
+  const Arbiter arb(topo, true);
+  std::vector<Request> reqs(4);
+  reqs[2] = req(20, topo, 2, 3);
+  const auto r = arb.arbitrate(reqs, 0);
+  EXPECT_EQ(r.next_master, 2u);
+  EXPECT_TRUE(r.packet.granted.contains(2));
+  EXPECT_EQ(r.granted_count, 1);
+}
+
+TEST(Arbiter, HighestPriorityAlwaysBecomesMasterAndIsGranted) {
+  const ring::RingTopology topo(6);
+  const Arbiter arb(topo, true);
+  std::vector<Request> reqs(6);
+  reqs[1] = req(18, topo, 1, 4);
+  reqs[3] = req(30, topo, 3, 0);
+  reqs[5] = req(25, topo, 5, 2);
+  const auto r = arb.arbitrate(reqs, 0);
+  EXPECT_EQ(r.next_master, 3u);
+  EXPECT_TRUE(r.packet.granted.contains(3));
+  EXPECT_EQ(r.packet.hp_node, 3u);
+}
+
+TEST(Arbiter, TieBrokenByLowerIndex) {
+  // Paper §3: "In the event priority ties the index ... resolves the tie."
+  const ring::RingTopology topo(6);
+  const Arbiter arb(topo, true);
+  std::vector<Request> reqs(6);
+  reqs[4] = req(20, topo, 4, 5);
+  reqs[2] = req(20, topo, 2, 3);
+  const auto r = arb.arbitrate(reqs, 0);
+  EXPECT_EQ(r.next_master, 2u);
+}
+
+TEST(Arbiter, SpatialReuseGrantsDisjointSegments) {
+  const ring::RingTopology topo(6);
+  const Arbiter arb(topo, true);
+  std::vector<Request> reqs(6);
+  reqs[0] = req(30, topo, 0, 2);  // links 0,1
+  reqs[2] = req(20, topo, 2, 4);  // links 2,3
+  const auto r = arb.arbitrate(reqs, 1);
+  EXPECT_EQ(r.granted_count, 2);
+  EXPECT_TRUE(r.packet.granted.contains(0));
+  EXPECT_TRUE(r.packet.granted.contains(2));
+}
+
+TEST(Arbiter, OverlappingLowerPriorityDenied) {
+  const ring::RingTopology topo(6);
+  const Arbiter arb(topo, true);
+  std::vector<Request> reqs(6);
+  reqs[0] = req(30, topo, 0, 3);  // links 0,1,2
+  reqs[2] = req(20, topo, 2, 4);  // links 2,3 -- clashes on link 2
+  const auto r = arb.arbitrate(reqs, 1);
+  EXPECT_EQ(r.granted_count, 1);
+  EXPECT_TRUE(r.packet.granted.contains(0));
+  EXPECT_FALSE(r.packet.granted.contains(2));
+}
+
+TEST(Arbiter, SecondaryGrantMustAvoidNewMastersBreakLink) {
+  const ring::RingTopology topo(6);
+  const Arbiter arb(topo, true);
+  std::vector<Request> reqs(6);
+  // Winner: node 3 (master next slot); its break link is link 2 (into 3).
+  reqs[3] = req(30, topo, 3, 5);  // links 3,4
+  // Node 1 -> 3 needs links 1,2; link 2 is the break link -> denied even
+  // though it does not overlap the winner's links.
+  reqs[1] = req(25, topo, 1, 3);
+  // Node 0 -> 1 needs link 0 only -> granted.
+  reqs[0] = req(20, topo, 0, 1);
+  const auto r = arb.arbitrate(reqs, 2);
+  EXPECT_EQ(r.next_master, 3u);
+  EXPECT_TRUE(r.packet.granted.contains(3));
+  EXPECT_FALSE(r.packet.granted.contains(1));
+  EXPECT_TRUE(r.packet.granted.contains(0));
+}
+
+TEST(Arbiter, WithoutSpatialReuseOnlyWinnerGranted) {
+  // Analysis mode (paper §5): one message per slot.
+  const ring::RingTopology topo(6);
+  const Arbiter arb(topo, false);
+  std::vector<Request> reqs(6);
+  reqs[0] = req(30, topo, 0, 2);
+  reqs[3] = req(20, topo, 3, 5);  // disjoint, would be granted with reuse
+  const auto r = arb.arbitrate(reqs, 1);
+  EXPECT_EQ(r.granted_count, 1);
+  EXPECT_TRUE(r.packet.granted.contains(0));
+  EXPECT_FALSE(r.packet.granted.contains(3));
+}
+
+TEST(Arbiter, FullRingBroadcastByWinnerBlocksEveryoneElse) {
+  const ring::RingTopology topo(5);
+  const Arbiter arb(topo, true);
+  std::vector<Request> reqs(5);
+  NodeSet all = topo.all_nodes();
+  all.erase(2);
+  Request b;
+  b.priority = 31;
+  const auto seg = ring::Segment::for_transmission(topo, 2, all);
+  b.links = seg.links();
+  b.dests = all;
+  reqs[2] = b;
+  reqs[0] = req(30, topo, 0, 1);
+  const auto r = arb.arbitrate(reqs, 0);
+  EXPECT_EQ(r.next_master, 2u);
+  EXPECT_EQ(r.granted_count, 1);
+  EXPECT_TRUE(r.packet.granted.contains(2));
+}
+
+TEST(Arbiter, GrantedLinksNeverOverlap_PropertySweep) {
+  // Core safety invariant under random request soups.
+  sim::Rng rng(4242);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto n = static_cast<NodeId>(3 + rng.uniform_u64(12));
+    const ring::RingTopology topo(n);
+    const Arbiter arb(topo, true);
+    std::vector<Request> reqs(n);
+    for (NodeId i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.3)) continue;
+      NodeId dst;
+      do {
+        dst = static_cast<NodeId>(rng.uniform_u64(n));
+      } while (dst == i);
+      reqs[i] = req(static_cast<Priority>(1 + rng.uniform_u64(31)), topo, i,
+                    dst);
+    }
+    const auto master = static_cast<NodeId>(rng.uniform_u64(n));
+    const auto r = arb.arbitrate(reqs, master);
+
+    LinkSet seen;
+    for (const NodeId g : r.packet.granted) {
+      EXPECT_FALSE(reqs[g].links.intersects(seen));
+      seen |= reqs[g].links;
+      // No granted segment may use the next master's break link.
+      EXPECT_FALSE(
+          reqs[g].links.contains(topo.break_link(r.next_master)));
+    }
+    // The highest-priority requester (if any) is always granted.
+    NodeId hp = kInvalidNode;
+    Priority best = 0;
+    for (NodeId i = 0; i < n; ++i) {
+      if (reqs[i].priority > best) {
+        best = reqs[i].priority;
+        hp = i;
+      }
+    }
+    if (hp != kInvalidNode) {
+      EXPECT_EQ(r.next_master, hp);
+      EXPECT_TRUE(r.packet.granted.contains(hp));
+    } else {
+      EXPECT_EQ(r.next_master, master);
+    }
+  }
+}
+
+TEST(Arbiter, RejectsWrongRequestCount) {
+  const ring::RingTopology topo(4);
+  const Arbiter arb(topo, true);
+  EXPECT_THROW((void)arb.arbitrate(std::vector<Request>(3), 0), ConfigError);
+  EXPECT_THROW((void)arb.arbitrate(std::vector<Request>(4), 4), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::core

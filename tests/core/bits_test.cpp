@@ -1,0 +1,85 @@
+#include "core/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::core {
+namespace {
+
+TEST(BitWriter, MsbFirstPacking) {
+  BitWriter w;
+  w.write(0b101, 3);
+  EXPECT_EQ(w.bit_count(), 3u);
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b1010'0000);
+}
+
+TEST(BitWriter, SpansByteBoundaries) {
+  BitWriter w;
+  w.write(0xABCD, 16);
+  ASSERT_EQ(w.bytes().size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0xAB);
+  EXPECT_EQ(w.bytes()[1], 0xCD);
+}
+
+TEST(BitWriter, UnalignedFields) {
+  BitWriter w;
+  w.write(0b1, 1);
+  w.write(0b0110, 4);
+  w.write(0b101, 3);
+  EXPECT_EQ(w.bit_count(), 8u);
+  EXPECT_EQ(w.bytes()[0], 0b1011'0101);
+}
+
+TEST(BitRoundTrip, ArbitraryFieldSequence) {
+  BitWriter w;
+  w.write(0x3, 2);
+  w.write(0x1F, 5);
+  w.write(0x0, 3);
+  w.write(0xDEADBEEF, 32);
+  w.write(0x1, 1);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(r.read(2), 0x3u);
+  EXPECT_EQ(r.read(5), 0x1Fu);
+  EXPECT_EQ(r.read(3), 0x0u);
+  EXPECT_EQ(r.read(32), 0xDEADBEEFu);
+  EXPECT_EQ(r.read(1), 0x1u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitRoundTrip, SixtyFourBitValue) {
+  BitWriter w;
+  const std::uint64_t v = 0x0123456789ABCDEFull;
+  w.write(v, 64);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(r.read(64), v);
+}
+
+TEST(BitReader, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(0xFF, 8);
+  BitReader r(w.bytes(), w.bit_count());
+  (void)r.read(8);
+  EXPECT_THROW((void)r.pop_bit(), ConfigError);
+}
+
+TEST(BitWriter, WidthOver64Rejected) {
+  BitWriter w;
+  EXPECT_THROW(w.write(0, 65), ConfigError);
+}
+
+TEST(IndexBits, CeilLog2) {
+  // Width of the hp-node index field (paper Fig. 5: log2 N bits).
+  EXPECT_EQ(index_bits(1), 1u);
+  EXPECT_EQ(index_bits(2), 1u);
+  EXPECT_EQ(index_bits(3), 2u);
+  EXPECT_EQ(index_bits(4), 2u);
+  EXPECT_EQ(index_bits(5), 3u);
+  EXPECT_EQ(index_bits(8), 3u);
+  EXPECT_EQ(index_bits(9), 4u);
+  EXPECT_EQ(index_bits(64), 6u);
+}
+
+}  // namespace
+}  // namespace ccredf::core

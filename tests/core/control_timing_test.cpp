@@ -1,0 +1,96 @@
+#include "core/control_timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/frames.hpp"
+#include "net/network.hpp"
+
+namespace ccredf::core {
+namespace {
+
+using sim::Duration;
+
+phy::RingPhy ring8() { return phy::RingPhy(phy::optobus(), 8, 10.0); }
+
+ControlTiming timing8(const phy::RingPhy& r) {
+  const FrameCodec codec(8, PriorityLayout{}, false);
+  return ControlTiming(&r, codec.collection_bits(),
+                       codec.distribution_bits());
+}
+
+TEST(ControlTiming, MasterSampledAtSlotStart) {
+  const auto r = ring8();
+  const auto ct = timing8(r);
+  EXPECT_EQ(ct.sample_offset(3, 0), Duration::zero());
+}
+
+TEST(ControlTiming, SampleOffsetsAccumulatePropAndPassthrough) {
+  const auto r = ring8();
+  const auto ct = timing8(r);
+  // h hops: 50 ns prop each + 2 passthrough bits (5 ns) each.
+  EXPECT_EQ(ct.sample_offset(0, 1), Duration::nanoseconds(55));
+  EXPECT_EQ(ct.sample_offset(0, 3), Duration::nanoseconds(165));
+  EXPECT_EQ(ct.sample_offset(0, 7), Duration::nanoseconds(385));
+}
+
+TEST(ControlTiming, SampleOffsetsMonotoneInHops) {
+  const auto r = ring8();
+  const auto ct = timing8(r);
+  for (NodeId h = 1; h < 8; ++h) {
+    EXPECT_GT(ct.sample_offset(2, h), ct.sample_offset(2, h - 1));
+  }
+}
+
+TEST(ControlTiming, SampleOffsetOfResolvesHops) {
+  const auto r = ring8();
+  const auto ct = timing8(r);
+  EXPECT_EQ(ct.sample_offset_of(6, 1), ct.sample_offset(6, 3));  // wraps
+  EXPECT_EQ(ct.sample_offset_of(2, 2), Duration::zero());
+}
+
+TEST(ControlTiming, CollectionCompleteIncludesPacketBits) {
+  const auto r = ring8();
+  const FrameCodec codec(8, PriorityLayout{}, false);
+  const ControlTiming ct(&r, codec.collection_bits(),
+                         codec.distribution_bits());
+  // ring 400 ns + 8*2 bits passthrough (40 ns) + 169 bits (422.5 ns).
+  const auto expect = Duration::picoseconds(
+      400'000 + 40'000 + 169 * 2'500);
+  EXPECT_EQ(ct.collection_complete_offset(), expect);
+  // Strictly more than the paper's Eq. 2 terms alone.
+  EXPECT_GT(ct.collection_complete_offset(), Duration::nanoseconds(440));
+}
+
+TEST(ControlTiming, DistributionTime) {
+  const auto r = ring8();
+  const FrameCodec codec(8, PriorityLayout{}, false);
+  const ControlTiming ct(&r, codec.collection_bits(),
+                         codec.distribution_bits());
+  EXPECT_EQ(ct.distribution_time(),
+            r.link().control_time(codec.distribution_bits()));
+}
+
+TEST(ControlTiming, FitsSlotBoundary) {
+  const auto r = ring8();
+  const auto ct = timing8(r);
+  const auto need =
+      ct.collection_complete_offset() + ct.distribution_time();
+  EXPECT_TRUE(ct.fits_slot(need));
+  EXPECT_FALSE(ct.fits_slot(need - Duration::picoseconds(1)));
+}
+
+TEST(ControlTiming, NetworkAutoPayloadSatisfiesExactBudget) {
+  // The engine's auto-sized slot must pass the exact (not just Eq. 2)
+  // control-phase check, for small and large rings alike.
+  for (const NodeId nodes : {NodeId{2}, NodeId{4}, NodeId{16}, NodeId{64}}) {
+    net::NetworkConfig cfg;
+    cfg.nodes = nodes;
+    cfg.default_payload_floor = 1;  // do not let the floor mask the math
+    net::Network n(cfg);
+    EXPECT_TRUE(n.control_timing().fits_slot(n.timing().slot()))
+        << "nodes=" << nodes;
+  }
+}
+
+}  // namespace
+}  // namespace ccredf::core

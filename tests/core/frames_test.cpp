@@ -1,0 +1,182 @@
+#include "core/frames.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::core {
+namespace {
+
+FrameCodec codec_n(NodeId n, bool acks = false) {
+  return FrameCodec(n, PriorityLayout{}, acks);
+}
+
+CollectionPacket sample_collection(NodeId n) {
+  CollectionPacket p;
+  p.requests.resize(n);
+  p.requests[0].priority = 31;
+  p.requests[0].links = LinkSet::from_mask(0b0011);
+  p.requests[0].dests = NodeSet::single(2);
+  if (n > 2) {
+    p.requests[2].priority = 5;
+    p.requests[2].links = LinkSet::from_mask(0b0100);
+    p.requests[2].dests = NodeSet::single(3);
+  }
+  return p;
+}
+
+TEST(FrameCodec, CollectionBitCountMatchesFig4) {
+  // start + N * (5-bit prio + N-bit links + N-bit dests)
+  EXPECT_EQ(codec_n(4).collection_bits(), 1 + 4 * (5 + 4 + 4));
+  EXPECT_EQ(codec_n(16).collection_bits(), 1 + 16 * (5 + 16 + 16));
+}
+
+TEST(FrameCodec, DistributionBitCountMatchesFig5) {
+  // start + N result bits + ceil(log2 N) index bits.
+  EXPECT_EQ(codec_n(4).distribution_bits(), 1 + 4 + 2);
+  EXPECT_EQ(codec_n(8).distribution_bits(), 1 + 8 + 3);
+  EXPECT_EQ(codec_n(5).distribution_bits(), 1 + 5 + 3);
+}
+
+TEST(FrameCodec, AckFieldAddsNBits) {
+  EXPECT_EQ(codec_n(8, true).distribution_bits(),
+            codec_n(8, false).distribution_bits() + 8);
+}
+
+TEST(FrameCodec, CollectionRoundTrip) {
+  const FrameCodec c = codec_n(5);
+  const CollectionPacket p = sample_collection(5);
+  const auto enc = c.encode(p);
+  EXPECT_EQ(enc.bit_count, static_cast<std::size_t>(c.collection_bits()));
+  EXPECT_EQ(c.decode_collection(enc), p);
+}
+
+TEST(FrameCodec, DistributionRoundTrip) {
+  const FrameCodec c = codec_n(6);
+  DistributionPacket p;
+  p.granted = NodeSet::from_mask(0b100101);
+  p.hp_node = 5;
+  const auto enc = c.encode(p);
+  EXPECT_EQ(enc.bit_count, static_cast<std::size_t>(c.distribution_bits()));
+  EXPECT_EQ(c.decode_distribution(enc), p);
+}
+
+TEST(FrameCodec, DistributionRoundTripWithAcks) {
+  const FrameCodec c = codec_n(6, true);
+  DistributionPacket p;
+  p.granted = NodeSet::from_mask(0b000011);
+  p.hp_node = 1;
+  p.has_acks = true;
+  p.acks = NodeSet::from_mask(0b110000);
+  const auto enc = c.encode(p);
+  EXPECT_EQ(c.decode_distribution(enc), p);
+}
+
+TEST(FrameCodec, IdleRingEncodes) {
+  const FrameCodec c = codec_n(4);
+  CollectionPacket p;
+  p.requests.resize(4);  // all priority 0
+  const auto enc = c.encode(p);
+  const auto back = c.decode_collection(enc);
+  for (const auto& r : back.requests) {
+    EXPECT_FALSE(r.wants_slot());
+    EXPECT_TRUE(r.links.empty());
+  }
+}
+
+TEST(FrameCodec, IdleRequestMustBeZeroed) {
+  // Paper §3: priority 0 requires zeros in the other fields.
+  const FrameCodec c = codec_n(4);
+  CollectionPacket p;
+  p.requests.resize(4);
+  p.requests[1].links = LinkSet::from_mask(0b1);
+  EXPECT_THROW((void)c.encode(p), ConfigError);
+}
+
+TEST(FrameCodec, PriorityWiderThanFieldRejected) {
+  const FrameCodec c = codec_n(4);
+  CollectionPacket p;
+  p.requests.resize(4);
+  p.requests[0].priority = 32;  // 5-bit field holds <= 31
+  p.requests[0].dests = NodeSet::single(1);
+  p.requests[0].links = LinkSet::from_mask(1);
+  EXPECT_THROW((void)c.encode(p), ConfigError);
+}
+
+TEST(FrameCodec, WrongRequestCountRejected) {
+  const FrameCodec c = codec_n(4);
+  CollectionPacket p;
+  p.requests.resize(3);
+  EXPECT_THROW((void)c.encode(p), ConfigError);
+}
+
+TEST(FrameCodec, InvalidHpNodeRejected) {
+  const FrameCodec c = codec_n(4);
+  DistributionPacket p;
+  p.hp_node = 4;
+  EXPECT_THROW((void)c.encode(p), ConfigError);
+  p.hp_node = kInvalidNode;
+  EXPECT_THROW((void)c.encode(p), ConfigError);
+}
+
+TEST(FrameCodec, AckPresenceMismatchRejected) {
+  const FrameCodec c = codec_n(4, true);
+  DistributionPacket p;
+  p.hp_node = 0;
+  p.has_acks = false;
+  EXPECT_THROW((void)c.encode(p), ConfigError);
+}
+
+TEST(FrameCodec, TruncatedFrameRejected) {
+  const FrameCodec c = codec_n(4);
+  auto enc = c.encode(sample_collection(4));
+  enc.bit_count -= 1;
+  EXPECT_THROW((void)c.decode_collection(enc), ConfigError);
+}
+
+TEST(FrameCodec, RandomisedRoundTrips) {
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<NodeId>(2 + rng.uniform_u64(30));
+    const FrameCodec c = codec_n(n);
+    CollectionPacket p;
+    p.requests.resize(n);
+    for (NodeId i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.5)) continue;  // idle
+      auto& r = p.requests[i];
+      r.priority = static_cast<Priority>(1 + rng.uniform_u64(31));
+      const std::uint64_t span = (n == 64) ? ~0ull
+                                           : ((1ull << n) - 1);
+      r.links = LinkSet::from_mask(rng.next_u64() & span);
+      r.dests = NodeSet::from_mask(rng.next_u64() & span);
+      if (r.links.empty()) r.links = LinkSet::from_mask(1);
+      if (r.dests.empty()) r.dests = NodeSet::single((i + 1) % n);
+    }
+    const auto enc = c.encode(p);
+    EXPECT_EQ(c.decode_collection(enc), p) << "n=" << n;
+
+    DistributionPacket d;
+    d.granted = NodeSet::from_mask(rng.next_u64() & ((1ull << n) - 1));
+    d.hp_node = static_cast<NodeId>(rng.uniform_u64(n));
+    const auto denc = c.encode(d);
+    EXPECT_EQ(c.decode_distribution(denc), d) << "n=" << n;
+  }
+}
+
+TEST(FrameCodec, ControlFitsWithinSlotForTypicalConfig) {
+  // The whole point of Fig. 3: with B >= collection bits the arbitration
+  // for slot N+1 completes during slot N.  For 16 nodes a collection
+  // packet is 1 + 16*37 = 593 bits; a 600-byte slot spans 600 control
+  // bits -- barely enough, which is why min_payload also matters.
+  const FrameCodec c = codec_n(16);
+  EXPECT_LE(c.collection_bits(), 600);
+}
+
+TEST(FrameCodec, RejectsBadNodeCounts) {
+  EXPECT_THROW(FrameCodec(1, PriorityLayout{}, false), ConfigError);
+  EXPECT_THROW(FrameCodec(65, PriorityLayout{}, false), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::core

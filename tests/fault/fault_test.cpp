@@ -1,0 +1,156 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::fault {
+namespace {
+
+using core::TrafficClass;
+using sim::Duration;
+
+net::NetworkConfig cfg6() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 6;
+  return cfg;
+}
+
+TEST(Fault, TokenLossTriggersRecovery) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  inj.schedule_token_loss(3);
+  n.run_slots(10);
+  EXPECT_EQ(inj.token_losses_injected(), 1);
+  EXPECT_EQ(n.recoveries(), 1);
+  EXPECT_GT(n.recovery_time(), Duration::zero());
+}
+
+TEST(Fault, DesignatedRestarterTakesOver) {
+  net::NetworkConfig cfg = cfg6();
+  cfg.designated_restarter = 2;
+  net::Network n(cfg);
+  FaultInjector inj(n);
+  inj.schedule_token_loss(3);
+  std::vector<net::SlotRecord> recs;
+  n.add_slot_observer([&](const net::SlotRecord& rec) {
+    recs.push_back(rec);
+  });
+  n.run_slots(6);
+  ASSERT_GE(recs.size(), 5u);
+  EXPECT_TRUE(recs[3].token_lost);
+  EXPECT_EQ(recs[3].next_master, 2u);
+  EXPECT_EQ(recs[4].master, 2u);
+}
+
+TEST(Fault, RecoveryGapMatchesTimeoutConfig) {
+  net::NetworkConfig cfg = cfg6();
+  cfg.recovery_timeout_slots = 7;
+  net::Network n(cfg);
+  FaultInjector inj(n);
+  inj.schedule_token_loss(2);
+  sim::Duration gap_after_loss = Duration::zero();
+  n.add_slot_observer([&](const net::SlotRecord& rec) {
+    if (rec.token_lost) gap_after_loss = rec.gap_after;
+  });
+  n.run_slots(6);
+  EXPECT_EQ(gap_after_loss,
+            (n.timing().slot() + n.protocol().max_gap()) * 7);
+}
+
+TEST(Fault, TrafficSurvivesTokenLoss) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  inj.schedule_token_loss(2);
+  inj.schedule_token_loss(5);
+  for (NodeId s = 0; s < 6; ++s) {
+    n.send_best_effort(s, NodeSet::single((s + 2) % 6), 1,
+                       Duration::milliseconds(50));
+  }
+  n.run_slots(60);
+  std::size_t delivered = 0;
+  for (NodeId i = 0; i < 6; ++i) delivered += n.node(i).inbox().size();
+  EXPECT_EQ(delivered, 6u);
+  EXPECT_EQ(n.recoveries(), 2);
+}
+
+TEST(Fault, GrantsDieWithTheDistributionPacket) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  // The collection of slot 0 arbitrates slot 1; losing slot 0's
+  // distribution kills those grants.
+  inj.schedule_token_loss(0);
+  n.send_best_effort(0, NodeSet::single(2), 1, Duration::milliseconds(50));
+  std::vector<net::SlotRecord> recs;
+  n.add_slot_observer([&](const net::SlotRecord& rec) {
+    recs.push_back(rec);
+  });
+  n.run_slots(5);
+  EXPECT_TRUE(recs[0].token_lost);
+  EXPECT_TRUE(recs[1].granted.empty());
+  // The message is re-requested and still delivered afterwards.
+  EXPECT_EQ(n.node(2).inbox().size(), 1u);
+}
+
+TEST(Fault, RandomTokenLossRecoversRepeatedly) {
+  net::Network n(cfg6());
+  FaultInjector inj(n, /*seed=*/5);
+  inj.set_random_token_loss(0.05);
+  n.run_slots(500);
+  EXPECT_GT(inj.token_losses_injected(), 5);
+  EXPECT_EQ(n.recoveries(), inj.token_losses_injected());
+}
+
+TEST(Fault, FailedNodeDropsTrafficButRingSurvives) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  inj.schedule_node_failure(3, sim::TimePoint::origin());
+  n.send_best_effort(0, NodeSet::single(3), 1, Duration::milliseconds(5));
+  n.send_best_effort(1, NodeSet::single(4), 1, Duration::milliseconds(5));
+  n.run_slots(20);
+  EXPECT_EQ(n.node(3).inbox().size(), 0u);  // failed receiver drops
+  EXPECT_EQ(n.node(4).inbox().size(), 1u);  // others unaffected
+}
+
+TEST(Fault, FailedNodeDoesNotRequest) {
+  net::Network n(cfg6());
+  n.send_best_effort(2, NodeSet::single(4), 1, Duration::milliseconds(5));
+  n.fail_node(2);  // queue cleared, node silent
+  n.run_slots(10);
+  EXPECT_EQ(n.node(4).inbox().size(), 0u);
+  EXPECT_EQ(n.stats().busy_slots, 0);
+}
+
+TEST(Fault, MasterFailureRecoversViaTimeout) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  // Node 0 is the initial master; kill it mid-run.
+  inj.schedule_node_failure(
+      0, sim::TimePoint::origin() + n.timing().slot() / 2);
+  n.send_best_effort(3, NodeSet::single(5), 1, Duration::milliseconds(50));
+  n.run_slots(20);
+  EXPECT_GE(n.recoveries(), 1);
+  EXPECT_EQ(n.node(5).inbox().size(), 1u);
+}
+
+TEST(Fault, RestoredNodeWorksAgain) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  inj.schedule_node_failure(2, sim::TimePoint::origin());
+  inj.schedule_node_restore(
+      2, sim::TimePoint::origin() + n.timing().slot() * 20);
+  n.run_slots(25);
+  n.send_best_effort(2, NodeSet::single(5), 1, Duration::milliseconds(5));
+  n.run_slots(10);
+  EXPECT_EQ(n.node(5).inbox().size(), 1u);
+}
+
+TEST(Fault, InjectorValidatesProbability) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  EXPECT_THROW(inj.set_random_token_loss(1.0), ConfigError);
+  EXPECT_THROW(inj.set_random_token_loss(-0.1), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::fault

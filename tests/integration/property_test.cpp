@@ -1,0 +1,186 @@
+// Property sweeps: protocol invariants under randomised topologies and
+// loads (TEST_P across node counts x seeds x utilisation).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/schedulability.hpp"
+#include "net/network.hpp"
+#include "workload/periodic.hpp"
+#include "workload/poisson.hpp"
+
+namespace ccredf {
+namespace {
+
+using core::TrafficClass;
+using net::Network;
+using net::NetworkConfig;
+using net::SlotRecord;
+
+struct SweepParam {
+  NodeId nodes;
+  std::uint64_t seed;
+  double utilisation_fraction;  // of U_max
+};
+
+class CcrEdfProperties
+    : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CcrEdfProperties, InvariantsHoldUnderPeriodicLoad) {
+  const SweepParam p = GetParam();
+  NetworkConfig cfg;
+  cfg.nodes = p.nodes;
+  Network n(cfg);
+
+  // Invariant observers --------------------------------------------------
+  std::int64_t violations = 0;
+  n.add_slot_observer([&](const SlotRecord& rec) {
+    // (1) Granted segments never overlap and avoid the next master's
+    //     break link (checked against the *requests* of the previous
+    //     slot is awkward; instead check this slot's plan via next).
+    // (2) The hand-over gap matches Eq. 1 for the observed hop count.
+    const NodeId hops = n.topology().hops(rec.master, rec.next_master);
+    const auto& lp = n.phy().link();
+    sim::Duration expect = lp.control_time(2 * lp.clock_stop_bits);
+    if (hops > 0 && !rec.token_lost) {
+      expect += n.phy().path_delay(rec.master, hops);
+    }
+    if (!rec.token_lost && rec.gap_after != expect) ++violations;
+    // (3) The next master is the highest-priority requester (or the
+    //     current master if nobody requested).
+    NodeId hp = kInvalidNode;
+    core::Priority best = 0;
+    for (NodeId i = 0; i < rec.requests.size(); ++i) {
+      if (rec.requests[i].priority > best) {
+        best = rec.requests[i].priority;
+        hp = i;
+      }
+    }
+    if (!rec.token_lost) {
+      if (hp == kInvalidNode) {
+        if (rec.next_master != rec.master) ++violations;
+      } else if (rec.next_master != hp) {
+        ++violations;
+      }
+    }
+  });
+
+  // Load ------------------------------------------------------------------
+  workload::PeriodicSetParams wp;
+  wp.nodes = p.nodes;
+  wp.connections = static_cast<int>(p.nodes) * 2;
+  wp.total_utilisation = p.utilisation_fraction * n.admission().u_max();
+  wp.min_period_slots = 40;
+  wp.max_period_slots = 400;
+  wp.seed = p.seed;
+  int admitted = 0;
+  for (const auto& c : workload::make_periodic_set(wp)) {
+    if (n.open_connection(c).admitted) ++admitted;
+  }
+  EXPECT_GT(admitted, 0);
+
+  n.run_slots(1500);
+
+  EXPECT_EQ(violations, 0);
+  EXPECT_EQ(n.stats().priority_inversions, 0);
+  const auto& rt = n.stats().cls(TrafficClass::kRealTime);
+  EXPECT_GT(rt.delivered, 0);
+  // Admitted connections keep the user-level guarantee (Eq. 3).
+  EXPECT_EQ(rt.user_misses, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CcrEdfProperties,
+    ::testing::Values(
+        SweepParam{4, 1, 0.3}, SweepParam{4, 2, 0.6},
+        SweepParam{8, 3, 0.3}, SweepParam{8, 4, 0.6},
+        SweepParam{8, 5, 0.85}, SweepParam{16, 6, 0.4},
+        SweepParam{16, 7, 0.7}, SweepParam{32, 8, 0.5},
+        SweepParam{12, 9, 0.85}, SweepParam{6, 10, 0.75}),
+    [](const ::testing::TestParamInfo<SweepParam>& tpi) {
+      return "n" + std::to_string(tpi.param.nodes) + "_s" +
+             std::to_string(tpi.param.seed) + "_u" +
+             std::to_string(
+                 static_cast<int>(tpi.param.utilisation_fraction * 100));
+    });
+
+class MixedTrafficProperties
+    : public ::testing::TestWithParam<std::tuple<NodeId, std::uint64_t>> {};
+
+TEST_P(MixedTrafficProperties, BestEffortNeverDisturbsRealTime) {
+  const auto [nodes, seed] = GetParam();
+  NetworkConfig cfg;
+  cfg.nodes = nodes;
+  Network n(cfg);
+
+  workload::PeriodicSetParams wp;
+  wp.nodes = nodes;
+  wp.connections = static_cast<int>(nodes);
+  wp.total_utilisation = 0.5 * n.admission().u_max();
+  wp.min_period_slots = 50;
+  wp.max_period_slots = 300;
+  wp.seed = seed;
+  for (const auto& c : workload::make_periodic_set(wp)) {
+    (void)n.open_connection(c);
+  }
+  // Saturating best-effort background.
+  workload::PoissonParams pp;
+  pp.rate_per_node = 0.5;
+  pp.seed = seed * 31 + 1;
+  pp.min_laxity_slots = 5;
+  pp.max_laxity_slots = 50;
+  workload::PoissonGenerator gen(
+      n, pp, sim::TimePoint::origin() + n.timing().slot() * 1200);
+
+  n.run_slots(1500);
+
+  const auto& rt = n.stats().cls(TrafficClass::kRealTime);
+  const auto& be = n.stats().cls(TrafficClass::kBestEffort);
+  EXPECT_GT(rt.delivered, 0);
+  EXPECT_GT(be.delivered, 0);
+  // The paper's guarantee: admitted RT traffic is immune to BE load.
+  EXPECT_EQ(rt.user_misses, 0);
+  EXPECT_EQ(n.stats().priority_inversions, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MixedTrafficProperties,
+    ::testing::Combine(::testing::Values<NodeId>(4, 8, 16),
+                       ::testing::Values<std::uint64_t>(11, 22, 33)));
+
+class ConservationProperties
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConservationProperties, EveryGrantIsAccounted) {
+  NetworkConfig cfg;
+  cfg.nodes = 8;
+  Network n(cfg);
+  workload::PoissonParams pp;
+  // Keep demand well below capacity (~0.7 slots of demand per slot for
+  // uniform destinations) so queues provably drain before the check.
+  pp.rate_per_node = 0.03;
+  pp.seed = GetParam();
+  pp.min_size_slots = 1;
+  pp.max_size_slots = 5;
+  workload::PoissonGenerator gen(
+      n, pp, sim::TimePoint::origin() + n.timing().slot() * 800);
+  n.run_slots(3000);  // generous drain time
+
+  // Slot conservation: delivered sizes sum to executed grants.
+  std::int64_t delivered_slots = 0;
+  for (NodeId i = 0; i < 8; ++i) {
+    for (const auto& d : n.node(i).inbox()) {
+      if (d.dests.lowest() == i) delivered_slots += d.size_slots;
+    }
+  }
+  EXPECT_EQ(delivered_slots, n.stats().total_grants);
+  // Everything generated was delivered (queues fully drained).
+  EXPECT_EQ(n.stats().cls(TrafficClass::kBestEffort).delivered,
+            gen.generated());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationProperties,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace ccredf

@@ -1,0 +1,91 @@
+// Consistency of the observable slot chain: indices are consecutive,
+// every slot's start equals the previous slot's end plus its gap, the
+// master of slot k+1 is slot k's announced next master, and granted
+// nodes are a subset of the previous slot's wanting requesters.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "baseline/ccfpr.hpp"
+#include "baseline/tdma.hpp"
+#include "net/network.hpp"
+#include "workload/poisson.hpp"
+
+namespace ccredf {
+namespace {
+
+using net::Network;
+using net::NetworkConfig;
+using net::SlotRecord;
+
+class SlotChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotChain, ChainInvariants) {
+  NetworkConfig cfg;
+  cfg.nodes = 8;
+  switch (GetParam()) {
+    case 1:
+      cfg.protocol_factory = baseline::ccfpr_factory();
+      break;
+    case 2:
+      cfg.protocol_factory = baseline::tdma_factory();
+      break;
+    default:
+      break;
+  }
+  Network n(cfg);
+
+  std::optional<SlotRecord> prev;
+  std::int64_t checked = 0;
+  n.add_slot_observer([&](const SlotRecord& rec) {
+    EXPECT_EQ(rec.end - rec.start, n.timing().slot());
+    EXPECT_EQ(rec.requests.size(), n.nodes());
+    if (prev) {
+      EXPECT_EQ(rec.index, prev->index + 1);
+      EXPECT_EQ(rec.start, prev->end + prev->gap_after);
+      EXPECT_EQ(rec.master, prev->next_master);
+      // Every node granted in this slot requested it in the previous
+      // collection phase.
+      for (const NodeId g : rec.granted) {
+        EXPECT_TRUE(prev->requests[g].wants_slot())
+            << "slot " << rec.index << " node " << g;
+      }
+      ++checked;
+    }
+    prev = rec;
+  });
+
+  workload::PoissonParams p;
+  p.rate_per_node = 0.5;
+  p.seed = 3;
+  workload::PoissonGenerator gen(
+      n, p, sim::TimePoint::origin() + n.timing().slot() * 500);
+  n.run_slots(600);
+  EXPECT_GT(checked, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SlotChain,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& tpi) {
+                           switch (tpi.param) {
+                             case 1:
+                               return std::string("CcFpr");
+                             case 2:
+                               return std::string("Tdma");
+                             default:
+                               return std::string("CcrEdf");
+                           }
+                         });
+
+TEST(SlotChain, SimClockNeverOutrunsSlotEngine) {
+  NetworkConfig cfg;
+  cfg.nodes = 6;
+  Network n(cfg);
+  n.add_slot_observer([&](const SlotRecord& rec) {
+    EXPECT_LE(n.sim().now(), rec.end + rec.gap_after);
+  });
+  n.run_slots(100);
+}
+
+}  // namespace
+}  // namespace ccredf

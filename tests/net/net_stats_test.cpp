@@ -1,0 +1,94 @@
+#include "net/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "workload/poisson.hpp"
+
+namespace ccredf::net {
+namespace {
+
+using core::TrafficClass;
+
+TEST(ClassStats, RatiosOnEmptyAreZero) {
+  const ClassStats s;
+  EXPECT_DOUBLE_EQ(s.scheduling_miss_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(s.user_miss_ratio(), 0.0);
+}
+
+TEST(ClassStats, RatiosComputed) {
+  ClassStats s;
+  s.delivered = 10;
+  s.scheduling_misses = 4;
+  s.user_misses = 1;
+  EXPECT_DOUBLE_EQ(s.scheduling_miss_ratio(), 0.4);
+  EXPECT_DOUBLE_EQ(s.user_miss_ratio(), 0.1);
+}
+
+TEST(NetworkStats, FreshIsZeroed) {
+  const NetworkStats s;
+  EXPECT_EQ(s.slots, 0);
+  EXPECT_DOUBLE_EQ(s.slot_time_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.goodput_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_grants_per_busy_slot(), 0.0);
+}
+
+TEST(NetworkStats, GoodputMatchesDeliveredBytes) {
+  NetworkConfig cfg;
+  cfg.nodes = 6;
+  Network n(cfg);
+  workload::PoissonParams p;
+  p.rate_per_node = 0.2;
+  p.seed = 12;
+  workload::PoissonGenerator gen(
+      n, p, sim::TimePoint::origin() + n.timing().slot() * 500);
+  n.run_slots(800);
+  const auto& s = n.stats();
+  std::int64_t bytes = 0;
+  for (const auto& c : s.per_class) bytes += c.bytes;
+  const double total_s = (s.time_in_slots + s.time_in_gaps).s();
+  EXPECT_NEAR(s.goodput_bps(), static_cast<double>(bytes) * 8.0 / total_s,
+              1e-6);
+}
+
+TEST(NetworkStats, SlotTimeFractionBounded) {
+  NetworkConfig cfg;
+  cfg.nodes = 6;
+  Network n(cfg);
+  n.run_slots(50);
+  EXPECT_GT(n.stats().slot_time_fraction(), 0.0);
+  EXPECT_LE(n.stats().slot_time_fraction(), 1.0);
+}
+
+TEST(NetworkStats, BusySlotsNeverExceedSlots) {
+  NetworkConfig cfg;
+  cfg.nodes = 6;
+  Network n(cfg);
+  workload::PoissonParams p;
+  p.rate_per_node = 1.0;
+  p.seed = 2;
+  workload::PoissonGenerator gen(
+      n, p, sim::TimePoint::origin() + n.timing().slot() * 300);
+  n.run_slots(400);
+  EXPECT_LE(n.stats().busy_slots, n.stats().slots);
+  EXPECT_LE(n.stats().reuse_slots, n.stats().busy_slots);
+  EXPECT_GE(n.stats().total_grants, n.stats().busy_slots);
+}
+
+TEST(NetworkStats, TimeAccountingSumsToWallClock) {
+  NetworkConfig cfg;
+  cfg.nodes = 6;
+  Network n(cfg);
+  n.send_best_effort(0, NodeSet::single(3), 2,
+                     sim::Duration::milliseconds(1));
+  n.run_slots(100);
+  // After the final gap, the engine's next slot start equals total
+  // accounted time.
+  const auto& s = n.stats();
+  const auto total = s.time_in_slots + s.time_in_gaps;
+  EXPECT_GE(n.sim().now(), sim::TimePoint::origin() + s.time_in_slots);
+  EXPECT_EQ(total.ps() > 0, true);
+}
+
+}  // namespace
+}  // namespace ccredf::net

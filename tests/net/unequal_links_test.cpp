@@ -1,0 +1,88 @@
+// The paper assumes equal link lengths "for simplicity"; the model
+// supports per-link lengths, and every timing quantity must follow the
+// exact per-link propagation sums rather than the average-based Eq. 1.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "workload/poisson.hpp"
+
+namespace ccredf::net {
+namespace {
+
+using sim::Duration;
+
+NetworkConfig unequal_cfg() {
+  NetworkConfig cfg;
+  cfg.nodes = 5;
+  cfg.link_lengths_m = {5.0, 10.0, 20.0, 40.0, 80.0};  // 25..400 ns hops
+  return cfg;
+}
+
+TEST(UnequalLinks, ConstructionUsesExactLengths) {
+  Network n(unequal_cfg());
+  EXPECT_EQ(n.phy().link_delay(0), Duration::nanoseconds(25));
+  EXPECT_EQ(n.phy().link_delay(4), Duration::nanoseconds(400));
+  EXPECT_EQ(n.phy().ring_delay(), Duration::nanoseconds(775));
+}
+
+TEST(UnequalLinks, WorstHandoverExcludesCheapestLink) {
+  Network n(unequal_cfg());
+  // N-1 hops avoiding link 0 (the 25 ns one) = 750 ns + 2 stop bits.
+  EXPECT_EQ(n.timing().max_handover(),
+            Duration::nanoseconds(750) + Duration::nanoseconds(5));
+}
+
+TEST(UnequalLinks, ObservedGapsMatchPerLinkSums) {
+  Network n(unequal_cfg());
+  std::int64_t violations = 0;
+  n.add_slot_observer([&](const SlotRecord& rec) {
+    if (rec.token_lost) return;
+    const NodeId hops = n.topology().hops(rec.master, rec.next_master);
+    sim::Duration expect =
+        n.phy().link().control_time(2 * n.phy().link().clock_stop_bits);
+    if (hops > 0) expect += n.phy().path_delay(rec.master, hops);
+    if (rec.gap_after != expect) ++violations;
+  });
+  workload::PoissonParams p;
+  p.rate_per_node = 0.5;
+  p.seed = 77;
+  workload::PoissonGenerator gen(
+      n, p, sim::TimePoint::origin() + n.timing().slot() * 800);
+  n.run_slots(1000);
+  EXPECT_EQ(violations, 0);
+  EXPECT_GT(n.stats().busy_slots, 100);
+}
+
+TEST(UnequalLinks, GuaranteeHoldsOnSkewedRing) {
+  Network n(unequal_cfg());
+  core::ConnectionParams c;
+  c.source = 0;
+  c.dests = NodeSet::single(4);  // the long way round
+  c.size_slots = 1;
+  c.period_slots = 15;
+  ASSERT_TRUE(n.open_connection(c).admitted);
+  n.run_slots(2000);
+  const auto& rt = n.stats().cls(core::TrafficClass::kRealTime);
+  EXPECT_GT(rt.delivered, 100);
+  EXPECT_EQ(rt.user_misses, 0);
+  EXPECT_EQ(n.stats().priority_inversions, 0);
+}
+
+TEST(UnequalLinks, DeliveryTimestampIncludesExactPathDelay) {
+  Network n(unequal_cfg());
+  n.send_best_effort(1, NodeSet::single(4), 1, Duration::milliseconds(1));
+  sim::TimePoint slot_end;
+  sim::TimePoint completed;
+  n.add_slot_observer([&](const SlotRecord& rec) {
+    for (const auto& d : rec.deliveries) {
+      slot_end = rec.end;
+      completed = d.completed;
+    }
+  });
+  n.run_slots(4);
+  // Path 1 -> 4 covers links 1,2,3: 50+100+200 ns.
+  EXPECT_EQ(completed - slot_end, Duration::nanoseconds(350));
+}
+
+}  // namespace
+}  // namespace ccredf::net

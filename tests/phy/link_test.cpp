@@ -1,0 +1,71 @@
+#include "phy/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::phy {
+namespace {
+
+using sim::Duration;
+
+TEST(RibbonLink, OptobusDefaults) {
+  const RibbonLinkParams p = optobus();
+  p.validate();
+  EXPECT_EQ(p.data_fibres, 8);
+  EXPECT_EQ(p.clock_rate_hz, 400'000'000);
+  // 8 fibres at 400 Mbit/s => 3.2 Gbit/s aggregate (paper ref [10]).
+  EXPECT_EQ(p.aggregate_data_rate(), 3'200'000'000);
+}
+
+TEST(RibbonLink, BitTime) {
+  RibbonLinkParams p;
+  p.clock_rate_hz = 400'000'000;
+  EXPECT_EQ(p.bit_time(), Duration::picoseconds(2'500));
+  p.clock_rate_hz = 1'000'000'000;
+  EXPECT_EQ(p.bit_time(), Duration::picoseconds(1'000));
+}
+
+TEST(RibbonLink, DataTimeIsBytePerTick) {
+  const RibbonLinkParams p = optobus();
+  // Byte-parallel: one byte per clock tick regardless of fibre count.
+  EXPECT_EQ(p.data_time(1), p.bit_time());
+  EXPECT_EQ(p.data_time(100), p.bit_time() * 100);
+}
+
+TEST(RibbonLink, ControlTimeIsBitSerial) {
+  const RibbonLinkParams p = optobus();
+  EXPECT_EQ(p.control_time(8), p.bit_time() * 8);
+}
+
+TEST(RibbonLink, ControlAndDataShareTheClock) {
+  const RibbonLinkParams p = optobus();
+  // One slot of B bytes of data spans exactly B control bits -- the 8x
+  // asymmetry that overlaps arbitration with data (paper Fig. 3).
+  EXPECT_EQ(p.data_time(64), p.control_time(64));
+}
+
+TEST(RibbonLink, ConservativePresetSlower) {
+  EXPECT_GT(conservative_ribbon().bit_time(), optobus().bit_time());
+}
+
+TEST(RibbonLink, ValidationRejectsNonsense) {
+  RibbonLinkParams p;
+  p.clock_rate_hz = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RibbonLinkParams{};
+  p.data_fibres = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RibbonLinkParams{};
+  p.propagation_ps_per_m = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RibbonLinkParams{};
+  p.node_passthrough_bits = -1;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RibbonLinkParams{};
+  p.clock_stop_bits = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::phy

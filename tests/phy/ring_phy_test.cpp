@@ -1,0 +1,97 @@
+#include "phy/ring_phy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::phy {
+namespace {
+
+using sim::Duration;
+
+RingPhy uniform_ring(NodeId n, double len_m) {
+  return RingPhy(optobus(), n, len_m);
+}
+
+TEST(RingPhy, UniformConstruction) {
+  const RingPhy r = uniform_ring(5, 10.0);
+  EXPECT_EQ(r.nodes(), 5u);
+  EXPECT_DOUBLE_EQ(r.mean_length_m(), 10.0);
+}
+
+TEST(RingPhy, LinkDelayIsPTimesL) {
+  // Eq. 1 constituents: 10 m at 5 ns/m => 50 ns per hop.
+  const RingPhy r = uniform_ring(4, 10.0);
+  for (LinkId l = 0; l < 4; ++l) {
+    EXPECT_EQ(r.link_delay(l), Duration::nanoseconds(50));
+  }
+}
+
+TEST(RingPhy, PathDelayAccumulates) {
+  const RingPhy r = uniform_ring(6, 10.0);
+  EXPECT_EQ(r.path_delay(0, 0), Duration::zero());
+  EXPECT_EQ(r.path_delay(0, 1), Duration::nanoseconds(50));
+  EXPECT_EQ(r.path_delay(2, 3), Duration::nanoseconds(150));
+  EXPECT_EQ(r.path_delay(4, 5), Duration::nanoseconds(250));  // wraps
+}
+
+TEST(RingPhy, RingDelayIsFullLoop) {
+  const RingPhy r = uniform_ring(8, 25.0);
+  // 8 links * 25 m * 5 ns/m = 1000 ns.
+  EXPECT_EQ(r.ring_delay(), Duration::microseconds(1));
+}
+
+TEST(RingPhy, HandoverTimeMatchesEq1) {
+  // Eq. 1: t_handover = P * L * D.
+  const RingPhy r = uniform_ring(10, 10.0);
+  for (NodeId d = 1; d < 10; ++d) {
+    EXPECT_EQ(r.handover_time(3, d), Duration::nanoseconds(50 * d));
+  }
+}
+
+TEST(RingPhy, MaxHandoverIsNMinusOneHops) {
+  const RingPhy r = uniform_ring(10, 10.0);
+  EXPECT_EQ(r.max_handover_time(), Duration::nanoseconds(50 * 9));
+}
+
+TEST(RingPhy, UnequalLinks) {
+  const RingPhy r(optobus(), std::vector<double>{10.0, 20.0, 30.0});
+  EXPECT_EQ(r.link_delay(0), Duration::nanoseconds(50));
+  EXPECT_EQ(r.link_delay(1), Duration::nanoseconds(100));
+  EXPECT_EQ(r.link_delay(2), Duration::nanoseconds(150));
+  EXPECT_EQ(r.ring_delay(), Duration::nanoseconds(300));
+  EXPECT_DOUBLE_EQ(r.mean_length_m(), 20.0);
+}
+
+TEST(RingPhy, MaxHandoverExcludesShortestLinkWithUnequalLengths) {
+  const RingPhy r(optobus(), std::vector<double>{10.0, 20.0, 30.0});
+  // Worst N-1-hop path excludes the cheapest link (10 m): 100+150 = 250 ns.
+  EXPECT_EQ(r.max_handover_time(), Duration::nanoseconds(250));
+}
+
+TEST(RingPhy, HopsBetween) {
+  const RingPhy r = uniform_ring(6, 10.0);
+  EXPECT_EQ(r.hops_between(0, 0), 0u);
+  EXPECT_EQ(r.hops_between(0, 1), 1u);
+  EXPECT_EQ(r.hops_between(5, 0), 1u);
+  EXPECT_EQ(r.hops_between(0, 5), 5u);
+  EXPECT_EQ(r.hops_between(3, 2), 5u);
+}
+
+TEST(RingPhy, RejectsBadConfigs) {
+  EXPECT_THROW(uniform_ring(1, 10.0), ConfigError);
+  EXPECT_THROW(RingPhy(optobus(), std::vector<double>{10.0, -1.0}),
+               ConfigError);
+  EXPECT_THROW(RingPhy(optobus(), std::vector<double>(100, 10.0)),
+               ConfigError);  // > kMaxNodes
+}
+
+TEST(RingPhy, PathDelayBoundsChecked) {
+  const RingPhy r = uniform_ring(4, 10.0);
+  EXPECT_THROW((void)r.path_delay(4, 1), ConfigError);
+  EXPECT_THROW((void)r.path_delay(0, 4), ConfigError);
+  EXPECT_THROW((void)r.link_delay(4), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::phy

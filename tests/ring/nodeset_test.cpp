@@ -1,0 +1,118 @@
+#include "common/nodeset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ccredf {
+namespace {
+
+TEST(NodeSet, EmptyByDefault) {
+  const NodeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.lowest(), kInvalidNode);
+  EXPECT_EQ(s.highest(), kInvalidNode);
+}
+
+TEST(NodeSet, SingleAndContains) {
+  const NodeSet s = NodeSet::single(5);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.lowest(), 5u);
+  EXPECT_EQ(s.highest(), 5u);
+}
+
+TEST(NodeSet, SingleRejectsOutOfRange) {
+  EXPECT_THROW(NodeSet::single(64), ConfigError);
+  EXPECT_NO_THROW(NodeSet::single(63));
+}
+
+TEST(NodeSet, FirstN) {
+  const NodeSet s = NodeSet::first_n(4);
+  EXPECT_EQ(s.size(), 4);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(NodeSet, FirstNFull64) {
+  const NodeSet s = NodeSet::first_n(64);
+  EXPECT_EQ(s.size(), 64);
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_THROW(NodeSet::first_n(65), ConfigError);
+}
+
+TEST(NodeSet, InsertErase) {
+  NodeSet s;
+  s.insert(3);
+  s.insert(7);
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  s.erase(7);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSet, SetAlgebra) {
+  const NodeSet a = NodeSet::from_mask(0b1100);
+  const NodeSet b = NodeSet::from_mask(0b1010);
+  EXPECT_EQ((a | b).mask(), 0b1110u);
+  EXPECT_EQ((a & b).mask(), 0b1000u);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(NodeSet::from_mask(0b0011)));
+}
+
+TEST(NodeSet, SubsetRelation) {
+  const NodeSet small = NodeSet::from_mask(0b0110);
+  const NodeSet big = NodeSet::from_mask(0b1110);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.is_subset_of(small));
+  EXPECT_TRUE(NodeSet{}.is_subset_of(small));
+}
+
+TEST(NodeSet, CompoundAssignment) {
+  NodeSet s = NodeSet::from_mask(0b01);
+  s |= NodeSet::from_mask(0b10);
+  EXPECT_EQ(s.mask(), 0b11u);
+  s &= NodeSet::from_mask(0b10);
+  EXPECT_EQ(s.mask(), 0b10u);
+}
+
+TEST(NodeSet, LowestHighest) {
+  const NodeSet s = NodeSet::from_mask(0b101000);
+  EXPECT_EQ(s.lowest(), 3u);
+  EXPECT_EQ(s.highest(), 5u);
+}
+
+TEST(NodeSet, IterationInOrder) {
+  NodeSet s;
+  s.insert(2);
+  s.insert(40);
+  s.insert(7);
+  std::vector<NodeId> seen;
+  for (const NodeId n : s) seen.push_back(n);
+  EXPECT_EQ(seen, (std::vector<NodeId>{2, 7, 40}));
+}
+
+TEST(NodeSet, IterationOfEmptySet) {
+  int count = 0;
+  for ([[maybe_unused]] const NodeId n : NodeSet{}) ++count;
+  EXPECT_EQ(count, 0);
+}
+
+TEST(NodeSet, EqualityAndComplement) {
+  const NodeSet a = NodeSet::from_mask(0xF0);
+  EXPECT_EQ(a, NodeSet::from_mask(0xF0));
+  EXPECT_NE(a, NodeSet::from_mask(0x0F));
+  EXPECT_TRUE((~a).contains(0));
+  EXPECT_FALSE((~a).contains(4));
+}
+
+}  // namespace
+}  // namespace ccredf

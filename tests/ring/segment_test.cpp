@@ -1,0 +1,139 @@
+#include "ring/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::ring {
+namespace {
+
+TEST(LinksOnPath, EnumeratesConsecutiveLinks) {
+  const RingTopology t(6);
+  const LinkSet links = links_on_path(t, 1, 3);  // links 1,2,3
+  EXPECT_EQ(links.size(), 3);
+  EXPECT_TRUE(links.contains(1));
+  EXPECT_TRUE(links.contains(2));
+  EXPECT_TRUE(links.contains(3));
+}
+
+TEST(LinksOnPath, WrapsAroundRing) {
+  const RingTopology t(4);
+  const LinkSet links = links_on_path(t, 3, 2);  // links 3, 0
+  EXPECT_TRUE(links.contains(3));
+  EXPECT_TRUE(links.contains(0));
+  EXPECT_EQ(links.size(), 2);
+}
+
+TEST(LinksOnPath, ZeroHopsIsEmpty) {
+  const RingTopology t(4);
+  EXPECT_TRUE(links_on_path(t, 2, 0).empty());
+}
+
+TEST(Segment, UnicastPath) {
+  // Paper Fig. 2: Node 1 -> Node 3 occupies links 1 and 2.
+  const RingTopology t(5);
+  const auto seg = Segment::for_transmission(t, 1, NodeSet::single(3));
+  EXPECT_EQ(seg.source(), 1u);
+  EXPECT_EQ(seg.furthest_dest(), 3u);
+  EXPECT_EQ(seg.hops(), 2u);
+  EXPECT_TRUE(seg.links().contains(1));
+  EXPECT_TRUE(seg.links().contains(2));
+  EXPECT_EQ(seg.links().size(), 2);
+}
+
+TEST(Segment, Fig2TransmissionsAreCompatible) {
+  // Paper Fig. 2: Node 1 -> Node 3 (links 1,2) and Node 4 -> {5(==0), 1}
+  // multicast can share a slot.  In our 0-based 5-ring: node 0 -> node 2
+  // and node 3 -> {4, 0}.
+  const RingTopology t(5);
+  const auto a = Segment::for_transmission(t, 0, NodeSet::single(2));
+  NodeSet multicast;
+  multicast.insert(4);
+  multicast.insert(0);
+  const auto b = Segment::for_transmission(t, 3, multicast);
+  EXPECT_TRUE(a.compatible_with(b));
+  EXPECT_TRUE(b.compatible_with(a));
+}
+
+TEST(Segment, MulticastCoversFurthestDest) {
+  const RingTopology t(6);
+  NodeSet dests;
+  dests.insert(2);
+  dests.insert(4);
+  const auto seg = Segment::for_transmission(t, 1, dests);
+  EXPECT_EQ(seg.furthest_dest(), 4u);
+  EXPECT_EQ(seg.hops(), 3u);
+  EXPECT_EQ(seg.links().size(), 3);
+}
+
+TEST(Segment, MulticastFurthestRespectsWraparound) {
+  const RingTopology t(6);
+  NodeSet dests;
+  dests.insert(0);  // 2 hops from 4
+  dests.insert(3);  // 5 hops from 4
+  const auto seg = Segment::for_transmission(t, 4, dests);
+  EXPECT_EQ(seg.furthest_dest(), 3u);
+  EXPECT_EQ(seg.hops(), 5u);
+}
+
+TEST(Segment, BroadcastSpansNMinusOne) {
+  const RingTopology t(5);
+  NodeSet all = t.all_nodes();
+  all.erase(2);
+  const auto seg = Segment::for_transmission(t, 2, all);
+  EXPECT_EQ(seg.hops(), 4u);
+  EXPECT_EQ(seg.links().size(), 4);
+  EXPECT_FALSE(seg.links().contains(t.link_into(2)));
+}
+
+TEST(Segment, OverlappingSegmentsIncompatible) {
+  const RingTopology t(6);
+  const auto a = Segment::for_transmission(t, 0, NodeSet::single(3));
+  const auto b = Segment::for_transmission(t, 2, NodeSet::single(4));
+  EXPECT_FALSE(a.compatible_with(b));  // both need link 2
+}
+
+TEST(Segment, AdjacentSegmentsCompatible) {
+  const RingTopology t(6);
+  const auto a = Segment::for_transmission(t, 0, NodeSet::single(2));
+  const auto b = Segment::for_transmission(t, 2, NodeSet::single(4));
+  EXPECT_TRUE(a.compatible_with(b));
+}
+
+TEST(Segment, FeasibleUnderMaster) {
+  const RingTopology t(5);
+  const auto seg = Segment::for_transmission(t, 1, NodeSet::single(3));
+  // seg uses links 1,2.  Masters 0,1,4 have break links 4,0,3 -> feasible;
+  // masters 2,3 have break links 1,2 -> infeasible.
+  EXPECT_TRUE(seg.feasible_under_master(t, 0));
+  EXPECT_TRUE(seg.feasible_under_master(t, 1));
+  EXPECT_TRUE(seg.feasible_under_master(t, 4));
+  EXPECT_FALSE(seg.feasible_under_master(t, 2));
+  EXPECT_FALSE(seg.feasible_under_master(t, 3));
+}
+
+TEST(Segment, OwnTransmissionAlwaysFeasibleUnderOwnMastership) {
+  // The paper's key invariant: the master's own transmission spans at
+  // most N-1 hops and never crosses its own clock break.
+  const RingTopology t(8);
+  for (NodeId src = 0; src < 8; ++src) {
+    NodeSet all = t.all_nodes();
+    all.erase(src);
+    const auto seg = Segment::for_transmission(t, src, all);
+    EXPECT_TRUE(seg.feasible_under_master(t, src));
+  }
+}
+
+TEST(Segment, RejectsBadInputs) {
+  const RingTopology t(4);
+  EXPECT_THROW(Segment::for_transmission(t, 0, NodeSet{}), ConfigError);
+  EXPECT_THROW(Segment::for_transmission(t, 0, NodeSet::single(0)),
+               ConfigError);
+  EXPECT_THROW(Segment::for_transmission(t, 9, NodeSet::single(1)),
+               ConfigError);
+  EXPECT_THROW(Segment::for_transmission(t, 0, NodeSet::single(5)),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::ring

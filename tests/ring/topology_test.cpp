@@ -1,0 +1,81 @@
+#include "ring/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::ring {
+namespace {
+
+TEST(RingTopology, Basics) {
+  const RingTopology t(5);
+  EXPECT_EQ(t.nodes(), 5u);
+  EXPECT_EQ(t.links(), 5u);
+}
+
+TEST(RingTopology, RejectsBadSizes) {
+  EXPECT_THROW(RingTopology(1), ConfigError);
+  EXPECT_THROW(RingTopology(65), ConfigError);
+  EXPECT_NO_THROW(RingTopology(2));
+  EXPECT_NO_THROW(RingTopology(64));
+}
+
+TEST(RingTopology, DownstreamWraps) {
+  const RingTopology t(4);
+  EXPECT_EQ(t.downstream(0), 1u);
+  EXPECT_EQ(t.downstream(3), 0u);
+  EXPECT_EQ(t.downstream(1, 3), 0u);
+  EXPECT_EQ(t.downstream(2, 0), 2u);
+}
+
+TEST(RingTopology, UpstreamWraps) {
+  const RingTopology t(4);
+  EXPECT_EQ(t.upstream(0), 3u);
+  EXPECT_EQ(t.upstream(2), 1u);
+  EXPECT_EQ(t.upstream(1, 2), 3u);
+}
+
+TEST(RingTopology, UpstreamInvertsDownstream) {
+  const RingTopology t(7);
+  for (NodeId n = 0; n < 7; ++n) {
+    for (NodeId h = 0; h < 7; ++h) {
+      EXPECT_EQ(t.upstream(t.downstream(n, h), h), n);
+    }
+  }
+}
+
+TEST(RingTopology, HopsDistance) {
+  const RingTopology t(6);
+  EXPECT_EQ(t.hops(0, 0), 0u);
+  EXPECT_EQ(t.hops(0, 3), 3u);
+  EXPECT_EQ(t.hops(4, 1), 3u);
+  EXPECT_EQ(t.hops(5, 4), 5u);  // nearly all the way round
+}
+
+TEST(RingTopology, LinkNumbering) {
+  const RingTopology t(5);
+  EXPECT_EQ(t.link_from(2), 2u);
+  EXPECT_EQ(t.link_into(3), 2u);
+  EXPECT_EQ(t.link_into(0), 4u);
+}
+
+TEST(RingTopology, BreakLinkIsLinkIntoMaster) {
+  // The clock dies on the link entering the master (paper §2): the clock
+  // travels N-1 hops from the master, covering all links except that one.
+  const RingTopology t(5);
+  for (NodeId m = 0; m < 5; ++m) {
+    EXPECT_EQ(t.break_link(m), t.link_into(m));
+  }
+  EXPECT_EQ(t.break_link(0), 4u);
+  EXPECT_EQ(t.break_link(3), 2u);
+}
+
+TEST(RingTopology, AllNodesMask) {
+  const RingTopology t(4);
+  EXPECT_EQ(t.all_nodes().size(), 4);
+  for (NodeId n = 0; n < 4; ++n) EXPECT_TRUE(t.all_nodes().contains(n));
+  EXPECT_FALSE(t.all_nodes().contains(4));
+}
+
+}  // namespace
+}  // namespace ccredf::ring

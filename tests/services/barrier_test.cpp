@@ -1,0 +1,118 @@
+#include "services/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::services {
+namespace {
+
+using sim::Duration;
+
+net::NetworkConfig cfg6() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 6;
+  return cfg;
+}
+
+TEST(Barrier, CompletesWhenAllArrive) {
+  net::Network n(cfg6());
+  BarrierService b(n);
+  b.begin(n.topology().all_nodes());
+  for (NodeId i = 0; i < 6; ++i) b.arrive(i);
+  EXPECT_FALSE(b.complete());
+  n.run_slots(3);
+  EXPECT_TRUE(b.complete());
+  ASSERT_TRUE(b.completion_time().has_value());
+  EXPECT_EQ(b.barriers_completed(), 1);
+}
+
+TEST(Barrier, IncompleteWithoutAllArrivals) {
+  net::Network n(cfg6());
+  BarrierService b(n);
+  b.begin(n.topology().all_nodes());
+  for (NodeId i = 0; i < 5; ++i) b.arrive(i);  // node 5 missing
+  n.run_slots(10);
+  EXPECT_FALSE(b.complete());
+}
+
+TEST(Barrier, LatencyWithinOneSlotExtentWhenAllPresent) {
+  net::Network n(cfg6());
+  BarrierService b(n);
+  b.begin(n.topology().all_nodes());
+  n.run_slots(2);  // let some slots pass first
+  for (NodeId i = 0; i < 6; ++i) b.arrive(i);
+  n.run_slots(3);
+  ASSERT_TRUE(b.latency().has_value());
+  // All flags are collected in the next collection phase: completion
+  // within two slot extents of the last arrival.
+  EXPECT_LE(*b.latency(), 2 * n.timing().slot_plus_max_gap());
+}
+
+TEST(Barrier, LateArrivalDelaysCompletion) {
+  net::Network n(cfg6());
+  BarrierService b(n);
+  b.begin(n.topology().all_nodes());
+  for (NodeId i = 0; i < 5; ++i) b.arrive(i);
+  n.run_slots(5);
+  EXPECT_FALSE(b.complete());
+  b.arrive(5);
+  n.run_slots(3);
+  EXPECT_TRUE(b.complete());
+}
+
+TEST(Barrier, SubsetBarrier) {
+  net::Network n(cfg6());
+  BarrierService b(n);
+  NodeSet group;
+  group.insert(1);
+  group.insert(3);
+  b.begin(group);
+  b.arrive(1);
+  b.arrive(3);
+  n.run_slots(3);
+  EXPECT_TRUE(b.complete());
+  EXPECT_THROW(b.arrive(0), ConfigError);  // after completion: no barrier
+}
+
+TEST(Barrier, NonParticipantRejected) {
+  net::Network n(cfg6());
+  BarrierService b(n);
+  b.begin(NodeSet::single(1));
+  EXPECT_THROW(b.arrive(2), ConfigError);
+}
+
+TEST(Barrier, SequentialRounds) {
+  net::Network n(cfg6());
+  BarrierService b(n);
+  for (int round = 0; round < 3; ++round) {
+    b.begin(n.topology().all_nodes());
+    for (NodeId i = 0; i < 6; ++i) b.arrive(i);
+    n.run_slots(3);
+    ASSERT_TRUE(b.complete()) << "round " << round;
+  }
+  EXPECT_EQ(b.barriers_completed(), 3);
+}
+
+TEST(Barrier, CannotBeginWhileActive) {
+  net::Network n(cfg6());
+  BarrierService b(n);
+  b.begin(n.topology().all_nodes());
+  EXPECT_THROW(b.begin(n.topology().all_nodes()), ConfigError);
+}
+
+TEST(Barrier, DoubleArriveIsIdempotent) {
+  net::Network n(cfg6());
+  BarrierService b(n);
+  b.begin(NodeSet::single(0) | NodeSet::single(1));
+  b.arrive(0);
+  b.arrive(0);
+  n.run_slots(3);
+  EXPECT_FALSE(b.complete());
+  b.arrive(1);
+  n.run_slots(3);
+  EXPECT_TRUE(b.complete());
+}
+
+}  // namespace
+}  // namespace ccredf::services

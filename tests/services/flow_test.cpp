@@ -1,0 +1,86 @@
+#include "services/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::services {
+namespace {
+
+using sim::Duration;
+
+net::NetworkConfig cfg6() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 6;
+  return cfg;
+}
+
+TEST(Flow, SendsWithinWindow) {
+  net::Network n(cfg6());
+  CreditFlowControl fc(n, 2);
+  EXPECT_TRUE(fc.send(0, 3, 1, Duration::milliseconds(1)));
+  EXPECT_TRUE(fc.send(0, 3, 1, Duration::milliseconds(1)));
+  EXPECT_EQ(fc.credits(0, 3), 0);
+}
+
+TEST(Flow, BlocksBeyondWindow) {
+  net::Network n(cfg6());
+  CreditFlowControl fc(n, 2);
+  EXPECT_TRUE(fc.send(0, 3, 1, Duration::milliseconds(1)));
+  EXPECT_TRUE(fc.send(0, 3, 1, Duration::milliseconds(1)));
+  EXPECT_FALSE(fc.send(0, 3, 1, Duration::milliseconds(1)));
+  EXPECT_EQ(fc.blocked(0, 3), 1u);
+  EXPECT_EQ(fc.sends_blocked_total(), 1);
+}
+
+TEST(Flow, CreditsReturnOnDelivery) {
+  net::Network n(cfg6());
+  CreditFlowControl fc(n, 1);
+  EXPECT_TRUE(fc.send(0, 3, 1, Duration::milliseconds(1)));
+  n.run_slots(10);
+  EXPECT_EQ(fc.credits(0, 3), 1);
+}
+
+TEST(Flow, BlockedSendsDrainAutomatically) {
+  net::Network n(cfg6());
+  CreditFlowControl fc(n, 1);
+  for (int i = 0; i < 5; ++i) {
+    fc.send(0, 3, 1, Duration::milliseconds(10));
+  }
+  EXPECT_EQ(fc.blocked(0, 3), 4u);
+  n.run_slots(60);
+  EXPECT_EQ(fc.blocked(0, 3), 0u);
+  EXPECT_EQ(n.node(3).inbox().size(), 5u);
+}
+
+TEST(Flow, PairsAreIndependent) {
+  net::Network n(cfg6());
+  CreditFlowControl fc(n, 1);
+  EXPECT_TRUE(fc.send(0, 3, 1, Duration::milliseconds(1)));
+  // Different pair: fresh window.
+  EXPECT_TRUE(fc.send(0, 4, 1, Duration::milliseconds(1)));
+  EXPECT_TRUE(fc.send(1, 3, 1, Duration::milliseconds(1)));
+  EXPECT_FALSE(fc.send(0, 3, 1, Duration::milliseconds(1)));
+}
+
+TEST(Flow, WindowPreservedAcrossManyRounds) {
+  net::Network n(cfg6());
+  CreditFlowControl fc(n, 3);
+  for (int round = 0; round < 10; ++round) {
+    fc.send(1, 4, 1, Duration::milliseconds(10));
+    n.run_slots(8);
+  }
+  n.run_slots(40);
+  EXPECT_EQ(fc.credits(1, 4), 3);
+  EXPECT_EQ(n.node(4).inbox().size(), 10u);
+}
+
+TEST(Flow, RejectsBadConfig) {
+  net::Network n(cfg6());
+  EXPECT_THROW(CreditFlowControl(n, 0), ConfigError);
+  CreditFlowControl fc(n, 1);
+  EXPECT_THROW(fc.send(2, 2, 1, Duration::milliseconds(1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::services

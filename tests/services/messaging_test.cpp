@@ -1,0 +1,125 @@
+#include "services/messaging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ccredf::services {
+namespace {
+
+using core::TrafficClass;
+using sim::Duration;
+
+net::NetworkConfig cfg6() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 6;
+  return cfg;
+}
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), std::uint8_t{1});
+  return v;
+}
+
+TEST(Messenger, PayloadDeliveredIntact) {
+  net::Network n(cfg6());
+  Messenger msn(n);
+  Messenger::Received got;
+  msn.set_handler(3, [&](NodeId self, const Messenger::Received& r) {
+    EXPECT_EQ(self, 3u);
+    got = r;
+  });
+  const auto payload = pattern(100);
+  msn.send_bytes(0, 3, payload, TrafficClass::kBestEffort,
+                 Duration::milliseconds(1));
+  n.run_slots(8);
+  EXPECT_EQ(got.payload, payload);
+  EXPECT_EQ(got.source, 0u);
+  EXPECT_TRUE(got.met_deadline);
+  EXPECT_EQ(msn.messages_received(), 1);
+}
+
+TEST(Messenger, SlotsForRoundsUp) {
+  net::Network n(cfg6());
+  Messenger msn(n);
+  const std::int64_t per_slot = n.timing().payload_bytes();
+  EXPECT_EQ(msn.slots_for(1), 1);
+  EXPECT_EQ(msn.slots_for(per_slot), 1);
+  EXPECT_EQ(msn.slots_for(per_slot + 1), 2);
+  EXPECT_EQ(msn.slots_for(3 * per_slot), 3);
+  EXPECT_EQ(msn.slots_for(0), 1);  // empty message still takes a slot
+}
+
+TEST(Messenger, LargePayloadSpansSlots) {
+  net::Network n(cfg6());
+  Messenger msn(n);
+  bool got = false;
+  const auto bytes = static_cast<std::size_t>(
+      n.timing().payload_bytes() * 3 + 10);
+  msn.set_handler(2, [&](NodeId, const Messenger::Received& r) {
+    got = true;
+    EXPECT_EQ(r.payload.size(), bytes);
+  });
+  std::vector<std::uint8_t> payload(bytes, 0xAB);
+  msn.send_bytes(1, 2, payload, TrafficClass::kBestEffort,
+                 Duration::milliseconds(5));
+  n.run_slots(12);
+  EXPECT_TRUE(got);
+  EXPECT_EQ(n.stats().total_grants, 4);
+}
+
+TEST(Messenger, MulticastHandlersAllFire) {
+  net::Network n(cfg6());
+  Messenger msn(n);
+  int fired = 0;
+  for (const NodeId dst : {NodeId{2}, NodeId{4}}) {
+    msn.set_handler(dst,
+                    [&](NodeId, const Messenger::Received&) { ++fired; });
+  }
+  NodeSet dests;
+  dests.insert(2);
+  dests.insert(4);
+  msn.multicast_bytes(0, dests, pattern(16), TrafficClass::kBestEffort,
+                      Duration::milliseconds(1));
+  n.run_slots(6);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Messenger, ShortMessageSingleSlotOnly) {
+  net::Network n(cfg6());
+  Messenger msn(n);
+  const auto per_slot = static_cast<std::size_t>(n.timing().payload_bytes());
+  EXPECT_NO_THROW(msn.send_short(0, 1, pattern(per_slot),
+                                 Duration::milliseconds(1)));
+  EXPECT_THROW(msn.send_short(0, 1, pattern(per_slot + 1),
+                              Duration::milliseconds(1)),
+               ConfigError);
+}
+
+TEST(Messenger, HandlerBoundsChecked) {
+  net::Network n(cfg6());
+  Messenger msn(n);
+  EXPECT_THROW(msn.set_handler(6, nullptr), ConfigError);
+}
+
+TEST(Messenger, InterleavedMessagesKeepPayloadsSeparate) {
+  net::Network n(cfg6());
+  Messenger msn(n);
+  std::vector<std::vector<std::uint8_t>> got;
+  msn.set_handler(5, [&](NodeId, const Messenger::Received& r) {
+    got.push_back(r.payload);
+  });
+  msn.send_bytes(0, 5, std::vector<std::uint8_t>{1, 1, 1},
+                 TrafficClass::kBestEffort, Duration::milliseconds(1));
+  msn.send_bytes(1, 5, std::vector<std::uint8_t>{2, 2},
+                 TrafficClass::kBestEffort, Duration::milliseconds(2));
+  n.run_slots(10);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_NE(got[0], got[1]);
+}
+
+}  // namespace
+}  // namespace ccredf::services

@@ -1,0 +1,111 @@
+#include "services/ordered_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::services {
+namespace {
+
+using sim::Duration;
+
+net::NetworkConfig cfg6() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 6;
+  return cfg;
+}
+
+TEST(OrderedBroadcast, SingleBroadcastReachesEveryoneWithSeqZero) {
+  net::Network n(cfg6());
+  OrderedBroadcast ob(n);
+  int fired = 0;
+  for (NodeId i = 0; i < 6; ++i) {
+    ob.set_handler(i, [&](NodeId, const OrderedBroadcast::Ordered& o) {
+      EXPECT_EQ(o.sequence, 0);
+      EXPECT_EQ(o.source, 2u);
+      ++fired;
+    });
+  }
+  ob.broadcast(2, 1, Duration::milliseconds(1));
+  n.run_slots(6);
+  EXPECT_EQ(fired, 6);  // 5 destinations + the source's own notification
+  EXPECT_EQ(ob.delivered(), 1);
+}
+
+TEST(OrderedBroadcast, AllNodesSeeTheSameOrder) {
+  net::Network n(cfg6());
+  OrderedBroadcast ob(n);
+  // Each node records the (sequence, id) pairs it observes.
+  std::map<NodeId, std::vector<std::pair<std::int64_t, MessageId>>> seen;
+  for (NodeId i = 0; i < 6; ++i) {
+    ob.set_handler(i, [&, i](NodeId, const OrderedBroadcast::Ordered& o) {
+      seen[i].emplace_back(o.sequence, o.id);
+    });
+  }
+  // Competing broadcasts from several sources, staggered in time.
+  sim::Rng rng(5);
+  for (int k = 0; k < 10; ++k) {
+    const auto src = static_cast<NodeId>(rng.uniform_u64(6));
+    const auto delay = n.timing().slot() * rng.uniform_int(0, 30);
+    n.sim().schedule_in(delay, [&ob, src] {
+      ob.broadcast(src, 1, Duration::milliseconds(5));
+    });
+  }
+  n.run_slots(200);
+  EXPECT_EQ(ob.delivered(), 10);
+  // Every node observed an identical, gap-free sequence of ids (sources
+  // are notified of their own broadcasts, so all nodes see all ten).
+  const auto& reference = seen[0];
+  ASSERT_EQ(reference.size(), 10u);
+  for (std::int64_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(reference[static_cast<std::size_t>(s)].first, s);
+  }
+  for (NodeId i = 1; i < 6; ++i) {
+    EXPECT_EQ(seen[i], reference) << "node " << i;
+  }
+}
+
+TEST(OrderedBroadcast, SequenceFollowsDeliveryNotSubmission) {
+  net::Network n(cfg6());
+  OrderedBroadcast ob(n);
+  std::vector<NodeId> order;
+  ob.set_handler(3, [&](NodeId, const OrderedBroadcast::Ordered& o) {
+    order.push_back(o.source);
+  });
+  // An urgent later broadcast overtakes an earlier lazy one.
+  ob.broadcast(0, 1, Duration::milliseconds(100));  // lazy
+  ob.broadcast(1, 1, Duration::microseconds(5));    // urgent
+  n.run_slots(10);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(OrderedBroadcast, MultiSlotBroadcastsStayOrdered) {
+  net::Network n(cfg6());
+  OrderedBroadcast ob(n);
+  std::vector<std::int64_t> seqs;
+  ob.set_handler(5, [&](NodeId, const OrderedBroadcast::Ordered& o) {
+    seqs.push_back(o.sequence);
+  });
+  for (int k = 0; k < 5; ++k) {
+    ob.broadcast(static_cast<NodeId>(k % 3), 3, Duration::milliseconds(10));
+  }
+  n.run_slots(60);
+  ASSERT_EQ(seqs.size(), 5u);
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(OrderedBroadcast, HandlerBoundsChecked) {
+  net::Network n(cfg6());
+  OrderedBroadcast ob(n);
+  EXPECT_THROW(ob.set_handler(6, nullptr), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::services

@@ -1,0 +1,125 @@
+#include "services/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::services {
+namespace {
+
+net::NetworkConfig cfg5() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 5;
+  return cfg;
+}
+
+TEST(ReduceOps, Semantics) {
+  EXPECT_EQ(apply_reduce(ReduceOp::kSum, 3, 4), 7);
+  EXPECT_EQ(apply_reduce(ReduceOp::kMin, 3, 4), 3);
+  EXPECT_EQ(apply_reduce(ReduceOp::kMax, 3, 4), 4);
+  EXPECT_EQ(apply_reduce(ReduceOp::kBitAnd, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(apply_reduce(ReduceOp::kBitOr, 0b1100, 0b1010), 0b1110);
+}
+
+TEST(ReduceOps, Identities) {
+  for (const auto op : {ReduceOp::kSum, ReduceOp::kMin, ReduceOp::kMax,
+                        ReduceOp::kBitAnd, ReduceOp::kBitOr}) {
+    for (const std::int64_t v : {-17L, 0L, 42L}) {
+      EXPECT_EQ(apply_reduce(op, reduce_identity(op), v), v);
+    }
+  }
+}
+
+TEST(GlobalReduce, SumAcrossAllNodes) {
+  net::Network n(cfg5());
+  GlobalReduceService r(n);
+  r.begin(n.topology().all_nodes(), ReduceOp::kSum);
+  for (NodeId i = 0; i < 5; ++i) {
+    r.contribute(i, static_cast<std::int64_t>(i) * 10);
+  }
+  n.run_slots(3);
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(*r.result(), 0 + 10 + 20 + 30 + 40);
+  EXPECT_EQ(r.rounds_completed(), 1);
+}
+
+TEST(GlobalReduce, MinAndMax) {
+  net::Network n(cfg5());
+  GlobalReduceService r(n);
+  r.begin(n.topology().all_nodes(), ReduceOp::kMin);
+  const std::int64_t vals[] = {7, -3, 12, 0, 5};
+  for (NodeId i = 0; i < 5; ++i) r.contribute(i, vals[i]);
+  n.run_slots(3);
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(*r.result(), -3);
+
+  r.begin(n.topology().all_nodes(), ReduceOp::kMax);
+  for (NodeId i = 0; i < 5; ++i) r.contribute(i, vals[i]);
+  n.run_slots(3);
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(*r.result(), 12);
+}
+
+TEST(GlobalReduce, WaitsForStragglers) {
+  net::Network n(cfg5());
+  GlobalReduceService r(n);
+  r.begin(n.topology().all_nodes(), ReduceOp::kSum);
+  for (NodeId i = 0; i < 4; ++i) r.contribute(i, 1);
+  n.run_slots(5);
+  EXPECT_FALSE(r.complete());
+  r.contribute(4, 1);
+  n.run_slots(3);
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(*r.result(), 5);
+}
+
+TEST(GlobalReduce, SubsetGroup) {
+  net::Network n(cfg5());
+  GlobalReduceService r(n);
+  NodeSet group;
+  group.insert(0);
+  group.insert(2);
+  r.begin(group, ReduceOp::kBitOr);
+  r.contribute(0, 0b01);
+  r.contribute(2, 0b10);
+  n.run_slots(3);
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(*r.result(), 0b11);
+  EXPECT_THROW(r.contribute(1, 1), ConfigError);  // round over + non-member
+}
+
+TEST(GlobalReduce, DoubleContributeKeepsFirstValue) {
+  net::Network n(cfg5());
+  GlobalReduceService r(n);
+  NodeSet group = NodeSet::single(0) | NodeSet::single(1);
+  r.begin(group, ReduceOp::kSum);
+  r.contribute(0, 5);
+  r.contribute(0, 500);  // ignored
+  r.contribute(1, 1);
+  n.run_slots(3);
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(*r.result(), 6);
+}
+
+TEST(GlobalReduce, CompletionAtSlotEnd) {
+  net::Network n(cfg5());
+  GlobalReduceService r(n);
+  r.begin(n.topology().all_nodes(), ReduceOp::kSum);
+  for (NodeId i = 0; i < 5; ++i) r.contribute(i, 1);
+  n.run_slots(3);
+  ASSERT_TRUE(r.completion_time().has_value());
+  // Result known within two slot extents of the contributions.
+  EXPECT_LE(*r.completion_time(), sim::TimePoint::origin() +
+                                      2 * n.timing().slot_plus_max_gap());
+}
+
+TEST(GlobalReduce, BeginWhileActiveThrows) {
+  net::Network n(cfg5());
+  GlobalReduceService r(n);
+  r.begin(n.topology().all_nodes(), ReduceOp::kSum);
+  EXPECT_THROW(r.begin(n.topology().all_nodes(), ReduceOp::kSum),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::services

@@ -1,0 +1,141 @@
+#include "services/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::services {
+namespace {
+
+using sim::Duration;
+
+net::NetworkConfig cfg6() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 6;
+  return cfg;
+}
+
+TEST(Reliable, LosslessTransferCompletesFirstAttempt) {
+  net::Network n(cfg6());
+  ReliableChannel ch(n, ReliableChannel::Params{});
+  ReliableChannel::TransferResult result;
+  bool done = false;
+  ch.send(0, 3, 1, Duration::milliseconds(1),
+          [&](const ReliableChannel::TransferResult& r) {
+            result = r;
+            done = true;
+          });
+  n.run_slots(10);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(ch.retransmissions(), 0);
+  EXPECT_EQ(ch.transfers_delivered(), 1);
+}
+
+TEST(Reliable, LossTriggersRetransmission) {
+  net::Network n(cfg6());
+  ReliableChannel::Params p;
+  p.loss_probability = 0.5;
+  p.seed = 3;
+  p.timeout_slots = 4;
+  ReliableChannel ch(n, p);
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    ch.send(0, 3, 1, Duration::milliseconds(50),
+            [&](const ReliableChannel::TransferResult& r) {
+              EXPECT_TRUE(r.delivered);
+              ++completed;
+            });
+  }
+  n.run_slots(1500);
+  EXPECT_EQ(completed, 20);
+  EXPECT_GT(ch.retransmissions(), 0);
+  EXPECT_EQ(ch.transfers_failed(), 0);
+}
+
+TEST(Reliable, RetriedTransferTakesLonger) {
+  net::Network lossless(cfg6());
+  net::Network lossy(cfg6());
+  ReliableChannel ok(lossless, ReliableChannel::Params{});
+  ReliableChannel::Params p;
+  p.loss_probability = 0.9;
+  p.seed = 5;
+  p.timeout_slots = 4;
+  ReliableChannel bad(lossy, p);
+
+  sim::TimePoint t_ok, t_bad;
+  ok.send(0, 3, 1, Duration::milliseconds(100),
+          [&](const ReliableChannel::TransferResult& r) {
+            t_ok = r.completed;
+          });
+  bad.send(0, 3, 1, Duration::milliseconds(100),
+           [&](const ReliableChannel::TransferResult& r) {
+             t_bad = r.completed;
+           });
+  lossless.run_slots(800);
+  lossy.run_slots(800);
+  EXPECT_GT(t_bad, t_ok);
+}
+
+TEST(Reliable, GivesUpAfterMaxAttempts) {
+  net::Network n(cfg6());
+  ReliableChannel::Params p;
+  p.loss_probability = 0.999999;  // effectively always lost
+  p.max_attempts = 3;
+  p.timeout_slots = 2;
+  ReliableChannel ch(n, p);
+  ReliableChannel::TransferResult result;
+  bool done = false;
+  ch.send(0, 3, 1, Duration::milliseconds(50),
+          [&](const ReliableChannel::TransferResult& r) {
+            result = r;
+            done = true;
+          });
+  n.run_slots(400);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.delivered);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(ch.transfers_failed(), 1);
+}
+
+TEST(Reliable, ManyConcurrentTransfers) {
+  net::Network n(cfg6());
+  ReliableChannel::Params p;
+  p.loss_probability = 0.2;
+  p.seed = 11;
+  ReliableChannel ch(n, p);
+  int completed = 0;
+  for (NodeId src = 0; src < 6; ++src) {
+    for (int k = 0; k < 5; ++k) {
+      ch.send(src, (src + 1 + static_cast<NodeId>(k)) % 6, 1,
+              Duration::milliseconds(50),
+              [&](const ReliableChannel::TransferResult& r) {
+                EXPECT_TRUE(r.delivered);
+                ++completed;
+              });
+    }
+  }
+  n.run_slots(3000);
+  EXPECT_EQ(completed, 30);
+}
+
+TEST(Reliable, RejectsBadParams) {
+  net::Network n(cfg6());
+  ReliableChannel::Params p;
+  p.loss_probability = 1.0;
+  EXPECT_THROW(ReliableChannel(n, p), ConfigError);
+  p = ReliableChannel::Params{};
+  p.timeout_slots = 0;
+  EXPECT_THROW(ReliableChannel(n, p), ConfigError);
+}
+
+TEST(Reliable, RejectsSelfSend) {
+  net::Network n(cfg6());
+  ReliableChannel ch(n, ReliableChannel::Params{});
+  EXPECT_THROW(ch.send(2, 2, 1, Duration::milliseconds(1), nullptr),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::services

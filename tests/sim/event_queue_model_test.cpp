@@ -1,0 +1,79 @@
+// Model-based fuzz of EventQueue against a std::multimap reference.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::sim {
+namespace {
+
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, MatchesReferenceOrdering) {
+  Rng rng(GetParam());
+  EventQueue real;
+  // Reference: (time, seq) -> payload; seq encodes insertion order.
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, int> ref;
+  std::vector<EventId> live_ids;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> id_keys;  // by index
+  std::vector<int> fired_real;
+  std::uint64_t seq = 0;
+  int payload = 0;
+
+  for (int op = 0; op < 5'000; ++op) {
+    const auto action = rng.uniform_u64(10);
+    if (action < 6) {  // schedule
+      const std::int64_t t_ps = rng.uniform_int(0, 1'000);
+      const int tag = payload++;
+      const EventId id = real.schedule(
+          TimePoint::origin() + Duration::picoseconds(t_ps),
+          [tag, &fired_real] { fired_real.push_back(tag); });
+      ref.emplace(std::pair{t_ps, seq}, tag);
+      live_ids.push_back(id);
+      id_keys.push_back({t_ps, seq});
+      ++seq;
+    } else if (action < 8 && !real.empty()) {  // pop
+      ASSERT_FALSE(ref.empty());
+      const auto ev = real.pop();
+      ev.fn();
+      const auto it = ref.begin();
+      ASSERT_EQ(fired_real.back(), it->second) << "op " << op;
+      ASSERT_EQ(ev.time.since_origin().ps(), it->first.first);
+      ref.erase(it);
+    } else if (!live_ids.empty()) {  // cancel a random id
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_u64(live_ids.size()));
+      const bool ok = real.cancel(live_ids[idx]);
+      // Mirror in the reference: find by exact key + payload unknown --
+      // key is unique because seq is unique.
+      const auto it = ref.find(id_keys[idx]);
+      ASSERT_EQ(ok, it != ref.end()) << "op " << op;
+      if (it != ref.end()) ref.erase(it);
+    }
+    ASSERT_EQ(real.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(real.next_time().since_origin().ps(),
+                ref.begin()->first.first);
+    } else {
+      ASSERT_TRUE(real.empty());
+    }
+  }
+  // Drain and verify final ordering.
+  while (!real.empty()) {
+    const auto ev = real.pop();
+    ev.fn();
+    const auto it = ref.begin();
+    ASSERT_EQ(fired_real.back(), it->second);
+    ref.erase(it);
+  }
+  ASSERT_TRUE(ref.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace ccredf::sim

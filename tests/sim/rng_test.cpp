@@ -1,0 +1,176 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace ccredf::sim {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 50; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 45u);  // not stuck
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng r(3);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.uniform_u64(7), 7u);
+  }
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(r.uniform_u64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformU64RejectsZeroBound) {
+  Rng r(1);
+  EXPECT_THROW((void)r.uniform_u64(0), ConfigError);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng r(1);
+  EXPECT_THROW((void)r.uniform_int(3, 2), ConfigError);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(13);
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(17);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(1);
+  EXPECT_THROW((void)r.exponential(0.0), ConfigError);
+  EXPECT_THROW((void)r.exponential(-1.0), ConfigError);
+}
+
+TEST(Rng, ExponentialDuration) {
+  Rng r(19);
+  double sum_ns = 0.0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    sum_ns += r.exponential(Duration::nanoseconds(100)).ns();
+  }
+  EXPECT_NEAR(sum_ns / kN, 100.0, 3.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(23);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(29);
+  int hits = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng r(31);
+  auto p = r.permutation(20);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng r(37);
+  const auto p = r.permutation(50);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(41);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(43), b(43);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+}  // namespace
+}  // namespace ccredf::sim

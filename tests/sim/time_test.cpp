@@ -1,0 +1,109 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccredf::sim {
+namespace {
+
+using namespace ccredf::sim::literals;
+
+TEST(Duration, UnitConstructorsAgree) {
+  EXPECT_EQ(Duration::nanoseconds(1).ps(), 1'000);
+  EXPECT_EQ(Duration::microseconds(1).ps(), 1'000'000);
+  EXPECT_EQ(Duration::milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_EQ(Duration::seconds(1).ps(), 1'000'000'000'000);
+}
+
+TEST(Duration, LiteralsMatchFactories) {
+  EXPECT_EQ(5_ns, Duration::nanoseconds(5));
+  EXPECT_EQ(7_us, Duration::microseconds(7));
+  EXPECT_EQ(3_ms, Duration::milliseconds(3));
+  EXPECT_EQ(2_s, Duration::seconds(2));
+  EXPECT_EQ(9_ps, Duration::picoseconds(9));
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(3_ns + 2_ns, 5_ns);
+  EXPECT_EQ(3_ns - 2_ns, 1_ns);
+  EXPECT_EQ(3_ns * 4, 12_ns);
+  EXPECT_EQ(4 * 3_ns, 12_ns);
+  EXPECT_EQ(12_ns / 4, 3_ns);
+  EXPECT_EQ(-(3_ns), Duration::nanoseconds(-3));
+}
+
+TEST(Duration, IntegerRatioAndRemainder) {
+  EXPECT_EQ(10_ns / (3_ns), 3);
+  EXPECT_EQ(10_ns % (3_ns), 1_ns);
+  EXPECT_EQ(9_ns / (3_ns), 3);
+  EXPECT_EQ(9_ns % (3_ns), 0_ps);
+}
+
+TEST(Duration, RealRatio) {
+  EXPECT_DOUBLE_EQ((1_ns).ratio(2_ns), 0.5);
+  EXPECT_DOUBLE_EQ((3_ns).ratio(3_ns), 1.0);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(1_ns, 2_ns);
+  EXPECT_GT(1_us, 999_ns);
+  EXPECT_LE(1_ns, 1_ns);
+  EXPECT_LT(1_ms, Duration::infinity());
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = 5_ns;
+  d += 3_ns;
+  EXPECT_EQ(d, 8_ns);
+  d -= 7_ns;
+  EXPECT_EQ(d, 1_ns);
+}
+
+TEST(Duration, ConversionAccessors) {
+  EXPECT_DOUBLE_EQ((1500_ps).ns(), 1.5);
+  EXPECT_DOUBLE_EQ((2500_ns).us(), 2.5);
+  EXPECT_DOUBLE_EQ((3500_us).ms(), 3.5);
+  EXPECT_DOUBLE_EQ((4500_ms).s(), 4.5);
+}
+
+TEST(TimePoint, OriginAndAdvance) {
+  const TimePoint t0 = TimePoint::origin();
+  EXPECT_EQ(t0.ps(), 0);
+  const TimePoint t1 = t0 + 5_ns;
+  EXPECT_EQ((t1 - t0), 5_ns);
+  EXPECT_LT(t0, t1);
+  EXPECT_LT(t1, TimePoint::infinity());
+}
+
+TEST(TimePoint, AtSinceOriginRoundTrip) {
+  const TimePoint t = TimePoint::at(123_us);
+  EXPECT_EQ(t.since_origin(), 123_us);
+}
+
+TEST(TimePoint, CompoundAdd) {
+  TimePoint t = TimePoint::origin();
+  t += 4_ns;
+  EXPECT_EQ(t.since_origin(), 4_ns);
+}
+
+TEST(TimeFormat, StreamsHumanReadable) {
+  std::ostringstream os;
+  os << 1500_ps;
+  EXPECT_EQ(os.str(), "1500ps");
+  os.str("");
+  os << 150_ns;
+  EXPECT_EQ(os.str(), "150ns");
+  os.str("");
+  os << 15_us;
+  EXPECT_NE(os.str().find("us"), std::string::npos);
+}
+
+TEST(TimeFormat, TimePointPrefixed) {
+  std::ostringstream os;
+  os << TimePoint::origin() + 3_ns;
+  EXPECT_EQ(os.str().rfind("t+", 0), 0u);
+}
+
+}  // namespace
+}  // namespace ccredf::sim

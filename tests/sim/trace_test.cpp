@@ -1,0 +1,89 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccredf::sim {
+namespace {
+
+using namespace ccredf::sim::literals;
+
+TimePoint at(Duration d) { return TimePoint::origin() + d; }
+
+TEST(Trace, DisabledByDefault) {
+  Trace t;
+  t.set_capture(true);
+  bool evaluated = false;
+  t.emit(at(1_ns), TraceCategory::kSlot, [&] {
+    evaluated = true;
+    return "x";
+  });
+  EXPECT_FALSE(evaluated);  // zero-cost when category disabled
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, CapturesWhenEnabled) {
+  Trace t;
+  t.set_capture(true);
+  t.enable(TraceCategory::kSlot);
+  t.emit(at(5_ns), TraceCategory::kSlot, [] { return "slot event"; });
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].text, "slot event");
+  EXPECT_EQ(t.records()[0].time, at(5_ns));
+  EXPECT_EQ(t.records()[0].category, TraceCategory::kSlot);
+}
+
+TEST(Trace, CategoryFiltering) {
+  Trace t;
+  t.set_capture(true);
+  t.enable(TraceCategory::kFault);
+  t.emit(at(1_ns), TraceCategory::kSlot, [] { return "no"; });
+  t.emit(at(2_ns), TraceCategory::kFault, [] { return "yes"; });
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].text, "yes");
+}
+
+TEST(Trace, EnableAllDisableAll) {
+  Trace t;
+  t.enable_all();
+  for (const auto c :
+       {TraceCategory::kSlot, TraceCategory::kArbitration,
+        TraceCategory::kData, TraceCategory::kService,
+        TraceCategory::kFault, TraceCategory::kAdmission}) {
+    EXPECT_TRUE(t.enabled(c));
+  }
+  t.disable_all();
+  EXPECT_FALSE(t.enabled(TraceCategory::kSlot));
+}
+
+TEST(Trace, DisableSingleCategory) {
+  Trace t;
+  t.enable_all();
+  t.disable(TraceCategory::kData);
+  EXPECT_FALSE(t.enabled(TraceCategory::kData));
+  EXPECT_TRUE(t.enabled(TraceCategory::kSlot));
+}
+
+TEST(Trace, StreamsFormattedOutput) {
+  Trace t;
+  std::ostringstream os;
+  t.set_stream(&os);
+  t.enable(TraceCategory::kAdmission);
+  t.emit(at(3_ns), TraceCategory::kAdmission, [] { return "admitted c1"; });
+  const std::string out = os.str();
+  EXPECT_NE(out.find("[adm]"), std::string::npos);
+  EXPECT_NE(out.find("admitted c1"), std::string::npos);
+}
+
+TEST(Trace, ClearResetsRecords) {
+  Trace t;
+  t.set_capture(true);
+  t.enable(TraceCategory::kSlot);
+  t.emit(at(1_ns), TraceCategory::kSlot, [] { return "a"; });
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+}  // namespace
+}  // namespace ccredf::sim

@@ -1,0 +1,116 @@
+#include "workload/burst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ccredf::workload {
+namespace {
+
+net::NetworkConfig cfg8() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 8;
+  return cfg;
+}
+
+TEST(Burst, GeneratesTrafficInBursts) {
+  net::Network n(cfg8());
+  BurstParams p;
+  p.mean_idle_slots = 50.0;
+  p.mean_burst_slots = 30.0;
+  p.burst_rate = 1.0;
+  p.seed = 5;
+  BurstGenerator gen(n, p,
+                     sim::TimePoint::origin() + n.timing().slot() * 4000);
+  n.run_slots(4500);
+  EXPECT_GT(gen.bursts_started(), 10);
+  EXPECT_GT(gen.generated(), 100);
+  EXPECT_GT(n.stats().cls(core::TrafficClass::kBestEffort).delivered, 50);
+}
+
+TEST(Burst, IdlePhasesProduceSilence) {
+  // With enormous idle phases and the horizon inside the first one,
+  // nothing is generated.
+  net::Network n(cfg8());
+  BurstParams p;
+  p.mean_idle_slots = 1e7;
+  p.seed = 1;
+  BurstGenerator gen(n, p,
+                     sim::TimePoint::origin() + n.timing().slot() * 100);
+  n.run_slots(150);
+  EXPECT_EQ(gen.generated(), 0);
+}
+
+TEST(Burst, BurstsTargetASinglePeer) {
+  net::Network n(cfg8());
+  BurstParams p;
+  p.mean_idle_slots = 10.0;
+  p.mean_burst_slots = 50.0;
+  p.burst_rate = 2.0;
+  p.seed = 9;
+  BurstGenerator gen(n, p,
+                     sim::TimePoint::origin() + n.timing().slot() * 500);
+  n.run_slots(800);
+  // Deliveries exist and every delivery's source differs from its dest
+  // (sanity of the peer selection).
+  std::int64_t seen = 0;
+  for (NodeId i = 0; i < 8; ++i) {
+    for (const auto& d : n.node(i).inbox()) {
+      EXPECT_FALSE(d.dests.contains(d.source));
+      ++seen;
+    }
+  }
+  EXPECT_GT(seen, 0);
+}
+
+TEST(Burst, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    net::Network n(cfg8());
+    BurstParams p;
+    p.seed = seed;
+    p.mean_idle_slots = 20.0;
+    p.mean_burst_slots = 20.0;
+    BurstGenerator gen(n, p,
+                       sim::TimePoint::origin() + n.timing().slot() * 1000);
+    n.run_slots(1200);
+    return gen.generated();
+  };
+  EXPECT_EQ(run(4), run(4));
+  EXPECT_NE(run(4), run(5));
+}
+
+TEST(Burst, RealTimeGuaranteeSurvivesBursts) {
+  net::Network n(cfg8());
+  core::ConnectionParams c;
+  c.source = 0;
+  c.dests = NodeSet::single(4);
+  c.size_slots = 1;
+  c.period_slots = 12;
+  ASSERT_TRUE(n.open_connection(c).admitted);
+  BurstParams p;
+  p.mean_idle_slots = 20.0;
+  p.mean_burst_slots = 60.0;
+  p.burst_rate = 3.0;  // aggressive BE bursts
+  p.seed = 13;
+  BurstGenerator gen(n, p,
+                     sim::TimePoint::origin() + n.timing().slot() * 3000);
+  n.run_slots(3500);
+  const auto& rt = n.stats().cls(core::TrafficClass::kRealTime);
+  EXPECT_GT(rt.delivered, 200);
+  EXPECT_EQ(rt.user_misses, 0);
+}
+
+TEST(Burst, ValidatesParams) {
+  net::Network n(cfg8());
+  BurstParams p;
+  p.burst_rate = 0.0;
+  EXPECT_THROW(
+      BurstGenerator(n, p, sim::TimePoint::origin()), ConfigError);
+  p = BurstParams{};
+  p.mean_idle_slots = -1.0;
+  EXPECT_THROW(
+      BurstGenerator(n, p, sim::TimePoint::origin()), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::workload

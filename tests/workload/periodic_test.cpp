@@ -1,0 +1,133 @@
+#include "workload/periodic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/schedulability.hpp"
+
+namespace ccredf::workload {
+namespace {
+
+TEST(UUniFast, SharesSumToTotal) {
+  sim::Rng rng(1);
+  for (const double total : {0.1, 0.5, 0.9}) {
+    const auto u = uunifast(10, total, rng);
+    double sum = 0.0;
+    for (const double v : u) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, total, 1e-12);
+  }
+}
+
+TEST(UUniFast, SingleShareGetsEverything) {
+  sim::Rng rng(2);
+  const auto u = uunifast(1, 0.42, rng);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u[0], 0.42);
+}
+
+TEST(UUniFast, RejectsBadArgs) {
+  sim::Rng rng(3);
+  EXPECT_THROW((void)uunifast(0, 0.5, rng), ConfigError);
+  EXPECT_THROW((void)uunifast(3, 0.0, rng), ConfigError);
+}
+
+TEST(PeriodicSet, ProducesRequestedCount) {
+  PeriodicSetParams p;
+  p.connections = 12;
+  const auto set = make_periodic_set(p);
+  EXPECT_EQ(set.size(), 12u);
+}
+
+TEST(PeriodicSet, AllConnectionsValid) {
+  PeriodicSetParams p;
+  p.connections = 30;
+  p.total_utilisation = 0.6;
+  p.seed = 9;
+  for (const auto& c : make_periodic_set(p)) {
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_GE(c.period_slots, p.min_period_slots);
+    EXPECT_LE(c.period_slots, p.max_period_slots);
+    EXPECT_LT(c.source, p.nodes);
+    EXPECT_FALSE(c.dests.contains(c.source));
+    EXPECT_GE(c.offset_slots, 0);
+    EXPECT_LT(c.offset_slots, c.period_slots);
+  }
+}
+
+TEST(PeriodicSet, UtilisationNearTarget) {
+  PeriodicSetParams p;
+  p.connections = 16;
+  p.total_utilisation = 0.5;
+  p.min_period_slots = 100;  // large periods keep rounding error small
+  p.max_period_slots = 5000;
+  const auto set = make_periodic_set(p);
+  const double u = core::total_utilisation(set);
+  EXPECT_NEAR(u, 0.5, 0.1);
+}
+
+TEST(PeriodicSet, DeterministicPerSeed) {
+  PeriodicSetParams p;
+  p.seed = 77;
+  const auto a = make_periodic_set(p);
+  const auto b = make_periodic_set(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].period_slots, b[i].period_slots);
+    EXPECT_EQ(a[i].size_slots, b[i].size_slots);
+  }
+}
+
+TEST(PeriodicSet, DifferentSeedsDiffer) {
+  PeriodicSetParams pa, pb;
+  pa.seed = 1;
+  pb.seed = 2;
+  pa.connections = pb.connections = 10;
+  const auto a = make_periodic_set(pa);
+  const auto b = make_periodic_set(pb);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].period_slots == b[i].period_slots) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(PeriodicSet, MulticastFractionHonoured) {
+  PeriodicSetParams p;
+  p.connections = 40;
+  p.multicast_fraction = 1.0;
+  p.nodes = 8;
+  p.seed = 5;
+  int multi = 0;
+  for (const auto& c : make_periodic_set(p)) {
+    if (c.dests.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 30);  // nearly all (bernoulli at p=1.0 is exact)
+}
+
+TEST(PeriodicSet, UnicastByDefault) {
+  PeriodicSetParams p;
+  p.connections = 20;
+  for (const auto& c : make_periodic_set(p)) {
+    EXPECT_EQ(c.dests.size(), 1);
+  }
+}
+
+TEST(PeriodicSet, RejectsBadParams) {
+  PeriodicSetParams p;
+  p.nodes = 1;
+  EXPECT_THROW((void)make_periodic_set(p), ConfigError);
+  p = PeriodicSetParams{};
+  p.min_period_slots = 100;
+  p.max_period_slots = 10;
+  EXPECT_THROW((void)make_periodic_set(p), ConfigError);
+  p = PeriodicSetParams{};
+  p.multicast_fraction = 1.5;
+  EXPECT_THROW((void)make_periodic_set(p), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::workload

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/schedulability.hpp"
+#include "net/network.hpp"
+#include "workload/multimedia.hpp"
+#include "workload/poisson.hpp"
+#include "workload/radar.hpp"
+
+namespace ccredf::workload {
+namespace {
+
+using core::TrafficClass;
+
+TEST(Radar, ScenarioShape) {
+  const RadarParams p;  // 3 beamformers, 2 Doppler banks
+  const auto s = make_radar_scenario(p);
+  // 1 frontend + 3*2 corner turns + 2 detections + 1 track = 10.
+  EXPECT_EQ(s.connections.size(), 10u);
+  EXPECT_EQ(s.labels.size(), 10u);
+  EXPECT_EQ(s.nodes_required, 8u);  // 1 + 3 + 2 + 1 + 1
+  EXPECT_GT(s.total_utilisation, 0.0);
+}
+
+TEST(Radar, FrontendMulticastsToAllBeamformers) {
+  const auto s = make_radar_scenario(RadarParams{});
+  const auto& frontend = s.connections.front();
+  EXPECT_EQ(frontend.source, 0u);
+  EXPECT_EQ(frontend.dests.size(), 3);
+}
+
+TEST(Radar, AllConnectionsValidateAndShareCpiPeriod) {
+  const RadarParams p;
+  for (const auto& c : make_radar_scenario(p).connections) {
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_EQ(c.period_slots, p.cpi_slots);
+  }
+}
+
+TEST(Radar, ScalesWithStageCounts) {
+  RadarParams p;
+  p.beamformers = 5;
+  p.doppler_banks = 4;
+  const auto s = make_radar_scenario(p);
+  EXPECT_EQ(s.connections.size(), 1u + 20u + 4u + 1u);
+  EXPECT_EQ(s.nodes_required, 1u + 5u + 4u + 1u + 1u);
+}
+
+TEST(Radar, RejectsDegenerateConfig) {
+  RadarParams p;
+  p.beamformers = 0;
+  EXPECT_THROW((void)make_radar_scenario(p), ConfigError);
+}
+
+TEST(Radar, WholeScenarioAdmitsAndMeetsDeadlines) {
+  const auto s = make_radar_scenario(RadarParams{});
+  net::NetworkConfig cfg;
+  cfg.nodes = s.nodes_required;
+  net::Network n(cfg);
+  ASSERT_LT(s.total_utilisation, n.admission().u_max());
+  for (const auto& c : s.connections) {
+    EXPECT_TRUE(n.open_connection(c).admitted);
+  }
+  n.run_slots(4000);
+  const auto& rt = n.stats().cls(TrafficClass::kRealTime);
+  EXPECT_GT(rt.delivered, 20);
+  EXPECT_EQ(rt.user_misses, 0);
+}
+
+TEST(Multimedia, ScenarioShape) {
+  const MultimediaParams p;
+  const auto s = make_multimedia_scenario(p);
+  EXPECT_EQ(s.connections.size(),
+            static_cast<std::size_t>(p.video_streams + p.audio_streams));
+  for (const auto& c : s.connections) EXPECT_NO_THROW(c.validate());
+  EXPECT_GT(s.total_utilisation, 0.0);
+}
+
+TEST(Multimedia, DeterministicPerSeed) {
+  MultimediaParams p;
+  p.seed = 4;
+  const auto a = make_multimedia_scenario(p);
+  const auto b = make_multimedia_scenario(p);
+  for (std::size_t i = 0; i < a.connections.size(); ++i) {
+    EXPECT_EQ(a.connections[i].source, b.connections[i].source);
+  }
+}
+
+TEST(Multimedia, RejectsTooFewNodes) {
+  MultimediaParams p;
+  p.nodes = 2;
+  EXPECT_THROW((void)make_multimedia_scenario(p), ConfigError);
+}
+
+TEST(Poisson, GeneratesTraffic) {
+  net::NetworkConfig cfg;
+  cfg.nodes = 6;
+  net::Network n(cfg);
+  PoissonParams p;
+  p.rate_per_node = 0.1;
+  PoissonGenerator gen(n, p,
+                       sim::TimePoint::origin() + n.timing().slot() * 500);
+  n.run_slots(600);
+  EXPECT_GT(gen.generated(), 100);
+  EXPECT_GT(n.stats().cls(TrafficClass::kBestEffort).delivered, 50);
+}
+
+TEST(Poisson, StopsAtHorizon) {
+  net::NetworkConfig cfg;
+  cfg.nodes = 6;
+  net::Network n(cfg);
+  PoissonParams p;
+  p.rate_per_node = 0.2;
+  PoissonGenerator gen(n, p,
+                       sim::TimePoint::origin() + n.timing().slot() * 100);
+  n.run_slots(400);
+  const auto after_horizon = gen.generated();
+  n.run_slots(200);
+  EXPECT_EQ(gen.generated(), after_horizon);
+}
+
+TEST(Poisson, LocalityRestrictsDestinations) {
+  net::NetworkConfig cfg;
+  cfg.nodes = 8;
+  net::Network n(cfg);
+  std::vector<net::SlotRecord> recs;
+  n.add_slot_observer([&](const net::SlotRecord& r) { recs.push_back(r); });
+  PoissonParams p;
+  p.rate_per_node = 0.3;
+  p.locality_hops = 1;  // destination is always the next node downstream
+  PoissonGenerator gen(n, p,
+                       sim::TimePoint::origin() + n.timing().slot() * 200);
+  n.run_slots(250);
+  for (const auto& rec : recs) {
+    for (NodeId i = 0; i < 8; ++i) {
+      if (!rec.requests[i].wants_slot()) continue;
+      EXPECT_EQ(rec.requests[i].dests.size(), 1);
+      EXPECT_TRUE(rec.requests[i].dests.contains(
+          n.topology().downstream(i)));
+    }
+  }
+}
+
+TEST(Poisson, NonRealTimeClassSupported) {
+  net::NetworkConfig cfg;
+  cfg.nodes = 4;
+  net::Network n(cfg);
+  PoissonParams p;
+  p.rate_per_node = 0.1;
+  p.traffic_class = core::TrafficClass::kNonRealTime;
+  PoissonGenerator gen(n, p,
+                       sim::TimePoint::origin() + n.timing().slot() * 200);
+  n.run_slots(300);
+  EXPECT_GT(n.stats().cls(TrafficClass::kNonRealTime).delivered, 10);
+  EXPECT_EQ(n.stats().cls(TrafficClass::kBestEffort).delivered, 0);
+}
+
+TEST(Poisson, RejectsBadParams) {
+  net::NetworkConfig cfg;
+  cfg.nodes = 4;
+  net::Network n(cfg);
+  PoissonParams p;
+  p.rate_per_node = 0.0;
+  EXPECT_THROW(
+      PoissonGenerator(n, p, sim::TimePoint::origin()), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccredf::workload
