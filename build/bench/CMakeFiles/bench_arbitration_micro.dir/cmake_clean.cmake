@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arbitration_micro.dir/bench_arbitration_micro.cpp.o"
+  "CMakeFiles/bench_arbitration_micro.dir/bench_arbitration_micro.cpp.o.d"
+  "bench_arbitration_micro"
+  "bench_arbitration_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arbitration_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edf_vs_ccfpr.dir/bench_edf_vs_ccfpr.cpp.o"
+  "CMakeFiles/bench_edf_vs_ccfpr.dir/bench_edf_vs_ccfpr.cpp.o.d"
+  "bench_edf_vs_ccfpr"
+  "bench_edf_vs_ccfpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edf_vs_ccfpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_edf_vs_ccfpr.
+# This may be replaced when dependencies are built.

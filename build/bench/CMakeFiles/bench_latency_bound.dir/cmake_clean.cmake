@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_bound.dir/bench_latency_bound.cpp.o"
+  "CMakeFiles/bench_latency_bound.dir/bench_latency_bound.cpp.o.d"
+  "bench_latency_bound"
+  "bench_latency_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_priority_mapping.dir/bench_priority_mapping.cpp.o"
+  "CMakeFiles/bench_priority_mapping.dir/bench_priority_mapping.cpp.o.d"
+  "bench_priority_mapping"
+  "bench_priority_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priority_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

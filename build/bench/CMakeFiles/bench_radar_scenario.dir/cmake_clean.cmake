@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_radar_scenario.dir/bench_radar_scenario.cpp.o"
+  "CMakeFiles/bench_radar_scenario.dir/bench_radar_scenario.cpp.o.d"
+  "bench_radar_scenario"
+  "bench_radar_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_radar_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reuse_gain.dir/bench_reuse_gain.cpp.o"
+  "CMakeFiles/bench_reuse_gain.dir/bench_reuse_gain.cpp.o.d"
+  "bench_reuse_gain"
+  "bench_reuse_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reuse_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

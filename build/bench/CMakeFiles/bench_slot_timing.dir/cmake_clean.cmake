@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slot_timing.dir/bench_slot_timing.cpp.o"
+  "CMakeFiles/bench_slot_timing.dir/bench_slot_timing.cpp.o.d"
+  "bench_slot_timing"
+  "bench_slot_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slot_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slot_tuning.dir/bench_slot_tuning.cpp.o"
+  "CMakeFiles/bench_slot_tuning.dir/bench_slot_tuning.cpp.o.d"
+  "bench_slot_tuning"
+  "bench_slot_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slot_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_reuse.dir/bench_spatial_reuse.cpp.o"
+  "CMakeFiles/bench_spatial_reuse.dir/bench_spatial_reuse.cpp.o.d"
+  "bench_spatial_reuse"
+  "bench_spatial_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_umax.dir/bench_umax.cpp.o"
+  "CMakeFiles/bench_umax.dir/bench_umax.cpp.o.d"
+  "bench_umax"
+  "bench_umax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_umax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_lan.dir/multimedia_lan.cpp.o"
+  "CMakeFiles/multimedia_lan.dir/multimedia_lan.cpp.o.d"
+  "multimedia_lan"
+  "multimedia_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

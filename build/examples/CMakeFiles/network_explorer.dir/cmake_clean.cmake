@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_explorer.dir/network_explorer.cpp.o"
+  "CMakeFiles/network_explorer.dir/network_explorer.cpp.o.d"
+  "network_explorer"
+  "network_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_computing.dir/parallel_computing.cpp.o"
+  "CMakeFiles/parallel_computing.dir/parallel_computing.cpp.o.d"
+  "parallel_computing"
+  "parallel_computing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_computing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

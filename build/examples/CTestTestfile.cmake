@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;ccredf_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_radar_pipeline]=] "/root/repo/build/examples/radar_pipeline")
+set_tests_properties([=[example_radar_pipeline]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;ccredf_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_multimedia_lan]=] "/root/repo/build/examples/multimedia_lan")
+set_tests_properties([=[example_multimedia_lan]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;ccredf_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_parallel_computing]=] "/root/repo/build/examples/parallel_computing")
+set_tests_properties([=[example_parallel_computing]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;ccredf_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_admission_control]=] "/root/repo/build/examples/admission_control")
+set_tests_properties([=[example_admission_control]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;ccredf_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_fault_tolerance]=] "/root/repo/build/examples/fault_tolerance")
+set_tests_properties([=[example_fault_tolerance]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;ccredf_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_network_explorer]=] "/root/repo/build/examples/network_explorer")
+set_tests_properties([=[example_network_explorer]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;ccredf_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_network_explorer_flags]=] "/root/repo/build/examples/network_explorer" "--nodes" "10" "--protocol" "tdma" "--load" "0.3" "--slots" "500" "--seed" "2")
+set_tests_properties([=[example_network_explorer_flags]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

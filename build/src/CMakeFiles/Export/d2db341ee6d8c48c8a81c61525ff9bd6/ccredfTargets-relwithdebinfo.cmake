@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "ccredf::ccredf_common" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_common )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_common "${_IMPORT_PREFIX}/lib/libccredf_common.a" )
+
+# Import target "ccredf::ccredf_sim" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_sim )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_sim "${_IMPORT_PREFIX}/lib/libccredf_sim.a" )
+
+# Import target "ccredf::ccredf_phy" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_phy APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_phy PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_phy.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_phy )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_phy "${_IMPORT_PREFIX}/lib/libccredf_phy.a" )
+
+# Import target "ccredf::ccredf_ring" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_ring APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_ring PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_ring.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_ring )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_ring "${_IMPORT_PREFIX}/lib/libccredf_ring.a" )
+
+# Import target "ccredf::ccredf_core" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_core )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_core "${_IMPORT_PREFIX}/lib/libccredf_core.a" )
+
+# Import target "ccredf::ccredf_net" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_net )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_net "${_IMPORT_PREFIX}/lib/libccredf_net.a" )
+
+# Import target "ccredf::ccredf_services" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_services APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_services PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_services.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_services )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_services "${_IMPORT_PREFIX}/lib/libccredf_services.a" )
+
+# Import target "ccredf::ccredf_baseline" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_baseline APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_baseline PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_baseline.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_baseline )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_baseline "${_IMPORT_PREFIX}/lib/libccredf_baseline.a" )
+
+# Import target "ccredf::ccredf_fault" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_fault APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_fault PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_fault.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_fault )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_fault "${_IMPORT_PREFIX}/lib/libccredf_fault.a" )
+
+# Import target "ccredf::ccredf_workload" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_workload APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_workload PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_workload.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_workload )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_workload "${_IMPORT_PREFIX}/lib/libccredf_workload.a" )
+
+# Import target "ccredf::ccredf_analysis" for configuration "RelWithDebInfo"
+set_property(TARGET ccredf::ccredf_analysis APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ccredf::ccredf_analysis PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libccredf_analysis.a"
+  )
+
+list(APPEND _cmake_import_check_targets ccredf::ccredf_analysis )
+list(APPEND _cmake_import_check_files_for_ccredf::ccredf_analysis "${_IMPORT_PREFIX}/lib/libccredf_analysis.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_analysis.dir/report.cpp.o"
+  "CMakeFiles/ccredf_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/ccredf_analysis.dir/tuner.cpp.o"
+  "CMakeFiles/ccredf_analysis.dir/tuner.cpp.o.d"
+  "libccredf_analysis.a"
+  "libccredf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccredf_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/ccfpr.cpp" "src/baseline/CMakeFiles/ccredf_baseline.dir/ccfpr.cpp.o" "gcc" "src/baseline/CMakeFiles/ccredf_baseline.dir/ccfpr.cpp.o.d"
+  "/root/repo/src/baseline/tdma.cpp" "src/baseline/CMakeFiles/ccredf_baseline.dir/tdma.cpp.o" "gcc" "src/baseline/CMakeFiles/ccredf_baseline.dir/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ccredf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccredf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ccredf_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ccredf_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccredf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccredf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_baseline.dir/ccfpr.cpp.o"
+  "CMakeFiles/ccredf_baseline.dir/ccfpr.cpp.o.d"
+  "CMakeFiles/ccredf_baseline.dir/tdma.cpp.o"
+  "CMakeFiles/ccredf_baseline.dir/tdma.cpp.o.d"
+  "libccredf_baseline.a"
+  "libccredf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_common.dir/error.cpp.o"
+  "CMakeFiles/ccredf_common.dir/error.cpp.o.d"
+  "libccredf_common.a"
+  "libccredf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

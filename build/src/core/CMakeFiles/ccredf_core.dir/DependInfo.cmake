@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/ccredf_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/ccredf_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/arbitration.cpp" "src/core/CMakeFiles/ccredf_core.dir/arbitration.cpp.o" "gcc" "src/core/CMakeFiles/ccredf_core.dir/arbitration.cpp.o.d"
+  "/root/repo/src/core/edf_queue.cpp" "src/core/CMakeFiles/ccredf_core.dir/edf_queue.cpp.o" "gcc" "src/core/CMakeFiles/ccredf_core.dir/edf_queue.cpp.o.d"
+  "/root/repo/src/core/frames.cpp" "src/core/CMakeFiles/ccredf_core.dir/frames.cpp.o" "gcc" "src/core/CMakeFiles/ccredf_core.dir/frames.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/core/CMakeFiles/ccredf_core.dir/priority.cpp.o" "gcc" "src/core/CMakeFiles/ccredf_core.dir/priority.cpp.o.d"
+  "/root/repo/src/core/schedulability.cpp" "src/core/CMakeFiles/ccredf_core.dir/schedulability.cpp.o" "gcc" "src/core/CMakeFiles/ccredf_core.dir/schedulability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccredf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccredf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ccredf_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ccredf_ring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_core.dir/admission.cpp.o"
+  "CMakeFiles/ccredf_core.dir/admission.cpp.o.d"
+  "CMakeFiles/ccredf_core.dir/arbitration.cpp.o"
+  "CMakeFiles/ccredf_core.dir/arbitration.cpp.o.d"
+  "CMakeFiles/ccredf_core.dir/edf_queue.cpp.o"
+  "CMakeFiles/ccredf_core.dir/edf_queue.cpp.o.d"
+  "CMakeFiles/ccredf_core.dir/frames.cpp.o"
+  "CMakeFiles/ccredf_core.dir/frames.cpp.o.d"
+  "CMakeFiles/ccredf_core.dir/priority.cpp.o"
+  "CMakeFiles/ccredf_core.dir/priority.cpp.o.d"
+  "CMakeFiles/ccredf_core.dir/schedulability.cpp.o"
+  "CMakeFiles/ccredf_core.dir/schedulability.cpp.o.d"
+  "libccredf_core.a"
+  "libccredf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_fault.dir/injector.cpp.o"
+  "CMakeFiles/ccredf_fault.dir/injector.cpp.o.d"
+  "libccredf_fault.a"
+  "libccredf_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_net.dir/network.cpp.o"
+  "CMakeFiles/ccredf_net.dir/network.cpp.o.d"
+  "libccredf_net.a"
+  "libccredf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccredf_net.a"
+)

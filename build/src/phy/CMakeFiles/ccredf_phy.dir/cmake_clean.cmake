@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_phy.dir/ring_phy.cpp.o"
+  "CMakeFiles/ccredf_phy.dir/ring_phy.cpp.o.d"
+  "libccredf_phy.a"
+  "libccredf_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

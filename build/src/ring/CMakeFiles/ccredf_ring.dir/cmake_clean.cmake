@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_ring.dir/segment.cpp.o"
+  "CMakeFiles/ccredf_ring.dir/segment.cpp.o.d"
+  "libccredf_ring.a"
+  "libccredf_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

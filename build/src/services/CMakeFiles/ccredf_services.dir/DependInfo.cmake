@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/admission_agent.cpp" "src/services/CMakeFiles/ccredf_services.dir/admission_agent.cpp.o" "gcc" "src/services/CMakeFiles/ccredf_services.dir/admission_agent.cpp.o.d"
+  "/root/repo/src/services/barrier.cpp" "src/services/CMakeFiles/ccredf_services.dir/barrier.cpp.o" "gcc" "src/services/CMakeFiles/ccredf_services.dir/barrier.cpp.o.d"
+  "/root/repo/src/services/flow.cpp" "src/services/CMakeFiles/ccredf_services.dir/flow.cpp.o" "gcc" "src/services/CMakeFiles/ccredf_services.dir/flow.cpp.o.d"
+  "/root/repo/src/services/messaging.cpp" "src/services/CMakeFiles/ccredf_services.dir/messaging.cpp.o" "gcc" "src/services/CMakeFiles/ccredf_services.dir/messaging.cpp.o.d"
+  "/root/repo/src/services/ordered_broadcast.cpp" "src/services/CMakeFiles/ccredf_services.dir/ordered_broadcast.cpp.o" "gcc" "src/services/CMakeFiles/ccredf_services.dir/ordered_broadcast.cpp.o.d"
+  "/root/repo/src/services/reduce.cpp" "src/services/CMakeFiles/ccredf_services.dir/reduce.cpp.o" "gcc" "src/services/CMakeFiles/ccredf_services.dir/reduce.cpp.o.d"
+  "/root/repo/src/services/reliable.cpp" "src/services/CMakeFiles/ccredf_services.dir/reliable.cpp.o" "gcc" "src/services/CMakeFiles/ccredf_services.dir/reliable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ccredf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccredf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ccredf_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ccredf_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccredf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccredf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

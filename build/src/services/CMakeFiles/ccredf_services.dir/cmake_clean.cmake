@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_services.dir/admission_agent.cpp.o"
+  "CMakeFiles/ccredf_services.dir/admission_agent.cpp.o.d"
+  "CMakeFiles/ccredf_services.dir/barrier.cpp.o"
+  "CMakeFiles/ccredf_services.dir/barrier.cpp.o.d"
+  "CMakeFiles/ccredf_services.dir/flow.cpp.o"
+  "CMakeFiles/ccredf_services.dir/flow.cpp.o.d"
+  "CMakeFiles/ccredf_services.dir/messaging.cpp.o"
+  "CMakeFiles/ccredf_services.dir/messaging.cpp.o.d"
+  "CMakeFiles/ccredf_services.dir/ordered_broadcast.cpp.o"
+  "CMakeFiles/ccredf_services.dir/ordered_broadcast.cpp.o.d"
+  "CMakeFiles/ccredf_services.dir/reduce.cpp.o"
+  "CMakeFiles/ccredf_services.dir/reduce.cpp.o.d"
+  "CMakeFiles/ccredf_services.dir/reliable.cpp.o"
+  "CMakeFiles/ccredf_services.dir/reliable.cpp.o.d"
+  "libccredf_services.a"
+  "libccredf_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ccredf_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ccredf_sim.dir/rng.cpp.o"
+  "CMakeFiles/ccredf_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/ccredf_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ccredf_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ccredf_sim.dir/stats.cpp.o"
+  "CMakeFiles/ccredf_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/ccredf_sim.dir/time.cpp.o"
+  "CMakeFiles/ccredf_sim.dir/time.cpp.o.d"
+  "CMakeFiles/ccredf_sim.dir/trace.cpp.o"
+  "CMakeFiles/ccredf_sim.dir/trace.cpp.o.d"
+  "libccredf_sim.a"
+  "libccredf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

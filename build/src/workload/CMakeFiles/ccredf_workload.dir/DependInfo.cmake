@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/burst.cpp" "src/workload/CMakeFiles/ccredf_workload.dir/burst.cpp.o" "gcc" "src/workload/CMakeFiles/ccredf_workload.dir/burst.cpp.o.d"
+  "/root/repo/src/workload/multimedia.cpp" "src/workload/CMakeFiles/ccredf_workload.dir/multimedia.cpp.o" "gcc" "src/workload/CMakeFiles/ccredf_workload.dir/multimedia.cpp.o.d"
+  "/root/repo/src/workload/periodic.cpp" "src/workload/CMakeFiles/ccredf_workload.dir/periodic.cpp.o" "gcc" "src/workload/CMakeFiles/ccredf_workload.dir/periodic.cpp.o.d"
+  "/root/repo/src/workload/poisson.cpp" "src/workload/CMakeFiles/ccredf_workload.dir/poisson.cpp.o" "gcc" "src/workload/CMakeFiles/ccredf_workload.dir/poisson.cpp.o.d"
+  "/root/repo/src/workload/radar.cpp" "src/workload/CMakeFiles/ccredf_workload.dir/radar.cpp.o" "gcc" "src/workload/CMakeFiles/ccredf_workload.dir/radar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ccredf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccredf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ccredf_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ccredf_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccredf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccredf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccredf_workload.dir/burst.cpp.o"
+  "CMakeFiles/ccredf_workload.dir/burst.cpp.o.d"
+  "CMakeFiles/ccredf_workload.dir/multimedia.cpp.o"
+  "CMakeFiles/ccredf_workload.dir/multimedia.cpp.o.d"
+  "CMakeFiles/ccredf_workload.dir/periodic.cpp.o"
+  "CMakeFiles/ccredf_workload.dir/periodic.cpp.o.d"
+  "CMakeFiles/ccredf_workload.dir/poisson.cpp.o"
+  "CMakeFiles/ccredf_workload.dir/poisson.cpp.o.d"
+  "CMakeFiles/ccredf_workload.dir/radar.cpp.o"
+  "CMakeFiles/ccredf_workload.dir/radar.cpp.o.d"
+  "libccredf_workload.a"
+  "libccredf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccredf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ack_wire_test.dir/net/ack_wire_test.cpp.o"
+  "CMakeFiles/ack_wire_test.dir/net/ack_wire_test.cpp.o.d"
+  "ack_wire_test"
+  "ack_wire_test.pdb"
+  "ack_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ack_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

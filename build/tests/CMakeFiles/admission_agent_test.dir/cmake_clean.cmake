@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_agent_test.dir/services/admission_agent_test.cpp.o"
+  "CMakeFiles/admission_agent_test.dir/services/admission_agent_test.cpp.o.d"
+  "admission_agent_test"
+  "admission_agent_test.pdb"
+  "admission_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

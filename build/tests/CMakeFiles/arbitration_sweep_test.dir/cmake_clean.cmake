@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitration_sweep_test.dir/core/arbitration_sweep_test.cpp.o"
+  "CMakeFiles/arbitration_sweep_test.dir/core/arbitration_sweep_test.cpp.o.d"
+  "arbitration_sweep_test"
+  "arbitration_sweep_test.pdb"
+  "arbitration_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitration_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_cap_test.dir/net/buffer_cap_test.cpp.o"
+  "CMakeFiles/buffer_cap_test.dir/net/buffer_cap_test.cpp.o.d"
+  "buffer_cap_test"
+  "buffer_cap_test.pdb"
+  "buffer_cap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_cap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

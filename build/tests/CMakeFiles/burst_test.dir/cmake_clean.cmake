@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_test.dir/workload/burst_test.cpp.o"
+  "CMakeFiles/burst_test.dir/workload/burst_test.cpp.o.d"
+  "burst_test"
+  "burst_test.pdb"
+  "burst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

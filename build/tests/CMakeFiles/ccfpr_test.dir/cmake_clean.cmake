@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccfpr_test.dir/baseline/ccfpr_test.cpp.o"
+  "CMakeFiles/ccfpr_test.dir/baseline/ccfpr_test.cpp.o.d"
+  "ccfpr_test"
+  "ccfpr_test.pdb"
+  "ccfpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccfpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_precedence_test.dir/integration/class_precedence_test.cpp.o"
+  "CMakeFiles/class_precedence_test.dir/integration/class_precedence_test.cpp.o.d"
+  "class_precedence_test"
+  "class_precedence_test.pdb"
+  "class_precedence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_precedence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

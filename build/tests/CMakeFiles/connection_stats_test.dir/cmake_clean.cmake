@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connection_stats_test.dir/net/connection_stats_test.cpp.o"
+  "CMakeFiles/connection_stats_test.dir/net/connection_stats_test.cpp.o.d"
+  "connection_stats_test"
+  "connection_stats_test.pdb"
+  "connection_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connection_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

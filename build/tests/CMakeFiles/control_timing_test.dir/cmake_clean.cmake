@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_timing_test.dir/core/control_timing_test.cpp.o"
+  "CMakeFiles/control_timing_test.dir/core/control_timing_test.cpp.o.d"
+  "control_timing_test"
+  "control_timing_test.pdb"
+  "control_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

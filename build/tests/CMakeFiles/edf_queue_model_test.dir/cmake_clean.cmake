@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edf_queue_model_test.dir/core/edf_queue_model_test.cpp.o"
+  "CMakeFiles/edf_queue_model_test.dir/core/edf_queue_model_test.cpp.o.d"
+  "edf_queue_model_test"
+  "edf_queue_model_test.pdb"
+  "edf_queue_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edf_queue_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

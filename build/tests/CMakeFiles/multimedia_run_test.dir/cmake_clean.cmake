@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_run_test.dir/integration/multimedia_run_test.cpp.o"
+  "CMakeFiles/multimedia_run_test.dir/integration/multimedia_run_test.cpp.o.d"
+  "multimedia_run_test"
+  "multimedia_run_test.pdb"
+  "multimedia_run_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodeset_test.dir/ring/nodeset_test.cpp.o"
+  "CMakeFiles/nodeset_test.dir/ring/nodeset_test.cpp.o.d"
+  "nodeset_test"
+  "nodeset_test.pdb"
+  "nodeset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodeset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_broadcast_test.dir/services/ordered_broadcast_test.cpp.o"
+  "CMakeFiles/ordered_broadcast_test.dir/services/ordered_broadcast_test.cpp.o.d"
+  "ordered_broadcast_test"
+  "ordered_broadcast_test.pdb"
+  "ordered_broadcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_broadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_phy_test.dir/phy/ring_phy_test.cpp.o"
+  "CMakeFiles/ring_phy_test.dir/phy/ring_phy_test.cpp.o.d"
+  "ring_phy_test"
+  "ring_phy_test.pdb"
+  "ring_phy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_phy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

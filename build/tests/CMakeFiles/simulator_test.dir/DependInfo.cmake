@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/simulator_test.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/simulator_test.dir/sim/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/ccredf_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ccredf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/ccredf_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ccredf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccredf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ccredf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccredf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ccredf_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccredf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ccredf_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccredf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

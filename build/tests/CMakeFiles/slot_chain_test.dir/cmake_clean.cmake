@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_chain_test.dir/integration/slot_chain_test.cpp.o"
+  "CMakeFiles/slot_chain_test.dir/integration/slot_chain_test.cpp.o.d"
+  "slot_chain_test"
+  "slot_chain_test.pdb"
+  "slot_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unequal_links_test.dir/net/unequal_links_test.cpp.o"
+  "CMakeFiles/unequal_links_test.dir/net/unequal_links_test.cpp.o.d"
+  "unequal_links_test"
+  "unequal_links_test.pdb"
+  "unequal_links_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unequal_links_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

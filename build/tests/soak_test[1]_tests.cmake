@@ -1,0 +1,3 @@
+add_test([=[Soak.FiftyThousandSlotsOfEverything]=]  /root/repo/build/tests/soak_test [==[--gtest_filter=Soak.FiftyThousandSlotsOfEverything]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Soak.FiftyThousandSlotsOfEverything]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  soak_test_TESTS Soak.FiftyThousandSlotsOfEverything)
