@@ -3,8 +3,10 @@
 // codecs must encode/decode the control frames -- all within a slot's
 // worth of real time on period hardware; here we show the software model
 // costs are negligible next to the simulated timescales.
+// Usage: bench_arbitration_micro [--json <path>] [google-benchmark flags]
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/arbitration.hpp"
 #include "core/edf_queue.hpp"
 #include "core/frames.hpp"
@@ -149,6 +151,46 @@ void BM_SlotEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_SlotEngine)->Arg(8)->Arg(16)->Arg(64);
 
+// Console output plus a flat metric capture for the --json document.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(ccredf::bench::JsonDoc* doc) : doc_(doc) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      doc_->set(run.benchmark_name() + ",ns_per_iter",
+                run.GetAdjustedRealTime());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        doc_->set(run.benchmark_name() + ",items_per_sec",
+                  items->second.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  ccredf::bench::JsonDoc* doc_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = ccredf::bench::extract_json_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ccredf::bench::JsonDoc doc("arbitration_micro");
+  CollectingReporter reporter(&doc);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    if (!doc.write(json_path)) {
+      std::cerr << "bench_arbitration_micro: cannot write " << json_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -5,9 +5,14 @@
 // prediction vs measurement.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/report.hpp"
 #include "baseline/ccfpr.hpp"
@@ -93,5 +98,65 @@ inline void header(const std::string& id, const std::string& title,
   std::cout << "\n######## " << id << ": " << title << "\n"
             << "# paper artefact: " << paper_ref << "\n\n";
 }
+
+// ---- machine-readable output (--json <path>) ---------------------------
+//
+// Benches that support it write `{"bench": <name>, "metrics": {...}}` so
+// CI and later PRs can diff performance numbers run over run.
+
+/// Consumes a `--json <path>` argument pair from argv (compacting it) and
+/// returns the path, or "" when the flag is absent.
+inline std::string extract_json_path(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
+/// Flat metric document; insertion order is preserved in the output.
+class JsonDoc {
+ public:
+  explicit JsonDoc(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void set(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\"bench\": \"" << name_ << "\", \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << '"' << metrics_[i].first << "\": ";
+      // JSON has no NaN/inf literals.
+      if (std::isfinite(metrics_[i].second)) {
+        os << metrics_[i].second;
+      } else {
+        os << "null";
+      }
+    }
+    os << "}}\n";
+    return os.str();
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << str();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace ccredf::bench

@@ -1,0 +1,107 @@
+// E16: steady-state slot-engine throughput (engineering metric, no paper
+// artefact).  Measures simulated slots and discrete events per second of
+// host wall time, swept over ring size and admitted periodic load.  Every
+// experiment binary is bounded by this number, so it is the repo's
+// recorded perf trajectory: results land in BENCH_slot_throughput.json
+// (override with --json <path>) for run-over-run diffing.
+//
+// Usage: bench_slot_throughput [--quick] [--json <path>]
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ccredf;
+
+struct Sample {
+  double slots_per_sec = 0.0;
+  double events_per_sec = 0.0;
+  double sim_utilisation = 0.0;  // admitted utilisation actually opened
+  int connections = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Sample run_config(NodeId nodes, double load_fraction, double min_seconds) {
+  net::NetworkConfig cfg = bench::make_config(nodes, bench::Protocol::kCcrEdf);
+  cfg.record_inboxes = false;  // unbounded inboxes would dominate memory
+  net::Network n(cfg);
+
+  workload::PeriodicSetParams wp;
+  wp.nodes = nodes;
+  wp.connections = static_cast<int>(nodes);
+  wp.total_utilisation = load_fraction * n.admission().u_max();
+  wp.seed = 42;
+  Sample s;
+  s.connections = bench::open_all(n, workload::make_periodic_set(wp));
+  s.sim_utilisation = n.admission().utilisation();
+
+  // Warm-up: let queues, pools and scratch buffers reach steady state.
+  n.run_slots(5'000);
+
+  const std::int64_t slots0 = n.stats().slots;
+  const std::uint64_t events0 = n.sim().events_fired();
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    n.run_slots(20'000);
+    elapsed = seconds_since(t0);
+  } while (elapsed < min_seconds);
+  s.slots_per_sec =
+      static_cast<double>(n.stats().slots - slots0) / elapsed;
+  s.events_per_sec =
+      static_cast<double>(n.sim().events_fired() - events0) / elapsed;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = ccredf::bench::extract_json_path(argc, argv);
+  if (json_path.empty()) json_path = "BENCH_slot_throughput.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const double min_seconds = quick ? 0.05 : 0.4;
+
+  ccredf::bench::header("E16", "slot-engine throughput",
+                        "engineering metric (perf trajectory)");
+
+  ccredf::analysis::Table table("slot-engine steady-state throughput");
+  table.columns({"nodes", "load", "conns", "util", "slots/s", "events/s"});
+  ccredf::bench::JsonDoc doc("slot_throughput");
+
+  const ccredf::NodeId node_counts[] = {4, 8, 16, 32};
+  const double loads[] = {0.3, 0.6, 0.9};
+  for (const auto nodes : node_counts) {
+    for (const double load : loads) {
+      const Sample s = run_config(nodes, load, min_seconds);
+      table.row()
+          .cell(static_cast<std::int64_t>(nodes))
+          .cell(load, 1)
+          .cell(s.connections)
+          .cell(s.sim_utilisation, 3)
+          .cell(s.slots_per_sec, 0)
+          .cell(s.events_per_sec, 0);
+      const std::string key = "nodes=" + std::to_string(nodes) +
+                              ",load=" + std::to_string(load).substr(0, 3);
+      doc.set(key + ",slots_per_sec", s.slots_per_sec);
+      doc.set(key + ",events_per_sec", s.events_per_sec);
+    }
+  }
+  table.print(std::cout);
+
+  if (!doc.write(json_path)) {
+    std::cerr << "bench_slot_throughput: cannot write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

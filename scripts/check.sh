@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build + test under the release and asan presets,
+# then run the slot-throughput benchmark (release) and print its JSON.
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick   shorter benchmark measurement windows (smoke test)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK="--quick"
+fi
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+for preset in release asan; do
+  echo "==== preset: ${preset} ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  ctest --preset "${preset}"
+done
+
+echo "==== bench: slot throughput (release) ===="
+./build-release/bench/bench_slot_throughput ${QUICK} \
+    --json BENCH_slot_throughput.json
+echo "---- BENCH_slot_throughput.json ----"
+cat BENCH_slot_throughput.json

@@ -1,6 +1,7 @@
 #include "core/arbitration.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/error.hpp"
 
@@ -13,16 +14,23 @@ ArbitrationResult Arbiter::arbitrate(const std::vector<Request>& requests,
   CCREDF_EXPECT(current_master < topo_.nodes(),
                 "Arbiter: invalid current master");
 
-  // Sort node indices by (priority desc, index asc).
-  std::vector<NodeId> order(requests.size());
-  for (NodeId i = 0; i < requests.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    return request_before(requests[a].priority, a, requests[b].priority, b);
-  });
+  // Collect the actual requesters and sort them by (priority desc, index
+  // asc).  Idle nodes (priority 0) sort after every requester anyway, so
+  // skipping them up front is equivalent to the full sort that the master
+  // conceptually performs -- and keeps the work stack-only.
+  std::array<NodeId, kMaxNodes> order;
+  std::size_t requesters = 0;
+  for (NodeId i = 0; i < requests.size(); ++i) {
+    if (requests[i].wants_slot()) order[requesters++] = i;
+  }
+  std::sort(order.begin(), order.begin() + requesters,
+            [&](NodeId a, NodeId b) {
+              return request_before(requests[a].priority, a,
+                                    requests[b].priority, b);
+            });
 
   ArbitrationResult result;
-  const NodeId top = order.front();
-  if (!requests[top].wants_slot()) {
+  if (requesters == 0) {
     // Nobody has anything to send: the current master keeps clocking and
     // no data flows next slot.
     result.packet.hp_node = current_master;
@@ -30,12 +38,13 @@ ArbitrationResult Arbiter::arbitrate(const std::vector<Request>& requests,
     return result;
   }
 
+  const NodeId top = order[0];
   const NodeId next_master = top;
   const LinkId break_link = topo_.break_link(next_master);
   LinkSet taken;
-  for (const NodeId node : order) {
+  for (std::size_t k = 0; k < requesters; ++k) {
+    const NodeId node = order[k];
     const Request& rq = requests[node];
-    if (!rq.wants_slot()) break;  // sorted: the rest are idle too
     if (rq.links.intersects(taken)) continue;
     if (rq.links.contains(break_link)) continue;  // would cross clock break
     taken |= rq.links;

@@ -14,32 +14,56 @@ bool edf_before(const Message& a, const Message& b) {
 }
 }  // namespace
 
-void EdfQueueSet::insert_edf(std::deque<Message>& q, Message msg) {
-  const auto pos =
-      std::upper_bound(q.begin(), q.end(), msg, edf_before);
+std::vector<Message>& EdfQueueSet::queue_of(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kRealTime:
+      return rt_;
+    case TrafficClass::kBestEffort:
+      return be_;
+    case TrafficClass::kNonRealTime:
+      return nrt_;
+  }
+  return nrt_;
+}
+
+void EdfQueueSet::insert_edf(std::vector<Message>& q, Message msg) {
+  const auto pos = std::upper_bound(q.begin(), q.end(), msg, edf_before);
   q.insert(pos, std::move(msg));
 }
 
 void EdfQueueSet::push(Message msg) {
   CCREDF_EXPECT(msg.remaining_slots >= 1 && msg.size_slots >= 1,
                 "EdfQueueSet: message must need at least one slot");
-  switch (msg.traffic_class) {
-    case TrafficClass::kRealTime:
-      insert_edf(rt_, std::move(msg));
-      break;
-    case TrafficClass::kBestEffort:
-      insert_edf(be_, std::move(msg));
-      break;
-    case TrafficClass::kNonRealTime:
-      nrt_.push_back(std::move(msg));  // FIFO
-      break;
+  index_.insert(msg.id,
+                IndexEntry{msg.traffic_class, msg.deadline, msg.arrival});
+  if (msg.traffic_class == TrafficClass::kNonRealTime) {
+    nrt_.push_back(std::move(msg));  // FIFO
+  } else {
+    insert_edf(queue_of(msg.traffic_class), std::move(msg));
   }
+  ++version_;
 }
 
-const Message* EdfQueueSet::first_eligible(const std::deque<Message>& q,
-                                           sim::TimePoint sample) {
-  for (const Message& m : q) {
-    if (m.arrival <= sample) return &m;
+const Message* EdfQueueSet::first_eligible(const std::vector<Message>& q,
+                                           HeadCache& cache,
+                                           sim::TimePoint sample) const {
+  if (cache.version == version_ && sample >= cache.sample &&
+      sample < cache.min_skipped_arrival) {
+    // Unmutated, and nothing skipped last time has arrived by `sample`:
+    // the answer cannot have changed.
+    return cache.index == kNoHead ? nullptr : &q[cache.index];
+  }
+  cache.version = version_;
+  cache.sample = sample;
+  cache.index = kNoHead;
+  cache.min_skipped_arrival = sim::TimePoint::infinity();
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i].arrival <= sample) {
+      cache.index = i;
+      return &q[i];
+    }
+    cache.min_skipped_arrival =
+        std::min(cache.min_skipped_arrival, q[i].arrival);
   }
   return nullptr;
 }
@@ -47,49 +71,75 @@ const Message* EdfQueueSet::first_eligible(const std::deque<Message>& q,
 const Message* EdfQueueSet::head(sim::TimePoint sample) const {
   // Class precedence (paper §3): RT strictly before BE before NRT, even if
   // a queued BE message has a tighter deadline.
-  if (const Message* m = first_eligible(rt_, sample)) return m;
-  if (const Message* m = first_eligible(be_, sample)) return m;
-  if (const Message* m = first_eligible(nrt_, sample)) return m;
+  if (const Message* m = first_eligible(rt_, rt_head_, sample)) return m;
+  if (const Message* m = first_eligible(be_, be_head_, sample)) return m;
+  if (const Message* m = first_eligible(nrt_, nrt_head_, sample)) return m;
   return nullptr;
 }
 
-std::optional<Message> EdfQueueSet::consume_in(std::deque<Message>& q,
-                                               MessageId id) {
-  for (auto it = q.begin(); it != q.end(); ++it) {
-    if (it->id != id) continue;
-    if (--it->remaining_slots > 0) return std::nullopt;
-    Message done = std::move(*it);
-    q.erase(it);
-    return done;
-  }
-  throw ProtocolError("EdfQueueSet: consume_slot for unknown message");
+std::size_t EdfQueueSet::locate_sorted(const std::vector<Message>& q,
+                                       const IndexEntry& entry,
+                                       MessageId id) const {
+  Message probe;
+  probe.id = id;
+  probe.deadline = entry.deadline;
+  probe.arrival = entry.arrival;
+  const auto it = std::lower_bound(q.begin(), q.end(), probe, edf_before);
+  CCREDF_ASSERT(it != q.end() && it->id == id);
+  return static_cast<std::size_t>(it - q.begin());
 }
 
-bool EdfQueueSet::contains(MessageId id) const {
-  for (const auto* q : {&rt_, &be_, &nrt_}) {
-    for (const Message& m : *q) {
-      if (m.id == id) return true;
-    }
-  }
-  return false;
+std::optional<Message> EdfQueueSet::consume_at(std::vector<Message>& q,
+                                               std::size_t pos) {
+  Message& m = q[pos];
+  if (--m.remaining_slots > 0) return std::nullopt;
+  Message done = std::move(m);
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(pos));
+  index_.erase(done.id);
+  ++version_;
+  return done;
 }
+
+bool EdfQueueSet::contains(MessageId id) const { return index_.contains(id); }
 
 std::optional<Message> EdfQueueSet::consume_slot(MessageId id) {
-  for (auto* q : {&rt_, &be_, &nrt_}) {
-    for (const Message& m : *q) {
-      if (m.id == id) return consume_in(*q, id);
+  const IndexEntry* entry = index_.find(id);
+  if (entry == nullptr) {
+    throw ProtocolError("EdfQueueSet: consume_slot for unknown message");
+  }
+  std::vector<Message>& q = queue_of(entry->cls);
+  if (entry->cls == TrafficClass::kNonRealTime) {
+    // FIFO queue: the consumed message is almost always the front.
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i].id == id) return consume_at(q, i);
+    }
+    throw ProtocolError("EdfQueueSet: consume_slot for unknown message");
+  }
+  return consume_at(q, locate_sorted(q, *entry, id));
+}
+
+std::size_t EdfQueueSet::drop_connection_in(std::vector<Message>& q,
+                                            ConnectionId id) {
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < q.size(); ++read) {
+    if (q[read].connection == id) {
+      index_.erase(q[read].id);
+    } else {
+      if (write != read) q[write] = std::move(q[read]);
+      ++write;
     }
   }
-  throw ProtocolError("EdfQueueSet: consume_slot for unknown message");
+  const std::size_t dropped = q.size() - write;
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(write), q.end());
+  return dropped;
 }
 
 std::size_t EdfQueueSet::drop_connection(ConnectionId id) {
   std::size_t dropped = 0;
   for (auto* q : {&rt_, &be_, &nrt_}) {
-    const auto before = q->size();
-    std::erase_if(*q, [id](const Message& m) { return m.connection == id; });
-    dropped += before - q->size();
+    dropped += drop_connection_in(*q, id);
   }
+  if (dropped > 0) ++version_;
   return dropped;
 }
 
@@ -98,6 +148,8 @@ std::size_t EdfQueueSet::clear() {
   rt_.clear();
   be_.clear();
   nrt_.clear();
+  index_.clear();
+  ++version_;
   return n;
 }
 
@@ -116,6 +168,13 @@ std::size_t EdfQueueSet::size_of(TrafficClass c) const {
 std::optional<sim::TimePoint> EdfQueueSet::earliest_rt_deadline() const {
   if (rt_.empty()) return std::nullopt;
   return rt_.front().deadline;
+}
+
+void EdfQueueSet::reserve(std::size_t messages) {
+  rt_.reserve(messages);
+  be_.reserve(messages);
+  nrt_.reserve(messages);
+  index_.reserve(messages);
 }
 
 }  // namespace ccredf::core

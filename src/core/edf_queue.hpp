@@ -6,11 +6,21 @@
 // queued.  Within the RT and BE queues, messages are kept in
 // earliest-deadline-first order (ties broken by arrival, then id, for
 // determinism); the NRT queue is FIFO.
+//
+// The set is indexed: a flat id -> (class, EDF key) map makes `contains`
+// O(1) and lets `consume_slot` binary-search the owning queue instead of
+// scanning all three.  `head` caches its answer per queue; the cache
+// survives across slots while the queue is unmutated and no skipped
+// (not-yet-arrived) message becomes eligible.  Message ids must be unique
+// within one set, which the network guarantees by numbering messages from
+// a single counter.
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <optional>
+#include <vector>
 
+#include "core/flat_map.hpp"
 #include "core/message.hpp"
 #include "sim/time.hpp"
 
@@ -50,18 +60,56 @@ class EdfQueueSet {
   /// Oldest unexpired deadline in the RT queue (for diagnostics).
   [[nodiscard]] std::optional<sim::TimePoint> earliest_rt_deadline() const;
 
- private:
-  // Deques keep EDF order by sorted insertion; traffic is light enough
-  // per node (one request per slot) that O(n) insertion is immaterial
-  // next to the simulation itself.
-  std::deque<Message> rt_;
-  std::deque<Message> be_;
-  std::deque<Message> nrt_;
+  /// Pre-sizes queues and index so steady-state operation stays off the
+  /// allocator once the high-water mark is reached.
+  void reserve(std::size_t messages);
 
-  static void insert_edf(std::deque<Message>& q, Message msg);
-  [[nodiscard]] static const Message* first_eligible(
-      const std::deque<Message>& q, sim::TimePoint sample);
-  std::optional<Message> consume_in(std::deque<Message>& q, MessageId id);
+ private:
+  static constexpr std::size_t kNoHead = static_cast<std::size_t>(-1);
+
+  /// Where `consume_slot` should look for an id, plus the EDF key it was
+  /// inserted with (the key never changes while queued, so a binary
+  /// search with it lands exactly on the message).
+  struct IndexEntry {
+    TrafficClass cls = TrafficClass::kBestEffort;
+    sim::TimePoint deadline;
+    sim::TimePoint arrival;
+  };
+
+  /// Memoised `first_eligible` answer.  Valid while the set is unmutated
+  /// (`version` matches), the sample has not moved backwards, and no
+  /// message that was skipped for being in the future has arrived.
+  struct HeadCache {
+    std::uint64_t version = 0;  // 0 never matches (version_ starts at 1)
+    sim::TimePoint sample;
+    std::size_t index = kNoHead;
+    sim::TimePoint min_skipped_arrival = sim::TimePoint::infinity();
+  };
+
+  // Sorted vectors (EDF order via insertion; FIFO for NRT).  Traffic is
+  // light enough per node that O(n) insertion moves are immaterial, and
+  // contiguous storage beats deque chunk churn on the per-slot scan.
+  std::vector<Message> rt_;
+  std::vector<Message> be_;
+  std::vector<Message> nrt_;
+  FlatMap64<IndexEntry> index_;
+  std::uint64_t version_ = 1;
+  mutable HeadCache rt_head_;
+  mutable HeadCache be_head_;
+  mutable HeadCache nrt_head_;
+
+  void insert_edf(std::vector<Message>& q, Message msg);
+  [[nodiscard]] const Message* first_eligible(const std::vector<Message>& q,
+                                              HeadCache& cache,
+                                              sim::TimePoint sample) const;
+  std::optional<Message> consume_at(std::vector<Message>& q,
+                                    std::size_t pos);
+  [[nodiscard]] std::size_t locate_sorted(const std::vector<Message>& q,
+                                          const IndexEntry& entry,
+                                          MessageId id) const;
+  std::size_t drop_connection_in(std::vector<Message>& q, ConnectionId id);
+
+  [[nodiscard]] std::vector<Message>& queue_of(TrafficClass c);
 };
 
 }  // namespace ccredf::core

@@ -64,6 +64,13 @@ struct NetworkConfig {
   /// token lost.
   std::int64_t recovery_timeout_slots = 4;
 
+  /// Record every delivery in the receiving node's inbox vector.  On by
+  /// default (tests and examples drain inboxes); long-running throughput
+  /// and soak experiments turn it off so steady-state slots stay
+  /// allocation-free and memory stays bounded -- delivery callbacks and
+  /// NetworkStats still see every delivery.
+  bool record_inboxes = true;
+
   /// Per-node transmit-buffer capacity in messages; 0 = unlimited.
   /// When full, new best-effort / non-real-time messages are tail-dropped
   /// (counted in NetworkStats); real-time releases are never dropped --

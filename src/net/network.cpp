@@ -75,7 +75,14 @@ Network::Network(NetworkConfig cfg)
       core::AdmissionController(timing_->u_max(), cfg_.admission_policy);
 
   nodes_.reserve(cfg_.nodes);
-  for (NodeId i = 0; i < cfg_.nodes; ++i) nodes_.emplace_back(i);
+  for (NodeId i = 0; i < cfg_.nodes; ++i) {
+    nodes_.emplace_back(i);
+    nodes_.back().set_inbox_recording(cfg_.record_inboxes);
+  }
+  // Per-slot scratch: at most one request and one completed delivery per
+  // node per slot, so this capacity is final.
+  rec_.requests.reserve(cfg_.nodes);
+  rec_.deliveries.reserve(cfg_.nodes);
 }
 
 Node& Network::node(NodeId id) {
@@ -270,8 +277,8 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
   }
 }
 
-std::vector<core::Request> Network::collect_requests() {
-  std::vector<core::Request> reqs(nodes());
+void Network::collect_requests(std::vector<core::Request>& reqs) {
+  reqs.assign(nodes(), core::Request{});
   for (auto& b : bindings_) b.reset();
   for (NodeId h = 0; h < nodes(); ++h) {
     const NodeId j = topo_.downstream(master_, h);
@@ -290,7 +297,6 @@ std::vector<core::Request> Network::collect_requests() {
     reqs[j].dests = m->dests;
     bindings_[j] = Binding{m->id, seg.hops(), m->dests};
   }
-  return reqs;
 }
 
 void Network::step_slot() {
@@ -298,12 +304,19 @@ void Network::step_slot() {
   const sim::Duration t_slot = timing_->slot();
   const sim::TimePoint slot_end = slot_start_ + t_slot;
 
-  SlotRecord rec;
+  // Reuse the scratch record: its vectors keep their high-water capacity,
+  // so a steady-state slot performs no heap allocation.
+  SlotRecord& rec = rec_;
   rec.index = slot_;
   rec.start = slot_start_;
   rec.end = slot_end;
+  rec.gap_after = sim::Duration::zero();
   rec.master = master_;
+  rec.next_master = kInvalidNode;
   rec.granted = current_granted_;
+  rec.deliveries.clear();
+  rec.acks = NodeSet{};
+  rec.token_lost = false;
 
   // Phase 1: the data of this slot (granted during slot k-1).
   execute_grants(rec, slot_end);
@@ -318,7 +331,8 @@ void Network::step_slot() {
   }
 
   // Phase 2: collection for slot k+1 rides the control channel now.
-  std::vector<core::Request> requests = collect_requests();
+  collect_requests(rec.requests);
+  const std::vector<core::Request>& requests = rec.requests;
 
   // Phase 3: arbitration at the master; the distribution packet ends with
   // the slot.  A token loss (fault injection, or the master dying at any
@@ -372,7 +386,6 @@ void Network::step_slot() {
 
   rec.gap_after = gap;
   rec.next_master = plan.next_master;
-  rec.requests = std::move(requests);
 
   stats_.time_in_gaps += gap;
   stats_.gap.add(gap);

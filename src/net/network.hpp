@@ -44,6 +44,9 @@
 namespace ccredf::net {
 
 /// Everything that happened in one slot, handed to observers at slot end.
+/// The network reuses one record object across slots (its vectors keep
+/// their capacity, so the steady-state slot path never allocates); copy
+/// whatever must outlive the observer call.
 struct SlotRecord {
   SlotIndex index = 0;
   sim::TimePoint start;
@@ -174,7 +177,7 @@ class Network {
 
   void step_slot();
   void execute_grants(SlotRecord& rec, sim::TimePoint slot_end);
-  std::vector<core::Request> collect_requests();
+  void collect_requests(std::vector<core::Request>& reqs);
   void release_message(ConnectionId id);
   MessageId enqueue(NodeId src, NodeSet dests, core::TrafficClass cls,
                     std::int64_t size_slots, sim::TimePoint deadline,
@@ -203,6 +206,8 @@ class Network {
   NodeId master_ = 0;
   std::array<std::optional<Binding>, kMaxNodes> bindings_{};
   NodeSet current_granted_;
+  /// Per-slot scratch, reused so steady-state slots stay allocation-free.
+  SlotRecord rec_;
 
   std::unordered_map<ConnectionId, ReleaseState> releases_;
   /// Sources whose transfers completed last slot (ack bits for the next

@@ -31,11 +31,16 @@ class Node {
   }
   void clear_inbox() { inbox_.clear(); }
 
+  /// Inbox recording toggle (NetworkConfig::record_inboxes); callbacks
+  /// and statistics are unaffected.
+  void set_inbox_recording(bool on) { record_inbox_ = on; }
+  [[nodiscard]] bool inbox_recording() const { return record_inbox_; }
+
   /// Invoked (in addition to inbox recording) on every delivery.
   void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
 
   void deliver(const core::Delivery& d) {
-    inbox_.push_back(d);
+    if (record_inbox_) inbox_.push_back(d);
     if (on_delivery_) on_delivery_(d);
   }
 
@@ -50,6 +55,7 @@ class Node {
   core::EdfQueueSet queues_;
   std::vector<core::Delivery> inbox_;
   DeliveryCallback on_delivery_;
+  bool record_inbox_ = true;
   bool failed_ = false;
 };
 

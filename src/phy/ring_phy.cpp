@@ -13,12 +13,15 @@ RingPhy::RingPhy(RibbonLinkParams link, std::vector<double> link_lengths_m)
     : link_(link), lengths_m_(std::move(link_lengths_m)) {
   validate();
   delays_.reserve(lengths_m_.size());
+  prefix_ps_.reserve(lengths_m_.size() + 1);
+  prefix_ps_.push_back(0);
   std::int64_t total_ps = 0;
   for (const double len : lengths_m_) {
     const auto ps = static_cast<std::int64_t>(std::llround(
         len * static_cast<double>(link_.propagation_ps_per_m)));
     delays_.push_back(sim::Duration::picoseconds(ps));
     total_ps += ps;
+    prefix_ps_.push_back(total_ps);
   }
   ring_delay_ = sim::Duration::picoseconds(total_ps);
   mean_length_m_ = std::accumulate(lengths_m_.begin(), lengths_m_.end(), 0.0) /
@@ -44,13 +47,13 @@ sim::Duration RingPhy::link_delay(LinkId l) const {
 sim::Duration RingPhy::path_delay(NodeId from, NodeId hops) const {
   CCREDF_EXPECT(from < nodes(), "RingPhy: node index out of range");
   CCREDF_EXPECT(hops < nodes(), "RingPhy: path longer than N-1 hops");
-  sim::Duration d = sim::Duration::zero();
-  NodeId l = from;
-  for (NodeId i = 0; i < hops; ++i) {
-    d += delays_[l];
-    l = (l + 1) % nodes();
-  }
-  return d;
+  // Prefix sums make this O(1); it runs once per node per slot (sampling
+  // offsets, delivery timestamps, hand-over gaps).
+  const std::size_t end = static_cast<std::size_t>(from) + hops;
+  const std::size_t n = delays_.size();
+  std::int64_t ps = prefix_ps_[std::min(end, n)] - prefix_ps_[from];
+  if (end > n) ps += prefix_ps_[end - n];  // wrapped past node 0
+  return sim::Duration::picoseconds(ps);
 }
 
 sim::Duration RingPhy::max_handover_time() const {

@@ -58,6 +58,9 @@ class RingPhy {
   RibbonLinkParams link_;
   std::vector<double> lengths_m_;
   std::vector<sim::Duration> delays_;
+  /// prefix_ps_[i] = sum of delays_[0..i) in picoseconds; path_delay is a
+  /// prefix-sum difference (plus one wrap term) instead of a hop loop.
+  std::vector<std::int64_t> prefix_ps_;
   sim::Duration ring_delay_;
   double mean_length_m_ = 0.0;
 };

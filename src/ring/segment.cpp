@@ -7,13 +7,22 @@ namespace ccredf::ring {
 LinkSet links_on_path(const RingTopology& topo, NodeId source, NodeId hops) {
   CCREDF_EXPECT(source < topo.nodes(), "links_on_path: bad source");
   CCREDF_EXPECT(hops < topo.nodes(), "links_on_path: path too long");
-  LinkSet links;
-  LinkId l = topo.link_from(source);
-  for (NodeId i = 0; i < hops; ++i) {
-    links.insert(l);
-    l = (l + 1) % topo.links();
+  // A path is a contiguous run of `hops` links starting at link_from(src):
+  // build the mask directly instead of inserting hop by hop.  hops < N <=
+  // 64, so `ones` never shifts by 64; in the wrapped case first >= 1, so
+  // both partial widths stay below 64 too.
+  const NodeId n = topo.links();
+  const LinkId first = topo.link_from(source);
+  const std::uint64_t ones = (std::uint64_t{1} << hops) - 1;
+  std::uint64_t mask;
+  if (first + hops <= n) {
+    mask = ones << first;
+  } else {
+    const NodeId tail = n - first;  // links [first, n)
+    mask = (((std::uint64_t{1} << tail) - 1) << first) |
+           ((std::uint64_t{1} << (hops - tail)) - 1);  // links [0, hops-tail)
   }
-  return links;
+  return LinkSet::from_mask(mask);
 }
 
 Segment Segment::for_transmission(const RingTopology& topo, NodeId source,

@@ -1,0 +1,126 @@
+// Small-buffer-optimised move-only callable for simulator events.
+//
+// Event callbacks are overwhelmingly tiny closures -- a pointer and an id
+// ("[this, id] { release_message(id); }") -- yet std::function gives no
+// portable guarantee that they stay off the heap, and the old event queue
+// paid one std::function per scheduled event.  InlineCallback stores any
+// callable of up to kInlineSize bytes (and suitable alignment) directly in
+// the slab slot; larger closures fall back to a single heap cell.  The
+// steady-state slot path therefore schedules and fires events without
+// touching the allocator.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ccredf::sim {
+
+class InlineCallback {
+ public:
+  /// Inline capacity: comfortably fits a pointer + two 64-bit ids.  Kept
+  /// deliberately small so event-queue slab slots stay cache-friendly.
+  static constexpr std::size_t kInlineSize = 40;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { move_from(std::move(o)); }
+
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(std::move(o));
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Const like std::function::operator(): the held callable may still
+  /// mutate its own captures.
+  void operator()() const { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroys the held callable (if any), returning to the empty state.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True iff a callable of type F is stored in the inline buffer.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  // Manual vtable: one static instance per callable type keeps the object
+  // two words beyond the buffer with no RTTI or virtual dispatch.
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    void (*destroy)(unsigned char*);
+    void (*relocate)(unsigned char* dst, unsigned char* src);
+  };
+
+  template <typename F>
+  static constexpr Ops inline_ops = {
+      [](unsigned char* b) { (*std::launder(reinterpret_cast<F*>(b)))(); },
+      [](unsigned char* b) { std::launder(reinterpret_cast<F*>(b))->~F(); },
+      [](unsigned char* dst, unsigned char* src) {
+        F* s = std::launder(reinterpret_cast<F*>(src));
+        ::new (static_cast<void*>(dst)) F(std::move(*s));
+        s->~F();
+      }};
+
+  template <typename F>
+  static constexpr Ops heap_ops = {
+      [](unsigned char* b) {
+        (**std::launder(reinterpret_cast<F**>(b)))();
+      },
+      [](unsigned char* b) {
+        delete *std::launder(reinterpret_cast<F**>(b));
+      },
+      [](unsigned char* dst, unsigned char* src) {
+        // The slot holds a plain F*; stealing it is a pointer copy.
+        ::new (static_cast<void*>(dst))
+            F*(*std::launder(reinterpret_cast<F**>(src)));
+      }};
+
+  void move_from(InlineCallback&& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) mutable unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ccredf::sim

@@ -1,50 +1,110 @@
 #include "sim/event_queue.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace ccredf::sim {
 
+void EventQueue::reserve(std::size_t n) {
+  slots_.reserve(n);
+  free_.reserve(n);
+  heap_.reserve(n);
+}
+
 EventId EventQueue::schedule(TimePoint at, Callback fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  pending_.emplace(id, Pending{std::move(fn), false});
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    CCREDF_EXPECT(slots_.size() < (std::uint64_t{1} << kIndexBits),
+                  "EventQueue: slab index space exhausted");
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.seq = next_seq_++;
+  heap_push(HeapEntry{at, slot.seq, index});
   ++live_;
-  return id;
+  return make_id(slot.gen, index);
+}
+
+void EventQueue::free_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.seq = 0;
+  ++slot.gen;  // invalidates outstanding EventIds for this slot
+  free_.push_back(index);
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end() || it->second.cancelled) return false;
-  it->second.cancelled = true;
+  const std::uint32_t index = id_index(id);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (slot.seq == 0 || slot.gen != id_gen(id)) return false;
+  free_slot(index);
   --live_;
   return true;
 }
 
+void EventQueue::drop_stale_heads() {
+  while (!heap_.empty() && stale(heap_.front())) heap_pop_top();
+}
+
 TimePoint EventQueue::next_time() {
-  while (!heap_.empty()) {
-    auto it = pending_.find(heap_.top().id);
-    if (it != pending_.end() && !it->second.cancelled)
-      return heap_.top().time;
-    if (it != pending_.end()) pending_.erase(it);
-    heap_.pop();
-  }
-  return TimePoint::infinity();
+  drop_stale_heads();
+  return heap_.empty() ? TimePoint::infinity() : heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   CCREDF_EXPECT(live_ > 0, "EventQueue::pop on empty queue");
-  for (;;) {
-    const Entry top = heap_.top();
-    heap_.pop();
-    auto it = pending_.find(top.id);
-    const bool cancelled = (it == pending_.end()) || it->second.cancelled;
-    Fired fired{top.time, cancelled ? Callback{} : std::move(it->second.fn)};
-    if (it != pending_.end()) pending_.erase(it);
-    if (!cancelled) {
-      --live_;
-      return fired;
-    }
+  drop_stale_heads();
+  const HeapEntry top = heap_.front();
+  heap_pop_top();
+  Fired fired{top.time, std::move(slots_[top.slot].fn)};
+  free_slot(top.slot);
+  --live_;
+  return fired;
+}
+
+// ---- flat binary min-heap over (time, seq) ------------------------------
+
+void EventQueue::sift_up(std::size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!e.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  HeapEntry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].before(heap_[child])) ++child;
+    if (!heap_[child].before(e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::heap_pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 }  // namespace ccredf::sim

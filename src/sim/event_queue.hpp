@@ -3,14 +3,21 @@
 // Events at equal timestamps fire in scheduling order (a strictly
 // increasing sequence number breaks ties), which keeps simulations
 // deterministic regardless of heap internals.
+//
+// Storage is allocation-free in steady state: callbacks live in a slab of
+// reusable slots (recycled through a free list), the heap is a flat binary
+// heap of {time, seq, slot} entries, and small closures are stored inline
+// (sim/callback.hpp).  Cancellation is O(1) and frees the slot
+// immediately -- the orphaned heap entry is recognised by its stale
+// sequence number and skipped on pop.  Slab/heap/free-list capacity is
+// retained across use, so a simulation that schedules and fires events at
+// a steady rate performs zero heap allocations per event after warm-up.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace ccredf::sim {
@@ -19,20 +26,21 @@ using EventId = std::uint64_t;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   /// Schedules `fn` at absolute time `at`; returns a handle for cancel().
   EventId schedule(TimePoint at, Callback fn);
 
   /// Cancels a pending event; returns false if it already ran or was
-  /// cancelled.  Cancellation is lazy (O(1)); the slot is skipped on pop.
+  /// cancelled.  O(1): the slab slot is recycled immediately and the
+  /// orphaned heap entry is skipped when it surfaces.
   bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest pending event; infinity when empty.  Non-const
-  /// because it eagerly discards lazily-cancelled heap entries.
+  /// because it eagerly discards stale (cancelled) heap entries.
   [[nodiscard]] TimePoint next_time();
 
   /// Pops and returns the earliest event (time + callback).  Precondition:
@@ -43,26 +51,57 @@ class EventQueue {
   };
   Fired pop();
 
+  /// Reserves slab/heap capacity for `n` simultaneously pending events.
+  void reserve(std::size_t n);
+
+  /// Number of slab slots ever allocated (capacity diagnostics; slots are
+  /// recycled, so this plateaus at the peak number of pending events).
+  [[nodiscard]] std::size_t slab_slots() const { return slots_.size(); }
+
  private:
-  struct Entry {
+  // An EventId packs {generation, slot index} so stale handles (slot
+  // recycled since) are rejected by cancel() in O(1).
+  static constexpr std::uint32_t kIndexBits = 32;
+  static EventId make_id(std::uint32_t gen, std::uint32_t index) {
+    return (static_cast<EventId>(gen) << kIndexBits) | index;
+  }
+  static std::uint32_t id_index(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu);
+  }
+  static std::uint32_t id_gen(EventId id) {
+    return static_cast<std::uint32_t>(id >> kIndexBits);
+  }
+
+  struct Slot {
+    Callback fn;
+    std::uint64_t seq = 0;   // of the current occupant; 0 = vacant
+    std::uint32_t gen = 0;   // bumped each time the slot is vacated
+  };
+  struct HeapEntry {
     TimePoint time;
-    std::uint64_t seq;
-    EventId id;
-    // Ordered as a max-heap by std::priority_queue, so invert.
-    bool operator<(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+
+    [[nodiscard]] bool before(const HeapEntry& o) const {
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
     }
   };
-  struct Pending {
-    Callback fn;
-    bool cancelled = false;
-  };
 
-  std::priority_queue<Entry> heap_;
-  std::unordered_map<EventId, Pending> pending_;
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  [[nodiscard]] bool stale(const HeapEntry& e) const {
+    return slots_[e.slot].seq != e.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void heap_push(HeapEntry e);
+  void heap_pop_top();
+  void drop_stale_heads();
+  void free_slot(std::uint32_t index);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;   // recycled slab indices (LIFO)
+  std::vector<HeapEntry> heap_;       // flat binary min-heap
+  std::uint64_t next_seq_ = 1;        // 0 marks a vacant slot
   std::size_t live_ = 0;
 };
 

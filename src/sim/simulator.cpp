@@ -10,6 +10,7 @@ std::size_t Simulator::run_until(TimePoint horizon) {
     ev.fn();
     ++fired;
   }
+  events_fired_ += fired;
   if (horizon > now_) now_ = horizon;
   return fired;
 }
@@ -22,6 +23,7 @@ std::size_t Simulator::run_all() {
     ev.fn();
     ++fired;
   }
+  events_fired_ += fired;
   return fired;
 }
 

@@ -50,9 +50,14 @@ class Simulator {
   [[nodiscard]] bool idle() { return queue_.empty(); }
   [[nodiscard]] TimePoint next_event_time() { return queue_.next_time(); }
 
+  /// Cumulative number of events fired since construction (throughput
+  /// accounting for the bench harness).
+  [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+
  private:
   EventQueue queue_;
   TimePoint now_ = TimePoint::origin();
+  std::uint64_t events_fired_ = 0;
 };
 
 }  // namespace ccredf::sim

@@ -24,10 +24,7 @@ const char* category_name(TraceCategory c) {
 }
 }  // namespace
 
-void Trace::emit(TimePoint t, TraceCategory c,
-                 const std::function<std::string()>& make_text) {
-  if (!enabled(c)) return;
-  std::string text = make_text();
+void Trace::emit_record(TimePoint t, TraceCategory c, std::string text) {
   if (stream_ != nullptr) {
     *stream_ << t << " [" << category_name(c) << "] " << text << "\n";
   }

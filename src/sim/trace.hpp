@@ -5,7 +5,6 @@
 // (tests assert on them) and/or streamed to an ostream.
 #pragma once
 
-#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -47,9 +46,14 @@ class Trace {
   void set_stream(std::ostream* os) { stream_ = os; }
 
   /// Emits a record if the category is enabled; `make_text` is only
-  /// invoked when needed.
-  void emit(TimePoint t, TraceCategory c,
-            const std::function<std::string()>& make_text);
+  /// invoked when needed.  Template (not std::function): with the
+  /// category disabled the call compiles to a mask test -- no closure is
+  /// materialised, keeping the slot hot path allocation-free.
+  template <typename MakeText>
+  void emit(TimePoint t, TraceCategory c, const MakeText& make_text) {
+    if (!enabled(c)) return;
+    emit_record(t, c, make_text());
+  }
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const {
     return records_;
@@ -57,6 +61,8 @@ class Trace {
   void clear() { records_.clear(); }
 
  private:
+  void emit_record(TimePoint t, TraceCategory c, std::string text);
+
   unsigned mask_ = 0;
   bool capture_ = false;
   std::ostream* stream_ = nullptr;

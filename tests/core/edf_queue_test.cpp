@@ -189,6 +189,47 @@ TEST(EdfQueue, EarliestRtDeadline) {
             TimePoint::origin() + Duration::nanoseconds(100));
 }
 
+TEST(EdfQueue, NrtConsumeLeavesRtAndBeOrderUntouched) {
+  // Regression for the old triple-scan consume_slot: consuming an NRT
+  // message must not disturb the RT/BE queues or their iteration order.
+  EdfQueueSet q;
+  q.push(make_msg(10, TrafficClass::kRealTime, 300));
+  q.push(make_msg(11, TrafficClass::kRealTime, 100));
+  q.push(make_msg(20, TrafficClass::kBestEffort, 200));
+  q.push(make_msg(21, TrafficClass::kBestEffort, 50));
+  q.push(make_msg(30, TrafficClass::kNonRealTime, -1));
+  q.push(make_msg(31, TrafficClass::kNonRealTime, -1));
+
+  const auto done = q.consume_slot(30);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->id, 30u);
+
+  EXPECT_EQ(q.size_of(TrafficClass::kRealTime), 2u);
+  EXPECT_EQ(q.size_of(TrafficClass::kBestEffort), 2u);
+  EXPECT_EQ(q.size_of(TrafficClass::kNonRealTime), 1u);
+  // Drain by precedence and verify the EDF / FIFO order survived.
+  const MessageId expect_order[] = {11, 10, 21, 20, 31};
+  for (const MessageId id : expect_order) {
+    ASSERT_NE(q.head(later()), nullptr);
+    EXPECT_EQ(q.head(later())->id, id);
+    EXPECT_TRUE(q.consume_slot(id).has_value());
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EdfQueue, ConsumeNonFrontNrtMessage) {
+  EdfQueueSet q;
+  q.push(make_msg(1, TrafficClass::kNonRealTime, -1));
+  q.push(make_msg(2, TrafficClass::kNonRealTime, -1));
+  q.push(make_msg(3, TrafficClass::kNonRealTime, -1));
+  const auto done = q.consume_slot(2);  // middle of the FIFO
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->id, 2u);
+  EXPECT_EQ(q.head(later())->id, 1u);
+  (void)q.consume_slot(1);
+  EXPECT_EQ(q.head(later())->id, 3u);
+}
+
 TEST(EdfQueue, RejectsZeroSlotMessage) {
   EdfQueueSet q;
   auto m = make_msg(1, TrafficClass::kRealTime, 100);

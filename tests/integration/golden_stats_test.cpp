@@ -1,0 +1,96 @@
+// Golden end-to-end statistics for fixed-seed scenario runs.
+//
+// The constants below were captured from the simulator BEFORE the pooled
+// event queue, indexed EDF queues and reused slot scratch were introduced,
+// so this test pins two properties at once: bit-exact determinism across
+// runs, and that the performance work did not change a single scheduling
+// decision.  If an intentional semantic change lands, re-capture the
+// numbers and update them in the same commit with a note explaining why.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/network.hpp"
+#include "workload/multimedia.hpp"
+#include "workload/poisson.hpp"
+#include "workload/radar.hpp"
+
+namespace ccredf {
+namespace {
+
+using core::TrafficClass;
+
+TEST(GoldenStats, RadarScenario20kSlots) {
+  const auto sc = workload::make_radar_scenario(workload::RadarParams{});
+  net::NetworkConfig cfg;
+  cfg.nodes = sc.nodes_required;
+  net::Network n(cfg);
+  for (const auto& c : sc.connections) (void)n.open_connection(c);
+  n.run_slots(20'000);
+
+  const auto& st = n.stats();
+  const auto& rt = st.cls(TrafficClass::kRealTime);
+  EXPECT_EQ(rt.delivered, 340);
+  EXPECT_EQ(rt.scheduling_misses, 0);
+  EXPECT_EQ(rt.user_misses, 0);
+  EXPECT_EQ(st.cls(TrafficClass::kBestEffort).delivered, 0);
+  EXPECT_EQ(st.cls(TrafficClass::kNonRealTime).delivered, 0);
+  EXPECT_EQ(st.total_grants, 4964);
+  EXPECT_EQ(st.busy_slots, 3672);
+  EXPECT_EQ(st.reuse_slots, 827);
+  EXPECT_EQ(st.wasted_grants, 0);
+  EXPECT_EQ(st.priority_inversions, 0);
+  EXPECT_EQ(st.gap.sum(), 116'100'000.0);
+  EXPECT_EQ(st.time_in_slots.ps(), 17'850'000'000);
+  EXPECT_EQ(st.time_in_gaps.ps(), 116'100'000);
+}
+
+TEST(GoldenStats, MultimediaScenarioWithBackground20kSlots) {
+  workload::MultimediaParams mp;
+  const auto sc = workload::make_multimedia_scenario(mp);
+  net::NetworkConfig cfg;
+  cfg.nodes = mp.nodes;
+  net::Network n(cfg);
+  for (const auto& c : sc.connections) (void)n.open_connection(c);
+  workload::PoissonParams pp = sc.background;
+  pp.seed = 99;
+  workload::PoissonGenerator gen(
+      n, pp, sim::TimePoint::origin() + n.timing().slot() * 15'000);
+  n.run_slots(20'000);
+
+  const auto& st = n.stats();
+  const auto& rt = st.cls(TrafficClass::kRealTime);
+  EXPECT_EQ(rt.delivered, 1195);
+  EXPECT_EQ(rt.scheduling_misses, 0);
+  EXPECT_EQ(rt.user_misses, 0);
+  EXPECT_EQ(st.cls(TrafficClass::kBestEffort).delivered, 1747);
+  EXPECT_EQ(st.cls(TrafficClass::kNonRealTime).delivered, 0);
+  EXPECT_EQ(st.total_grants, 12679);
+  EXPECT_EQ(st.busy_slots, 11810);
+  EXPECT_EQ(st.reuse_slots, 851);
+  EXPECT_EQ(st.wasted_grants, 0);
+  EXPECT_EQ(st.priority_inversions, 0);
+  EXPECT_EQ(st.gap.sum(), 701'650'000.0);
+  EXPECT_EQ(st.time_in_slots.ps(), 17'850'000'000);
+  EXPECT_EQ(st.time_in_gaps.ps(), 701'650'000);
+}
+
+/// The same construction twice in one process must agree field for field
+/// (no hidden global state; pools and caches are per-network).
+TEST(GoldenStats, BackToBackRunsAreIdentical) {
+  auto run = [] {
+    const auto sc = workload::make_radar_scenario(workload::RadarParams{});
+    net::NetworkConfig cfg;
+    cfg.nodes = sc.nodes_required;
+    net::Network n(cfg);
+    for (const auto& c : sc.connections) (void)n.open_connection(c);
+    n.run_slots(5'000);
+    return std::tuple{n.stats().total_grants, n.stats().busy_slots,
+                      n.stats().cls(TrafficClass::kRealTime).delivered,
+                      n.stats().gap.sum(), n.sim().events_fired()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ccredf

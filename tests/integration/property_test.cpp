@@ -2,6 +2,7 @@
 // loads (TEST_P across node counts x seeds x utilisation).
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <tuple>
 
 #include "core/schedulability.hpp"
@@ -98,10 +99,12 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{16, 7, 0.7}, SweepParam{32, 8, 0.5},
         SweepParam{12, 9, 0.85}, SweepParam{6, 10, 0.75}),
     [](const ::testing::TestParamInfo<SweepParam>& tpi) {
-      return "n" + std::to_string(tpi.param.nodes) + "_s" +
-             std::to_string(tpi.param.seed) + "_u" +
-             std::to_string(
-                 static_cast<int>(tpi.param.utilisation_fraction * 100));
+      // Built via ostringstream: chained operator+ on temporaries trips a
+      // GCC 12 -Wrestrict false positive at -O3.
+      std::ostringstream name;
+      name << 'n' << tpi.param.nodes << "_s" << tpi.param.seed << "_u"
+           << static_cast<int>(tpi.param.utilisation_fraction * 100);
+      return name.str();
     });
 
 class MixedTrafficProperties
