@@ -18,42 +18,29 @@
 #include "baseline/ccfpr.hpp"
 #include "baseline/tdma.hpp"
 #include "net/network.hpp"
+#include "sweep/grid.hpp"
 #include "workload/periodic.hpp"
 #include "workload/poisson.hpp"
 
 namespace ccredf::bench {
 
-enum class Protocol { kCcrEdf, kCcFpr, kTdma };
-
-inline const char* protocol_name(Protocol p) {
-  switch (p) {
-    case Protocol::kCcrEdf:
-      return "CCR-EDF";
-    case Protocol::kCcFpr:
-      return "CC-FPR";
-    case Protocol::kTdma:
-      return "TDMA";
-  }
-  return "?";
-}
+// The protocol axis lives in the sweep module now (shared by the grid
+// runner, the CLI and the benches).
+using Protocol = sweep::Protocol;
+using sweep::protocol_name;
 
 inline net::NetworkConfig make_config(NodeId nodes, Protocol proto,
                                       double link_length_m = 10.0,
                                       std::int64_t payload = 0) {
-  net::NetworkConfig cfg;
-  cfg.nodes = nodes;
-  cfg.link_length_m = link_length_m;
-  cfg.slot_payload_bytes = payload;
-  switch (proto) {
-    case Protocol::kCcrEdf:
-      break;  // default factory
-    case Protocol::kCcFpr:
-      cfg.protocol_factory = baseline::ccfpr_factory();
-      break;
-    case Protocol::kTdma:
-      cfg.protocol_factory = baseline::tdma_factory();
-      break;
-  }
+  sweep::GridSpec spec;
+  spec.link_length_m = link_length_m;
+  spec.slot_payload_bytes = payload;
+  sweep::GridPoint point;
+  point.protocol = proto;
+  point.nodes = nodes;
+  net::NetworkConfig cfg = sweep::make_network_config(spec, point);
+  // Benches drain inboxes in places; keep the library default.
+  cfg.record_inboxes = true;
   return cfg;
 }
 

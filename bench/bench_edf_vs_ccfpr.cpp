@@ -5,7 +5,14 @@
 // inversions; CC-FPR's simple clocking strategy inverts priorities and
 // starts missing deadlines as load grows; TDMA misses whenever a deadline
 // is tighter than its fixed N-slot access delay.
+//
+// The load x protocol grid runs on the parallel sweep runner; the runner
+// keys each point's workload stream on every axis EXCEPT the protocol
+// (sweep::workload_key), which is exactly the "identical sets" pairing
+// this experiment requires.
 #include "bench_common.hpp"
+
+#include "sweep/runner.hpp"
 
 using namespace ccredf;
 using namespace ccredf::bench;
@@ -15,35 +22,39 @@ int main() {
          "Sections 1-3 (claims vs refs [4], [5], [9])");
 
   constexpr NodeId kNodes = 8;
+  sweep::GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf, Protocol::kCcFpr, Protocol::kTdma};
+  spec.node_counts = {kNodes};
+  spec.utilisations = {0.3, 0.5, 0.7, 0.85};
+  spec.set_seeds = {7};  // identical set for all protocols at a given load
+  spec.slots = 10'000;
+  spec.connections_per_node = 2;  // 16 connections
+  // Short periods (= tight deadlines, D_i = P_i) expose the access-
+  // delay differences between the protocols.
+  spec.min_period_slots = 10;
+  spec.max_period_slots = 120;
+  const sweep::SweepResult res = sweep::run_sweep(spec, {.threads = 0});
+
   analysis::Table t(
       "E6: RT miss ratios vs offered load (8 nodes, identical sets)");
   t.columns({"u / U_max", "protocol", "delivered", "sched-miss",
              "user-miss", "inversions"});
 
-  for (const double frac : {0.3, 0.5, 0.7, 0.85}) {
-    for (const Protocol proto :
-         {Protocol::kCcrEdf, Protocol::kCcFpr, Protocol::kTdma}) {
-      net::Network n(make_config(kNodes, proto));
-      workload::PeriodicSetParams wp;
-      wp.nodes = kNodes;
-      wp.connections = 16;
-      wp.total_utilisation = frac * n.timing().u_max();
-      // Short periods (= tight deadlines, D_i = P_i) expose the access-
-      // delay differences between the protocols.
-      wp.min_period_slots = 10;
-      wp.max_period_slots = 120;
-      wp.seed = 7;  // identical set for all protocols at a given load
-      const auto set = workload::make_periodic_set(wp);
-      open_all(n, set);
-      n.run_slots(10'000);
-      const auto d = digest(n);
+  // Canonical point order is protocol-major; the paper's table is
+  // load-major, so index points as [protocol][load].
+  const std::size_t loads = spec.utilisations.size();
+  for (std::size_t l = 0; l < loads; ++l) {
+    for (std::size_t p = 0; p < spec.protocols.size(); ++p) {
+      const sweep::PointResult& pr = res.points[p * loads + l];
       t.row()
-          .cell(frac, 2)
-          .cell(protocol_name(proto))
-          .cell(d.rt_delivered)
-          .pct(d.rt_sched_miss, 2)
-          .pct(d.rt_user_miss, 2)
-          .cell(d.inversions);
+          .cell(pr.point.utilisation, 2)
+          .cell(protocol_name(pr.point.protocol))
+          .cell(static_cast<std::int64_t>(
+              pr.mean(sweep::Metric::kRtDelivered)))
+          .pct(pr.mean(sweep::Metric::kSchedMissRatio), 2)
+          .pct(pr.mean(sweep::Metric::kUserMissRatio), 2)
+          .cell(static_cast<std::int64_t>(
+              pr.mean(sweep::Metric::kInversions)));
     }
   }
   t.note("CCR-EDF: zero user misses and zero inversions at every admitted "

@@ -7,6 +7,7 @@
 #include "bench_common.hpp"
 
 #include "core/schedulability.hpp"
+#include "sweep/runner.hpp"
 
 using namespace ccredf;
 using namespace ccredf::bench;
@@ -52,29 +53,32 @@ int main() {
   p.print(std::cout);
 
   // E4c: measured slot-time fraction at saturation, one message per slot
-  // (the analysis assumption), against the analytic floor.
+  // (the analysis assumption), against the analytic floor.  Runs as a
+  // saturation-mix sweep: no connections, every node flooded with Poisson
+  // best-effort traffic at saturation_rate.
+  sweep::GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {4, 8, 16};
+  spec.utilisations = {1.0};  // unused by the saturation mix
+  spec.mixes = {sweep::WorkloadMix::kSaturation};
+  spec.set_seeds = {31};
+  spec.slots = 5000;
+  spec.saturation_rate = 3.0;  // saturate every queue
+  spec.spatial_reuse = false;
+  spec.slot_payload_bytes = 1024;
+  const sweep::SweepResult res = sweep::run_sweep(spec, {.threads = 0});
+
   analysis::Table m("E4c: measured utilisation at saturation vs bound");
   m.columns({"nodes", "U_max (Eq.6)", "measured slot fraction",
              "bound holds"});
-  for (const NodeId nodes : {NodeId{4}, NodeId{8}, NodeId{16}}) {
-    auto cfg = make_config(nodes, Protocol::kCcrEdf);
-    cfg.spatial_reuse = false;
-    cfg.slot_payload_bytes = 1024;
-    net::Network n(cfg);
-    workload::PoissonParams pp;
-    pp.rate_per_node = 3.0;  // saturate every queue
-    pp.seed = 31;
-    pp.min_laxity_slots = 100;
-    pp.max_laxity_slots = 2000;
-    workload::PoissonGenerator gen(
-        n, pp, sim::TimePoint::origin() + n.timing().slot() * 5000);
-    n.run_slots(5000);
-    const double measured = n.stats().slot_time_fraction();
+  for (const sweep::PointResult& pr : res.points) {
+    const double u_max = pr.mean(sweep::Metric::kUMax);
+    const double measured = pr.mean(sweep::Metric::kSlotFraction);
     m.row()
-        .cell(static_cast<std::int64_t>(nodes))
-        .cell(n.timing().u_max(), 4)
+        .cell(static_cast<std::int64_t>(pr.point.nodes))
+        .cell(u_max, 4)
         .cell(measured, 4)
-        .cell(measured >= n.timing().u_max() - 1e-9 ? "yes" : "NO");
+        .cell(measured >= u_max - 1e-9 ? "yes" : "NO");
   }
   m.note("measured >= U_max because real hand-overs average < N-1 hops; "
          "Eq. 6 is the guaranteed worst case");

@@ -1,28 +1,80 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build + test under the release and asan presets,
-# then run the slot-throughput benchmark (release) and print its JSON.
+# Full pre-merge check: build + test under the sanitizer/release presets,
+# then run the release benchmarks and validate their JSON output.
 #
-# Usage: scripts/check.sh [--quick]
-#   --quick   shorter benchmark measurement windows (smoke test)
+# Usage: scripts/check.sh [--quick] [--presets "release asan ubsan"]
+#   --quick       shorter benchmark measurement windows (smoke test)
+#   --presets     space-separated CMake preset list (default: all three);
+#                 CI legs that already built elsewhere pass e.g.
+#                 `--presets release` to only smoke the benches.
+#
+# Fails loudly when a bench binary is missing, exits non-zero, or writes
+# a JSON document that does not validate against the bench schema.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=""
-if [[ "${1:-}" == "--quick" ]]; then
-  QUICK="--quick"
-fi
+PRESETS=(release asan ubsan)
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick)
+      QUICK="--quick"
+      shift
+      ;;
+    --presets)
+      [[ $# -ge 2 ]] || { echo "check.sh: --presets needs a value" >&2; exit 2; }
+      read -r -a PRESETS <<< "$2"
+      shift 2
+      ;;
+    *)
+      echo "check.sh: unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-for preset in release asan; do
+for preset in "${PRESETS[@]}"; do
   echo "==== preset: ${preset} ===="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${JOBS}"
   ctest --preset "${preset}"
 done
 
-echo "==== bench: slot throughput (release) ===="
-./build-release/bench/bench_slot_throughput ${QUICK} \
-    --json BENCH_slot_throughput.json
-echo "---- BENCH_slot_throughput.json ----"
-cat BENCH_slot_throughput.json
+# run_bench NAME [ARGS...]: run a release bench with --json and validate
+# the document it wrote.
+run_bench() {
+  local name="$1"
+  shift
+  local bin="./build-release/bench/${name}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "check.sh: FATAL: bench binary missing: ${bin}" >&2
+    exit 1
+  fi
+  local json="BENCH_${name#bench_}.json"
+  echo "==== bench: ${name} (release) ===="
+  "${bin}" "$@" --json "${json}"
+  python3 scripts/validate_bench_json.py "${json}"
+}
+
+run_bench bench_slot_throughput ${QUICK}
+run_bench bench_sweep ${QUICK}
+
+# The sweep CLI's determinism contract: byte-identical reports at any
+# worker-thread count.
+echo "==== sweep determinism (1 vs 8 threads) ===="
+SWEEP=./build-release/tools/ccredf_sweep
+if [[ ! -x "${SWEEP}" ]]; then
+  echo "check.sh: FATAL: tool binary missing: ${SWEEP}" >&2
+  exit 1
+fi
+TMPDIR_SWEEP="$(mktemp -d)"
+trap 'rm -rf "${TMPDIR_SWEEP}"' EXIT
+"${SWEEP}" tools/grids/smoke.grid --threads 1 --out "${TMPDIR_SWEEP}/t1.json"
+"${SWEEP}" tools/grids/smoke.grid --threads 8 --out "${TMPDIR_SWEEP}/t8.json"
+cmp "${TMPDIR_SWEEP}/t1.json" "${TMPDIR_SWEEP}/t8.json"
+python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/t1.json"
+echo "sweep reports byte-identical across thread counts"
+
+echo "==== check.sh: all green ===="

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Style lint that runs everywhere (no clang-format binary needed).
+
+Checks the invariants .clang-format enforces that are cheap to verify
+textually -- CI additionally runs the real `clang-format --dry-run`:
+
+  * no tab characters in C++ sources
+  * no trailing whitespace
+  * no CRLF line endings
+  * every file ends with exactly one newline
+  * lines within the 80-column limit (URLs in comments exempt)
+
+Usage: format_check.py [ROOT]
+"""
+import pathlib
+import sys
+
+CXX_GLOBS = ("src", "bench", "tests", "tools", "examples")
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+COLUMN_LIMIT = 80
+
+
+def check_file(path):
+    problems = []
+    raw = path.read_bytes()
+    if b"\r" in raw:
+        problems.append("CRLF line ending")
+    if raw and not raw.endswith(b"\n"):
+        problems.append("missing final newline")
+    if raw.endswith(b"\n\n"):
+        problems.append("trailing blank line at EOF")
+    text = raw.decode("utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "\t" in line:
+            problems.append(f"line {lineno}: tab character")
+        if line != line.rstrip():
+            problems.append(f"line {lineno}: trailing whitespace")
+        if len(line) > COLUMN_LIMIT and "http" not in line:
+            problems.append(
+                f"line {lineno}: {len(line)} columns (limit {COLUMN_LIMIT})"
+            )
+    return problems
+
+
+def main(argv):
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path(".")
+    failures = 0
+    checked = 0
+    for top in CXX_GLOBS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES:
+                continue
+            checked += 1
+            for problem in check_file(path):
+                print(f"{path}: {problem}", file=sys.stderr)
+                failures += 1
+    print(f"format_check: {checked} files, {failures} problems")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,131 @@
+#include "analysis/json_writer.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ccredf::analysis {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::array<char, 64> buf{};
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  CCREDF_EXPECT(res.ec == std::errc{}, "json_number: to_chars failed");
+  return std::string(buf.data(), res.ptr);
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xF]);
+          out.push_back(hex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_prev_.empty()) {
+    if (has_prev_.back()) os_ << ',';
+    has_prev_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  has_prev_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  CCREDF_EXPECT(!has_prev_.empty(), "JsonWriter: unbalanced end_object");
+  has_prev_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  has_prev_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  CCREDF_EXPECT(!has_prev_.empty(), "JsonWriter: unbalanced end_array");
+  has_prev_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  os_ << json_quote(name) << ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  os_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  os_ << json_quote(s);
+  return *this;
+}
+
+}  // namespace ccredf::analysis

@@ -1,0 +1,64 @@
+// Deterministic JSON emission for machine-readable reports.
+//
+// The sweep runner's contract is that the aggregated report is
+// byte-identical regardless of worker-thread count, so every number must
+// render identically on every run.  Doubles are printed with
+// std::to_chars (shortest round-trip form) which is locale-independent
+// and fully determined by the double's bit pattern; NaN/inf (which JSON
+// cannot represent) become null.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccredf::analysis {
+
+/// Shortest round-trip rendering of `v`, or "null" when not finite.
+[[nodiscard]] std::string json_number(double v);
+
+/// RFC 8259 string escaping (quotes included).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Streaming writer producing compact, key-ordered-as-written JSON.
+/// Usage:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("points").begin_array();
+///   ...
+///   w.end_array();
+///   w.end_object();
+/// Commas are inserted automatically; the caller provides structure.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes `"name":`; must be followed by exactly one value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+
+ private:
+  void separate();
+
+  std::ostream& os_;
+  // One entry per open container: whether a value was already written
+  // (i.e. the next sibling needs a comma prefix).
+  std::vector<bool> has_prev_;
+  bool after_key_ = false;
+};
+
+}  // namespace ccredf::analysis

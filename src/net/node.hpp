@@ -37,7 +37,9 @@ class Node {
   [[nodiscard]] bool inbox_recording() const { return record_inbox_; }
 
   /// Invoked (in addition to inbox recording) on every delivery.
-  void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+  void set_delivery_callback(DeliveryCallback cb) {
+    on_delivery_ = std::move(cb);
+  }
 
   void deliver(const core::Delivery& d) {
     if (record_inbox_) inbox_.push_back(d);

@@ -94,4 +94,19 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+std::uint64_t Rng::stream_seed(std::uint64_t base, std::uint64_t a,
+                               std::uint64_t b) {
+  // Each word passes through the full splitmix64 finaliser before the next
+  // is absorbed, so streams that differ in a single bit of (base, a, b)
+  // decorrelate completely.  Distinct odd multipliers keep (a, b) and
+  // (b, a) from colliding.
+  std::uint64_t x = base;
+  std::uint64_t h = splitmix64(x);
+  x ^= a * 0xA24BAED4963EE407ull;
+  h ^= splitmix64(x);
+  x ^= b * 0x9FB21C651E98DF25ull;
+  h ^= splitmix64(x);
+  return h;
+}
+
 }  // namespace ccredf::sim

@@ -53,6 +53,20 @@ class Rng {
   /// Derives an independent child generator (for per-node streams).
   Rng fork();
 
+  /// A generator for substream (a, b) of `base` (see stream_seed).
+  static Rng stream(std::uint64_t base, std::uint64_t a, std::uint64_t b) {
+    return Rng(stream_seed(base, a, b));
+  }
+
+  /// SplitMix-style counter-based stream derivation: maps (base, a, b) to
+  /// a seed whose generators are statistically independent across distinct
+  /// (a, b) pairs.  Unlike fork(), derivation is stateless, so parallel
+  /// workers can key their streams on (grid-point index, repetition)
+  /// without any shared generator -- the foundation of the sweep runner's
+  /// thread-count-independent determinism.
+  static std::uint64_t stream_seed(std::uint64_t base, std::uint64_t a,
+                                   std::uint64_t b);
+
  private:
   static std::uint64_t splitmix64(std::uint64_t& x);
   std::array<std::uint64_t, 4> s_{};

@@ -1,0 +1,382 @@
+#include "sweep/grid.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "baseline/ccfpr.hpp"
+#include "baseline/tdma.hpp"
+#include "common/error.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::sweep {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kCcrEdf:
+      return "CCR-EDF";
+    case Protocol::kCcFpr:
+      return "CC-FPR";
+    case Protocol::kTdma:
+      return "TDMA";
+  }
+  return "?";
+}
+
+const char* mix_name(WorkloadMix m) {
+  switch (m) {
+    case WorkloadMix::kPeriodic:
+      return "periodic";
+    case WorkloadMix::kMixed:
+      return "mixed";
+    case WorkloadMix::kSaturation:
+      return "saturation";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+bool parse_protocol(const std::string& s, Protocol& out) {
+  const std::string l = lower(s);
+  if (l == "ccr-edf" || l == "ccredf" || l == "edf") {
+    out = Protocol::kCcrEdf;
+  } else if (l == "cc-fpr" || l == "ccfpr" || l == "fpr") {
+    out = Protocol::kCcFpr;
+  } else if (l == "tdma") {
+    out = Protocol::kTdma;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_mix(const std::string& s, WorkloadMix& out) {
+  const std::string l = lower(s);
+  if (l == "periodic") {
+    out = WorkloadMix::kPeriodic;
+  } else if (l == "mixed") {
+    out = WorkloadMix::kMixed;
+  } else if (l == "saturation") {
+    out = WorkloadMix::kSaturation;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::size_t GridSpec::point_count() const {
+  return protocols.size() * node_counts.size() * utilisations.size() *
+         mixes.size() * set_seeds.size();
+}
+
+std::vector<GridPoint> GridSpec::expand() const {
+  std::vector<GridPoint> points;
+  points.reserve(point_count());
+  std::size_t index = 0;
+  for (const Protocol proto : protocols) {
+    for (const NodeId nodes : node_counts) {
+      for (const double u : utilisations) {
+        for (const WorkloadMix mix : mixes) {
+          for (const std::uint64_t seed : set_seeds) {
+            GridPoint p;
+            p.index = index++;
+            p.protocol = proto;
+            p.nodes = nodes;
+            p.utilisation = u;
+            p.mix = mix;
+            p.set_seed = seed;
+            points.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::string GridSpec::validate() const {
+  if (protocols.empty()) return "protocols axis is empty";
+  if (node_counts.empty()) return "nodes axis is empty";
+  if (utilisations.empty()) return "utilisations axis is empty";
+  if (mixes.empty()) return "mixes axis is empty";
+  if (set_seeds.empty()) return "seeds axis is empty";
+  for (const NodeId n : node_counts) {
+    if (n < 2 || n > kMaxNodes) return "node count out of [2, 64]";
+  }
+  for (const double u : utilisations) {
+    if (!(u > 0.0) || u > 1.0) return "utilisation fraction out of (0, 1]";
+  }
+  if (repetitions < 1) return "repetitions must be >= 1";
+  if (slots < 1) return "slots must be >= 1";
+  if (connections_per_node < 1) return "connections_per_node must be >= 1";
+  if (min_period_slots < 1 || max_period_slots < min_period_slots) {
+    return "period range must satisfy 1 <= min <= max";
+  }
+  if (multicast_fraction < 0.0 || multicast_fraction > 1.0) {
+    return "multicast_fraction out of [0, 1]";
+  }
+  if (!(background_rate >= 0.0)) return "background_rate must be >= 0";
+  if (!(saturation_rate > 0.0)) return "saturation_rate must be > 0";
+  if (!(link_length_m > 0.0)) return "link_length_m must be > 0";
+  if (slot_payload_bytes < 0) return "payload_bytes must be >= 0";
+  return "";
+}
+
+std::uint64_t workload_key(const GridPoint& p) {
+  // Protocol intentionally excluded (paired comparisons across protocols).
+  std::uint64_t k = sim::Rng::stream_seed(p.set_seed, p.nodes,
+                                          std::bit_cast<std::uint64_t>(
+                                              p.utilisation));
+  k = sim::Rng::stream_seed(k, static_cast<std::uint64_t>(p.mix), 0);
+  return k;
+}
+
+std::uint64_t shard_seed(const GridSpec& spec, const GridPoint& p,
+                         int repetition) {
+  return sim::Rng::stream_seed(spec.base_seed, workload_key(p),
+                               static_cast<std::uint64_t>(repetition));
+}
+
+net::NetworkConfig make_network_config(const GridSpec& spec,
+                                       const GridPoint& p) {
+  net::NetworkConfig cfg;
+  cfg.nodes = p.nodes;
+  cfg.link_length_m = spec.link_length_m;
+  cfg.slot_payload_bytes = spec.slot_payload_bytes;
+  cfg.spatial_reuse = spec.spatial_reuse;
+  // Long sweeps must stay allocation-free and memory-bounded.
+  cfg.record_inboxes = false;
+  switch (p.protocol) {
+    case Protocol::kCcrEdf:
+      break;  // default factory
+    case Protocol::kCcFpr:
+      cfg.protocol_factory = baseline::ccfpr_factory();
+      break;
+    case Protocol::kTdma:
+      cfg.protocol_factory = baseline::tdma_factory();
+      break;
+  }
+  return cfg;
+}
+
+// -- grid-file parsing ---------------------------------------------------
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> items;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoll(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoull(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_f64(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_flag(const std::string& s, bool& out) {
+  const std::string l = lower(s);
+  if (l == "true" || l == "on" || l == "1") {
+    out = true;
+  } else if (l == "false" || l == "off" || l == "0") {
+    out = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_grid(const std::string& text, GridSpec& spec,
+                std::string& error) {
+  GridSpec out = spec;
+  std::stringstream ss(text);
+  std::string line;
+  int lineno = 0;
+  const auto fail = [&](const std::string& what) {
+    std::ostringstream os;
+    os << "line " << lineno << ": " << what;
+    error = os.str();
+    return false;
+  };
+  while (std::getline(ss, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected `key = value`");
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    const std::vector<std::string> items = split_list(value);
+    if (items.empty()) return fail("empty value for `" + key + "`");
+
+    if (key == "protocols") {
+      out.protocols.clear();
+      for (const auto& it : items) {
+        Protocol p;
+        if (!parse_protocol(it, p)) {
+          return fail("unknown protocol `" + it + "`");
+        }
+        out.protocols.push_back(p);
+      }
+    } else if (key == "nodes") {
+      out.node_counts.clear();
+      for (const auto& it : items) {
+        std::int64_t n;
+        if (!parse_i64(it, n) || n < 2 ||
+            n > static_cast<std::int64_t>(kMaxNodes)) {
+          return fail("bad node count `" + it + "`");
+        }
+        out.node_counts.push_back(static_cast<NodeId>(n));
+      }
+    } else if (key == "utilisations") {
+      out.utilisations.clear();
+      for (const auto& it : items) {
+        double u;
+        if (!parse_f64(it, u)) return fail("bad utilisation `" + it + "`");
+        out.utilisations.push_back(u);
+      }
+    } else if (key == "mixes") {
+      out.mixes.clear();
+      for (const auto& it : items) {
+        WorkloadMix m;
+        if (!parse_mix(it, m)) return fail("unknown mix `" + it + "`");
+        out.mixes.push_back(m);
+      }
+    } else if (key == "seeds") {
+      out.set_seeds.clear();
+      for (const auto& it : items) {
+        std::uint64_t s;
+        if (!parse_u64(it, s)) return fail("bad seed `" + it + "`");
+        out.set_seeds.push_back(s);
+      }
+    } else {
+      // Scalar keys take exactly one value.
+      if (items.size() != 1) return fail("`" + key + "` takes one value");
+      const std::string& it = items[0];
+      std::int64_t i = 0;
+      double f = 0.0;
+      if (key == "repetitions") {
+        if (!parse_i64(it, i) || i < 1) return fail("bad repetitions");
+        out.repetitions = static_cast<int>(i);
+      } else if (key == "slots") {
+        if (!parse_i64(it, i) || i < 1) return fail("bad slots");
+        out.slots = i;
+      } else if (key == "connections_per_node") {
+        if (!parse_i64(it, i) || i < 1) {
+          return fail("bad connections_per_node");
+        }
+        out.connections_per_node = static_cast<int>(i);
+      } else if (key == "min_period_slots") {
+        if (!parse_i64(it, i) || i < 1) return fail("bad min_period_slots");
+        out.min_period_slots = i;
+      } else if (key == "max_period_slots") {
+        if (!parse_i64(it, i) || i < 1) return fail("bad max_period_slots");
+        out.max_period_slots = i;
+      } else if (key == "multicast_fraction") {
+        if (!parse_f64(it, f)) return fail("bad multicast_fraction");
+        out.multicast_fraction = f;
+      } else if (key == "background_rate") {
+        if (!parse_f64(it, f)) return fail("bad background_rate");
+        out.background_rate = f;
+      } else if (key == "saturation_rate") {
+        if (!parse_f64(it, f)) return fail("bad saturation_rate");
+        out.saturation_rate = f;
+      } else if (key == "link_length_m") {
+        if (!parse_f64(it, f)) return fail("bad link_length_m");
+        out.link_length_m = f;
+      } else if (key == "payload_bytes") {
+        if (!parse_i64(it, i) || i < 0) return fail("bad payload_bytes");
+        out.slot_payload_bytes = i;
+      } else if (key == "spatial_reuse") {
+        bool b;
+        if (!parse_flag(it, b)) return fail("bad spatial_reuse");
+        out.spatial_reuse = b;
+      } else if (key == "base_seed") {
+        std::uint64_t s;
+        if (!parse_u64(it, s)) return fail("bad base_seed");
+        out.base_seed = s;
+      } else {
+        return fail("unknown key `" + key + "`");
+      }
+    }
+  }
+  const std::string invalid = out.validate();
+  if (!invalid.empty()) {
+    error = invalid;
+    return false;
+  }
+  spec = out;
+  error.clear();
+  return true;
+}
+
+bool load_grid_file(const std::string& path, GridSpec& spec,
+                    std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open grid file `" + path + "`";
+    return false;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (!parse_grid(os.str(), spec, error)) {
+    error = path + ": " + error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ccredf::sweep

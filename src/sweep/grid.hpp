@@ -1,0 +1,135 @@
+// Declarative parameter grids for scenario sweeps.
+//
+// A GridSpec is the cross product of per-axis value lists (protocol, ring
+// size, offered utilisation, workload mix, workload-set seed) repeated
+// `repetitions` times.  expand() enumerates the grid points in a fixed
+// canonical order (protocol outermost, seed innermost), which the runner
+// and the report rely on: shard -> (point, repetition) numbering is the
+// same no matter how many worker threads execute the sweep.
+//
+// Determinism contract: the workload of a shard is keyed on
+// (base_seed, workload_key(point), repetition) via sim::Rng::stream_seed.
+// workload_key deliberately EXCLUDES the protocol axis, so CCR-EDF,
+// CC-FPR and TDMA points that agree on every other axis run bit-identical
+// connection sets -- the paired-comparison methodology of E6.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/config.hpp"
+
+namespace ccredf::sweep {
+
+enum class Protocol { kCcrEdf, kCcFpr, kTdma };
+
+/// Workload shape run at a grid point.
+enum class WorkloadMix {
+  /// Admission-controlled periodic connections only.
+  kPeriodic,
+  /// Periodic connections plus a Poisson best-effort background at
+  /// GridSpec::background_rate per node.
+  kMixed,
+  /// No connections; every node saturated with Poisson best-effort
+  /// traffic (the §5 analysis mode, used by E4c).
+  kSaturation,
+};
+
+[[nodiscard]] const char* protocol_name(Protocol p);
+[[nodiscard]] const char* mix_name(WorkloadMix m);
+
+/// Parses "ccr-edf" / "cc-fpr" / "tdma" (case-insensitive); returns false
+/// on unknown names.
+bool parse_protocol(const std::string& s, Protocol& out);
+/// Parses "periodic" / "mixed" / "saturation".
+bool parse_mix(const std::string& s, WorkloadMix& out);
+
+/// One cell of the expanded grid.
+struct GridPoint {
+  std::size_t index = 0;  // position in expand() order
+  Protocol protocol = Protocol::kCcrEdf;
+  NodeId nodes = 8;
+  /// Offered utilisation as a fraction of the ring's U_max (Eq. 6).
+  double utilisation = 0.5;
+  WorkloadMix mix = WorkloadMix::kPeriodic;
+  /// Workload-set seed axis (distinct sets at identical load).
+  std::uint64_t set_seed = 1;
+};
+
+struct GridSpec {
+  std::vector<Protocol> protocols{Protocol::kCcrEdf};
+  std::vector<NodeId> node_counts{8};
+  std::vector<double> utilisations{0.5};
+  std::vector<WorkloadMix> mixes{WorkloadMix::kPeriodic};
+  std::vector<std::uint64_t> set_seeds{1};
+  /// Independent repetitions per point (distinct RNG streams).
+  int repetitions = 1;
+
+  // -- per-run scenario parameters (shared by every point) ---------------
+  std::int64_t slots = 5000;
+  int connections_per_node = 2;
+  std::int64_t min_period_slots = 20;
+  std::int64_t max_period_slots = 2000;
+  double multicast_fraction = 0.0;
+  /// Poisson messages per slot-extent per node for kMixed / kSaturation.
+  double background_rate = 0.2;
+  double saturation_rate = 3.0;
+  double link_length_m = 10.0;
+  std::int64_t slot_payload_bytes = 0;  // 0 => network default
+  bool spatial_reuse = true;
+  /// Root of every derived RNG stream in this sweep.
+  std::uint64_t base_seed = 1;
+
+  [[nodiscard]] std::size_t point_count() const;
+  [[nodiscard]] std::size_t shard_count() const {
+    return point_count() * static_cast<std::size_t>(repetitions);
+  }
+  /// Enumerates all points in canonical order.
+  [[nodiscard]] std::vector<GridPoint> expand() const;
+
+  /// Validates axis lists are non-empty and scalars are in range;
+  /// returns an explanatory message on failure, empty string when valid.
+  [[nodiscard]] std::string validate() const;
+};
+
+/// Stream key for the workload of `p` -- identical for points differing
+/// only in protocol (see header comment).
+[[nodiscard]] std::uint64_t workload_key(const GridPoint& p);
+
+/// The derived seed for (point, repetition); what each shard hands to its
+/// workload generators.
+[[nodiscard]] std::uint64_t shard_seed(const GridSpec& spec,
+                                       const GridPoint& p, int repetition);
+
+/// Network construction parameters for a point (protocol factory wired).
+[[nodiscard]] net::NetworkConfig make_network_config(const GridSpec& spec,
+                                                     const GridPoint& p);
+
+// -- grid files ----------------------------------------------------------
+//
+// Line-oriented `key = value[, value...]` format with '#' comments:
+//
+//   protocols     = ccr-edf, cc-fpr, tdma
+//   nodes         = 4, 8, 16
+//   utilisations  = 0.3, 0.5, 0.7, 0.85
+//   mixes         = periodic
+//   seeds         = 1, 2
+//   repetitions   = 3
+//   slots         = 5000
+//
+// Unknown keys and malformed values are hard errors (a silently ignored
+// axis would invalidate an experiment).
+
+/// Parses grid-file text into `spec` (fields not mentioned keep their
+/// defaults).  On error returns false and sets `error`.
+bool parse_grid(const std::string& text, GridSpec& spec, std::string& error);
+
+/// Reads and parses `path`; distinguishes I/O and syntax errors in
+/// `error`.
+bool load_grid_file(const std::string& path, GridSpec& spec,
+                    std::string& error);
+
+}  // namespace ccredf::sweep

@@ -1,0 +1,119 @@
+#include "sweep/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/json_writer.hpp"
+
+namespace ccredf::sweep {
+
+namespace {
+
+void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
+  w.key("grid").begin_object();
+  w.key("protocols").begin_array();
+  for (const Protocol p : spec.protocols) w.value(protocol_name(p));
+  w.end_array();
+  w.key("nodes").begin_array();
+  for (const NodeId n : spec.node_counts) {
+    w.value(static_cast<std::int64_t>(n));
+  }
+  w.end_array();
+  w.key("utilisations").begin_array();
+  for (const double u : spec.utilisations) w.value(u);
+  w.end_array();
+  w.key("mixes").begin_array();
+  for (const WorkloadMix m : spec.mixes) w.value(mix_name(m));
+  w.end_array();
+  w.key("seeds").begin_array();
+  for (const std::uint64_t s : spec.set_seeds) w.value(s);
+  w.end_array();
+  w.key("repetitions").value(spec.repetitions);
+  w.key("slots").value(spec.slots);
+  w.key("connections_per_node").value(spec.connections_per_node);
+  w.key("min_period_slots").value(spec.min_period_slots);
+  w.key("max_period_slots").value(spec.max_period_slots);
+  w.key("multicast_fraction").value(spec.multicast_fraction);
+  w.key("background_rate").value(spec.background_rate);
+  w.key("saturation_rate").value(spec.saturation_rate);
+  w.key("link_length_m").value(spec.link_length_m);
+  w.key("payload_bytes").value(spec.slot_payload_bytes);
+  w.key("spatial_reuse").value(spec.spatial_reuse);
+  w.key("base_seed").value(spec.base_seed);
+  w.end_object();
+}
+
+void write_point(analysis::JsonWriter& w, const PointResult& pr) {
+  w.begin_object();
+  w.key("protocol").value(protocol_name(pr.point.protocol));
+  w.key("nodes").value(static_cast<std::int64_t>(pr.point.nodes));
+  w.key("utilisation").value(pr.point.utilisation);
+  w.key("mix").value(mix_name(pr.point.mix));
+  w.key("set_seed").value(pr.point.set_seed);
+  w.key("failed_shards").value(pr.failed_shards);
+  w.key("metrics").begin_object();
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const sim::OnlineStats& st = pr.metrics[i];
+    w.key(metric_name(static_cast<Metric>(i))).begin_object();
+    w.key("count").value(st.count());
+    w.key("mean").value(st.mean());
+    w.key("stddev").value(st.stddev());
+    w.key("min").value(st.min());
+    w.key("max").value(st.max());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_json(const SweepResult& result, std::ostream& os) {
+  analysis::JsonWriter w(os);
+  w.begin_object();
+  w.key("report").value("ccredf-sweep");
+  write_spec(w, result.spec);
+  w.key("shards").value(result.shards);
+  w.key("failed_shards").value(result.failed_shards);
+  w.key("points").begin_array();
+  for (const PointResult& pr : result.points) write_point(w, pr);
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::string to_json(const SweepResult& result) {
+  std::ostringstream os;
+  write_json(result, os);
+  return os.str();
+}
+
+bool write_json_file(const SweepResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(result, out);
+  return static_cast<bool>(out);
+}
+
+analysis::Table to_table(const SweepResult& result,
+                         const std::vector<Metric>& metrics,
+                         const std::string& title) {
+  analysis::Table t(title);
+  std::vector<std::string> headers{"protocol", "nodes", "u/U_max", "mix",
+                                   "seed"};
+  for (const Metric m : metrics) headers.emplace_back(metric_name(m));
+  t.columns(std::move(headers));
+  for (const PointResult& pr : result.points) {
+    auto row = t.row();
+    row.cell(protocol_name(pr.point.protocol))
+        .cell(static_cast<std::int64_t>(pr.point.nodes))
+        .cell(pr.point.utilisation, 2)
+        .cell(mix_name(pr.point.mix))
+        .cell(static_cast<std::int64_t>(pr.point.set_seed));
+    for (const Metric m : metrics) row.cell(pr.mean(m), 4);
+  }
+  return t;
+}
+
+}  // namespace ccredf::sweep

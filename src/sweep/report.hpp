@@ -1,0 +1,33 @@
+// Serialization of sweep results.
+//
+// to_json() is the determinism boundary: it echoes the grid, then one
+// object per point in canonical order with {count, mean, stddev, min,
+// max} per metric, all numbers rendered by analysis::json_number
+// (shortest round-trip).  Two sweeps of the same grid produce
+// byte-identical documents regardless of worker-thread count.
+// Wall-clock timing deliberately never appears here.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "sweep/runner.hpp"
+
+namespace ccredf::sweep {
+
+/// Writes the aggregated report as a single-line JSON document + '\n'.
+void write_json(const SweepResult& result, std::ostream& os);
+
+[[nodiscard]] std::string to_json(const SweepResult& result);
+
+/// Writes to_json() to `path`; returns false on I/O failure.
+bool write_json_file(const SweepResult& result, const std::string& path);
+
+/// Human-readable rendering: one row per point, mean of each metric in
+/// `metrics` (report order preserved).
+[[nodiscard]] analysis::Table to_table(const SweepResult& result,
+                                       const std::vector<Metric>& metrics,
+                                       const std::string& title);
+
+}  // namespace ccredf::sweep

@@ -1,0 +1,190 @@
+#include "sweep/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <thread>
+
+#include "common/error.hpp"
+#include "net/network.hpp"
+#include "workload/periodic.hpp"
+#include "workload/poisson.hpp"
+
+namespace ccredf::sweep {
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kUMax:
+      return "u_max";
+    case Metric::kAdmittedFraction:
+      return "admitted_fraction";
+    case Metric::kRtDelivered:
+      return "rt_delivered";
+    case Metric::kSchedMissRatio:
+      return "sched_miss_ratio";
+    case Metric::kUserMissRatio:
+      return "user_miss_ratio";
+    case Metric::kUserMisses:
+      return "user_misses";
+    case Metric::kInversions:
+      return "inversions";
+    case Metric::kMeanLatencyUs:
+      return "mean_latency_us";
+    case Metric::kSlotFraction:
+      return "slot_fraction";
+    case Metric::kGoodputBps:
+      return "goodput_bps";
+    case Metric::kGrantsPerBusySlot:
+      return "grants_per_busy_slot";
+  }
+  return "?";
+}
+
+namespace {
+
+ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
+                            int repetition) {
+  net::Network n(make_network_config(spec, point));
+  const std::uint64_t seed = shard_seed(spec, point, repetition);
+
+  int requested = 0;
+  int admitted = 0;
+  if (point.mix != WorkloadMix::kSaturation) {
+    workload::PeriodicSetParams wp;
+    wp.nodes = point.nodes;
+    wp.connections =
+        spec.connections_per_node * static_cast<int>(point.nodes);
+    wp.total_utilisation = point.utilisation * n.timing().u_max();
+    wp.min_period_slots = spec.min_period_slots;
+    wp.max_period_slots = spec.max_period_slots;
+    wp.multicast_fraction = spec.multicast_fraction;
+    wp.seed = seed;
+    const auto set = workload::make_periodic_set(wp);
+    requested = static_cast<int>(set.size());
+    for (const auto& c : set) {
+      if (n.open_connection(c).admitted) ++admitted;
+    }
+  }
+
+  // Background / saturation traffic keeps its own derived stream so the
+  // periodic set is untouched by the mix axis' Poisson draws.
+  std::optional<workload::PoissonGenerator> background;
+  if (point.mix != WorkloadMix::kPeriodic) {
+    workload::PoissonParams pp;
+    pp.rate_per_node = point.mix == WorkloadMix::kSaturation
+                           ? spec.saturation_rate
+                           : spec.background_rate;
+    pp.seed = sim::Rng::stream_seed(seed, 0x6261636Bull /* "back" */, 0);
+    if (point.mix == WorkloadMix::kSaturation) {
+      pp.min_laxity_slots = 100;
+      pp.max_laxity_slots = 2000;
+    }
+    background.emplace(n, pp,
+                       sim::TimePoint::origin() +
+                           n.timing().slot() * spec.slots);
+  }
+
+  n.run_slots(spec.slots);
+
+  const auto& rt = n.stats().cls(core::TrafficClass::kRealTime);
+  ShardMetrics m;
+  m[Metric::kUMax] = n.timing().u_max();
+  m[Metric::kAdmittedFraction] =
+      requested == 0 ? 0.0
+                     : static_cast<double>(admitted) /
+                           static_cast<double>(requested);
+  m[Metric::kRtDelivered] = static_cast<double>(rt.delivered);
+  m[Metric::kSchedMissRatio] = rt.scheduling_miss_ratio();
+  m[Metric::kUserMissRatio] = rt.user_miss_ratio();
+  m[Metric::kUserMisses] = static_cast<double>(rt.user_misses);
+  m[Metric::kInversions] =
+      static_cast<double>(n.stats().priority_inversions);
+  m[Metric::kMeanLatencyUs] = rt.latency.mean() / 1e6;
+  m[Metric::kSlotFraction] = n.stats().slot_time_fraction();
+  m[Metric::kGoodputBps] = n.stats().goodput_bps();
+  m[Metric::kGrantsPerBusySlot] = n.stats().mean_grants_per_busy_slot();
+  m.ok = true;
+  return m;
+}
+
+}  // namespace
+
+ShardMetrics run_shard(const GridSpec& spec, const GridPoint& point,
+                       int repetition) {
+  try {
+    return run_shard_impl(spec, point, repetition);
+  } catch (const std::exception&) {
+    return ShardMetrics{};  // ok == false
+  }
+}
+
+SweepResult run_sweep(const GridSpec& spec, const RunOptions& opts) {
+  CCREDF_EXPECT(spec.validate().empty(), "run_sweep: invalid grid spec");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::vector<GridPoint> points = spec.expand();
+  const auto reps = static_cast<std::size_t>(spec.repetitions);
+  const std::size_t shards = points.size() * reps;
+  std::vector<ShardMetrics> shard_results(shards);
+
+  int threads = opts.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), shards));
+
+  // Dynamic claiming balances the load (a 64-node shard costs far more
+  // than a 4-node one); result slots are indexed by shard id so the
+  // claiming order leaves no trace in the output.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards) return;
+      shard_results[s] = run_shard(spec, points[s / reps],
+                                   static_cast<int>(s % reps));
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  // Serial fold in canonical shard order: OnlineStats accumulation is
+  // order-sensitive in the last floating-point bits, so the fold order is
+  // pinned here, once, for every thread count.
+  SweepResult result;
+  result.spec = spec;
+  result.shards = static_cast<std::int64_t>(shards);
+  result.points.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    PointResult pr;
+    pr.point = points[p];
+    for (std::size_t r = 0; r < reps; ++r) {
+      const ShardMetrics& sm = shard_results[p * reps + r];
+      if (!sm.ok) {
+        ++pr.failed_shards;
+        ++result.failed_shards;
+        continue;
+      }
+      for (std::size_t i = 0; i < kMetricCount; ++i) {
+        pr.metrics[i].add(sm.values[i]);
+      }
+    }
+    result.points.push_back(std::move(pr));
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace ccredf::sweep

@@ -40,8 +40,9 @@ TEST(EventQueueStress, InterleavedScheduleCancelPopKeepsOrder) {
       Scheduled s;
       s.time_ns = now_ns + rng.uniform_int(0, 40);
       s.serial = next_serial++;
-      s.id = q.schedule(at_ns(s.time_ns),
-                        [&fired, serial = s.serial] { fired.push_back(serial); });
+      s.id = q.schedule(at_ns(s.time_ns), [&fired, serial = s.serial] {
+        fired.push_back(serial);
+      });
       pending.push_back(s);
     }
     // Cancel a few pending events at random.

@@ -1,0 +1,131 @@
+// GridSpec expansion, validation and grid-file parsing.
+#include <gtest/gtest.h>
+
+#include "sweep/grid.hpp"
+
+namespace ccredf::sweep {
+namespace {
+
+TEST(GridTest, ExpansionIsFullCrossProductInCanonicalOrder) {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf, Protocol::kTdma};
+  spec.node_counts = {4, 8};
+  spec.utilisations = {0.3, 0.7};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.set_seeds = {1, 2, 3};
+  spec.repetitions = 4;
+
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), spec.point_count());
+  EXPECT_EQ(points.size(), 2u * 2u * 2u * 1u * 3u);
+  EXPECT_EQ(spec.shard_count(), points.size() * 4u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+  }
+  // Protocol is the outermost axis, seed the innermost.
+  EXPECT_EQ(points[0].protocol, Protocol::kCcrEdf);
+  EXPECT_EQ(points[0].set_seed, 1u);
+  EXPECT_EQ(points[1].set_seed, 2u);
+  EXPECT_EQ(points.back().protocol, Protocol::kTdma);
+  EXPECT_EQ(points.back().nodes, 8u);
+}
+
+TEST(GridTest, ValidateCatchesBadAxes) {
+  GridSpec spec;
+  EXPECT_TRUE(spec.validate().empty());
+  spec.utilisations = {1.5};
+  EXPECT_FALSE(spec.validate().empty());
+  spec = GridSpec{};
+  spec.protocols.clear();
+  EXPECT_FALSE(spec.validate().empty());
+  spec = GridSpec{};
+  spec.repetitions = 0;
+  EXPECT_FALSE(spec.validate().empty());
+  spec = GridSpec{};
+  spec.node_counts = {1};
+  EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(GridTest, ParsesFullGridFile) {
+  const std::string text = R"(
+# comment line
+protocols    = ccr-edf, cc-fpr, tdma
+nodes        = 4, 8       # trailing comment
+utilisations = 0.3, 0.85
+mixes        = periodic, mixed, saturation
+seeds        = 7, 11
+repetitions  = 3
+slots        = 1234
+connections_per_node = 4
+min_period_slots = 15
+max_period_slots = 150
+multicast_fraction = 0.25
+background_rate = 0.1
+saturation_rate = 2.5
+link_length_m = 25.5
+payload_bytes = 2048
+spatial_reuse = off
+base_seed = 99
+)";
+  GridSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_grid(text, spec, error)) << error;
+  EXPECT_EQ(spec.protocols.size(), 3u);
+  EXPECT_EQ(spec.node_counts, (std::vector<NodeId>{4, 8}));
+  EXPECT_EQ(spec.utilisations, (std::vector<double>{0.3, 0.85}));
+  EXPECT_EQ(spec.mixes.size(), 3u);
+  EXPECT_EQ(spec.set_seeds, (std::vector<std::uint64_t>{7, 11}));
+  EXPECT_EQ(spec.repetitions, 3);
+  EXPECT_EQ(spec.slots, 1234);
+  EXPECT_EQ(spec.connections_per_node, 4);
+  EXPECT_EQ(spec.min_period_slots, 15);
+  EXPECT_EQ(spec.max_period_slots, 150);
+  EXPECT_DOUBLE_EQ(spec.multicast_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(spec.background_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.saturation_rate, 2.5);
+  EXPECT_DOUBLE_EQ(spec.link_length_m, 25.5);
+  EXPECT_EQ(spec.slot_payload_bytes, 2048);
+  EXPECT_FALSE(spec.spatial_reuse);
+  EXPECT_EQ(spec.base_seed, 99u);
+}
+
+TEST(GridTest, UnmentionedKeysKeepDefaults) {
+  GridSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_grid("nodes = 16\n", spec, error)) << error;
+  EXPECT_EQ(spec.node_counts, (std::vector<NodeId>{16}));
+  EXPECT_EQ(spec.slots, GridSpec{}.slots);
+  EXPECT_EQ(spec.protocols.size(), 1u);
+}
+
+TEST(GridTest, RejectsMalformedInput) {
+  GridSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_grid("nodes 8\n", spec, error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(parse_grid("frobnicate = 1\n", spec, error));
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+  EXPECT_FALSE(parse_grid("protocols = csma\n", spec, error));
+  EXPECT_NE(error.find("unknown protocol"), std::string::npos);
+  EXPECT_FALSE(parse_grid("nodes = 0\n", spec, error));
+  EXPECT_FALSE(parse_grid("nodes = 999\n", spec, error));
+  EXPECT_FALSE(parse_grid("utilisations = banana\n", spec, error));
+  EXPECT_FALSE(parse_grid("slots = 10, 20\n", spec, error));
+  EXPECT_FALSE(parse_grid("repetitions = -1\n", spec, error));
+  // A failed parse must leave the spec untouched.
+  GridSpec untouched;
+  std::string err2;
+  EXPECT_FALSE(parse_grid("nodes = 16\nbogus = 1\n", untouched, err2));
+  EXPECT_EQ(untouched.node_counts, GridSpec{}.node_counts);
+}
+
+TEST(GridTest, ParserIsCrossFieldValidated) {
+  GridSpec spec;
+  std::string error;
+  // min > max period caught by the final validate() pass.
+  EXPECT_FALSE(parse_grid(
+      "min_period_slots = 100\nmax_period_slots = 50\n", spec, error));
+}
+
+}  // namespace
+}  // namespace ccredf::sweep

@@ -1,0 +1,70 @@
+// Regression: OnlineStats::merge() must equal serial accumulation -- the
+// sweep runner's aggregation correctness rests on it.  (The runner folds
+// in a fixed order so it is also byte-deterministic; here we only need
+// mathematical agreement to tight tolerance.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace ccredf::sim {
+namespace {
+
+TEST(StatsMergeTest, MergeOfShardsMatchesSerialAccumulation) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int shards = static_cast<int>(rng.uniform_int(1, 16));
+    OnlineStats serial;
+    std::vector<OnlineStats> parts(static_cast<std::size_t>(shards));
+    for (auto& part : parts) {
+      const int n = static_cast<int>(rng.uniform_int(0, 200));
+      for (int i = 0; i < n; ++i) {
+        // Mixed magnitudes stress the numerics.
+        const double x = rng.normal(0.0, 1.0) * std::pow(10.0, trial % 7);
+        serial.add(x);
+        part.add(x);
+      }
+    }
+    OnlineStats merged;
+    for (const auto& part : parts) merged.merge(part);
+
+    ASSERT_EQ(merged.count(), serial.count());
+    if (serial.count() == 0) continue;
+    EXPECT_NEAR(merged.mean(), serial.mean(),
+                1e-9 * (1.0 + std::fabs(serial.mean())));
+    EXPECT_NEAR(merged.variance(), serial.variance(),
+                1e-7 * (1.0 + serial.variance()));
+    EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+    EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+    EXPECT_NEAR(merged.sum(), serial.sum(),
+                1e-9 * (1.0 + std::fabs(serial.sum())));
+  }
+}
+
+TEST(StatsMergeTest, MergeIntoEmptyCopiesExactly) {
+  OnlineStats a;
+  OnlineStats b;
+  b.add(1.5);
+  b.add(-2.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+  EXPECT_DOUBLE_EQ(a.min(), -2.5);
+  EXPECT_DOUBLE_EQ(a.max(), 1.5);
+}
+
+TEST(StatsMergeTest, MergeOfEmptyIsNoop) {
+  OnlineStats a;
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(OnlineStats{});
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+}
+
+}  // namespace
+}  // namespace ccredf::sim

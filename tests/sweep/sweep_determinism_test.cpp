@@ -1,0 +1,102 @@
+// The sweep runner's load-bearing property: the aggregated report is a
+// pure function of the grid -- byte-identical for any worker-thread
+// count, and stable across repeated runs in one process.
+#include <gtest/gtest.h>
+
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
+
+namespace ccredf::sweep {
+namespace {
+
+GridSpec small_grid() {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf, Protocol::kCcFpr, Protocol::kTdma};
+  spec.node_counts = {4, 8};
+  spec.utilisations = {0.4, 0.8};
+  spec.mixes = {WorkloadMix::kPeriodic, WorkloadMix::kMixed};
+  spec.set_seeds = {5};
+  spec.repetitions = 2;
+  spec.slots = 200;
+  spec.base_seed = 3;
+  return spec;
+}
+
+TEST(SweepDeterminismTest, JsonIdenticalAcrossThreadCounts) {
+  const GridSpec spec = small_grid();
+  const std::string json_1 = to_json(run_sweep(spec, {.threads = 1}));
+  for (const int threads : {4, 8}) {
+    const std::string json_n =
+        to_json(run_sweep(spec, {.threads = threads}));
+    EXPECT_EQ(json_1, json_n) << "non-deterministic at " << threads
+                              << " threads";
+  }
+}
+
+TEST(SweepDeterminismTest, RepeatedRunsIdentical) {
+  const GridSpec spec = small_grid();
+  EXPECT_EQ(to_json(run_sweep(spec, {.threads = 2})),
+            to_json(run_sweep(spec, {.threads = 2})));
+}
+
+TEST(SweepDeterminismTest, ShardRerunsBitIdentical) {
+  const GridSpec spec = small_grid();
+  const auto points = spec.expand();
+  const ShardMetrics a = run_shard(spec, points[1], 0);
+  const ShardMetrics b = run_shard(spec, points[1], 0);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    EXPECT_EQ(a.values[i], b.values[i])
+        << "metric " << metric_name(static_cast<Metric>(i));
+  }
+}
+
+TEST(SweepDeterminismTest, RepetitionsAreDistinctRuns) {
+  // Distinct RNG streams per repetition: at least one metric must differ
+  // between rep 0 and rep 1 of the same stochastic point.
+  const GridSpec spec = small_grid();
+  const auto points = spec.expand();
+  const ShardMetrics r0 = run_shard(spec, points[0], 0);
+  const ShardMetrics r1 = run_shard(spec, points[0], 1);
+  ASSERT_TRUE(r0.ok);
+  ASSERT_TRUE(r1.ok);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    any_diff = any_diff || r0.values[i] != r1.values[i];
+  }
+  EXPECT_TRUE(any_diff) << "repetitions ran identical workloads";
+}
+
+TEST(SweepDeterminismTest, ProtocolsSeeIdenticalConnectionSets) {
+  // Paired comparison: CCR-EDF and TDMA points of the same scenario must
+  // admit against the same offered set -- equal admitted fractions (the
+  // admission test is protocol-independent).
+  GridSpec spec = small_grid();
+  spec.mixes = {WorkloadMix::kPeriodic};
+  const SweepResult res = run_sweep(spec, {.threads = 2});
+  ASSERT_EQ(res.failed_shards, 0);
+  const std::size_t per_proto = res.points.size() / spec.protocols.size();
+  for (std::size_t i = 0; i < per_proto; ++i) {
+    const PointResult& edf = res.points[i];
+    const PointResult& tdma = res.points[2 * per_proto + i];
+    EXPECT_EQ(edf.mean(Metric::kAdmittedFraction),
+              tdma.mean(Metric::kAdmittedFraction))
+        << "point " << i << " admitted different sets across protocols";
+  }
+}
+
+TEST(SweepDeterminismTest, AllShardsSucceedAndAggregate) {
+  const GridSpec spec = small_grid();
+  const SweepResult res = run_sweep(spec, {.threads = 8});
+  EXPECT_EQ(res.failed_shards, 0);
+  ASSERT_EQ(res.points.size(), spec.point_count());
+  EXPECT_EQ(res.shards, static_cast<std::int64_t>(spec.shard_count()));
+  for (const PointResult& pr : res.points) {
+    EXPECT_EQ(pr.stat(Metric::kRtDelivered).count(), spec.repetitions);
+    EXPECT_GT(pr.mean(Metric::kUMax), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ccredf::sweep
