@@ -60,6 +60,7 @@ run_bench() {
 
 run_bench bench_slot_throughput ${QUICK}
 run_bench bench_sweep ${QUICK}
+run_bench bench_fault_recovery ${QUICK}
 
 # The sweep CLI's determinism contract: byte-identical reports at any
 # worker-thread count.
@@ -76,5 +77,14 @@ trap 'rm -rf "${TMPDIR_SWEEP}"' EXIT
 cmp "${TMPDIR_SWEEP}/t1.json" "${TMPDIR_SWEEP}/t8.json"
 python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/t1.json"
 echo "sweep reports byte-identical across thread counts"
+
+# Same gate over the fault grid: the BER corruption paths must stay
+# byte-deterministic at any thread count (keyed fault RNG streams).
+echo "==== fault-grid determinism (1 vs 8 threads) ===="
+"${SWEEP}" tools/grids/fault_smoke.grid --threads 1 --out "${TMPDIR_SWEEP}/f1.json"
+"${SWEEP}" tools/grids/fault_smoke.grid --threads 8 --out "${TMPDIR_SWEEP}/f8.json"
+cmp "${TMPDIR_SWEEP}/f1.json" "${TMPDIR_SWEEP}/f8.json"
+python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/f1.json"
+echo "fault-grid reports byte-identical across thread counts"
 
 echo "==== check.sh: all green ===="

@@ -73,6 +73,43 @@ class BitReader {
   std::size_t pos_ = 0;
 };
 
+/// Bit-serial CRC-8 (polynomial 0x07 = x^8 + x^2 + x + 1, init 0).
+///
+/// The control channel is bit-serial, so the frame-integrity extension
+/// (FrameCodec with_crc) defines its checksum over the *bit* sequence of
+/// a frame, not over padded bytes; a receiver clocks each arriving bit
+/// through this register and compares against the trailing CRC field.
+/// The polynomial detects every single-bit error and every burst of at
+/// most 8 bits -- the error shapes a fibre-ribbon control link actually
+/// produces.
+class Crc8 {
+ public:
+  void push_bit(bool b) {
+    const bool msb = (crc_ & 0x80u) != 0;
+    crc_ = static_cast<std::uint8_t>(crc_ << 1);
+    if (msb != b) crc_ ^= 0x07u;
+  }
+
+  [[nodiscard]] std::uint8_t value() const { return crc_; }
+
+ private:
+  std::uint8_t crc_ = 0;
+};
+
+/// CRC-8 over bits [first, first + nbits) of an MSB-first packed buffer
+/// (the layout BitWriter produces).
+[[nodiscard]] inline std::uint8_t crc8_bits(
+    const std::vector<std::uint8_t>& bytes, std::size_t first,
+    std::size_t nbits) {
+  CCREDF_EXPECT((first + nbits + 7) / 8 <= bytes.size(),
+                "crc8_bits: range past end of buffer");
+  Crc8 c;
+  for (std::size_t i = first; i < first + nbits; ++i) {
+    c.push_bit((bytes[i / 8] & (0x80u >> (i % 8))) != 0);
+  }
+  return c.value();
+}
+
 /// ceil(log2(n)) for n >= 1 -- width of the hp-node index field (Fig. 5).
 [[nodiscard]] constexpr unsigned index_bits(std::uint64_t n) {
   unsigned b = 0;

@@ -13,6 +13,14 @@
 //
 // A node with nothing to send writes priority 0 and zeroes in the other
 // fields (paper §3).
+//
+// Frame-integrity extension (with_crc, our robustness addition beyond the
+// paper): each request record carries a trailing CRC-8 over its own bits
+// (appended by the requesting node as the collection packet passes), and
+// the distribution packet carries a whole-frame CRC-8 (computed by the
+// master).  Together with the start-bit and field-plausibility checks in
+// the *_checked decoders this lets nodes DETECT control-channel bit
+// errors instead of acting on garbage -- see PROTOCOL.md §7.
 #pragma once
 
 #include <cstdint>
@@ -59,15 +67,20 @@ struct DistributionPacket {
 /// used in the timing model.
 class FrameCodec {
  public:
-  FrameCodec(NodeId nodes, PriorityLayout layout, bool with_acks);
+  FrameCodec(NodeId nodes, PriorityLayout layout, bool with_acks,
+             bool with_crc = false);
 
   [[nodiscard]] NodeId nodes() const { return n_; }
   [[nodiscard]] const PriorityLayout& layout() const { return layout_; }
+  [[nodiscard]] bool with_crc() const { return with_crc_; }
 
   /// Bits in a complete collection packet (start + N requests).
   [[nodiscard]] std::int64_t collection_bits() const;
   /// Bits in a distribution packet (start + results + index + extras).
   [[nodiscard]] std::int64_t distribution_bits() const;
+  /// Bits of one request record inside the collection packet (priority +
+  /// links + dests [+ CRC]) -- the unit a corruption model flips bits in.
+  [[nodiscard]] std::int64_t request_bits() const;
 
   struct Encoded {
     std::vector<std::uint8_t> bytes;
@@ -76,14 +89,49 @@ class FrameCodec {
 
   [[nodiscard]] Encoded encode(const CollectionPacket& p) const;
   [[nodiscard]] Encoded encode(const DistributionPacket& p) const;
+  /// Wire image of a single request record (no start bit).
+  [[nodiscard]] Encoded encode_request(const Request& rq) const;
   [[nodiscard]] CollectionPacket decode_collection(const Encoded& e) const;
   [[nodiscard]] DistributionPacket decode_distribution(const Encoded& e)
       const;
+
+  // -- integrity-checked decoding (fault paths) ---------------------------
+  //
+  // The plain decoders above CCREDF_EXPECT on malformed frames -- right
+  // for trusted in-process round trips, wrong for a receiver that must
+  // survive corruption.  The checked decoders classify instead of throw:
+  // ok == false means the guards rejected the frame and the receiver
+  // must fall back to its containment action (treat the request as idle,
+  // or treat the distribution as a lost token).
+
+  struct CheckedRequest {
+    Request request;
+    bool ok = false;
+    const char* reason = nullptr;  // static string when !ok
+  };
+  struct CheckedDistribution {
+    DistributionPacket packet;
+    bool ok = false;
+    const char* reason = nullptr;
+  };
+
+  /// Decodes and integrity-checks one request record as the master does:
+  /// CRC (when enabled), the paper-§3 idle rule (priority 0 => zeroed
+  /// fields), non-empty reservation/destination fields for a live
+  /// request, and source-consistency (`source` cannot address itself).
+  [[nodiscard]] CheckedRequest decode_request_checked(const Encoded& e,
+                                                      NodeId source) const;
+
+  /// Decodes and integrity-checks a distribution packet as a receiver
+  /// does: length, start bit, CRC (when enabled) and hp-index range.
+  [[nodiscard]] CheckedDistribution decode_distribution_checked(
+      const Encoded& e) const;
 
  private:
   NodeId n_;
   PriorityLayout layout_;
   bool with_acks_;
+  bool with_crc_;
   unsigned idx_bits_;
 };
 

@@ -1,14 +1,68 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
+#include <utility>
+
+#include "ring/segment.hpp"
+
 namespace ccredf::fault {
 
+namespace {
+// Logical channels namespacing the keyed fault draws of one slot.  Two
+// channels never share a stream, so adding a fault axis cannot shift
+// the draws of another (the same property the sweep runner relies on).
+constexpr std::uint64_t kChanDrop = 0;          // random token-loss draw
+constexpr std::uint64_t kChanDistribution = 1;  // distribution-packet bits
+constexpr std::uint64_t kChanBabble = 0x100;    // + node
+constexpr std::uint64_t kChanCollection = 0x200;  // + node (BER)
+constexpr std::uint64_t kChanTargeted = 0x300;    // + node (scheduled)
+// Tag separating the injector's stream family from workload streams
+// derived from the same base seed.
+constexpr std::uint64_t kFaultStreamTag = 0xFA;
+}  // namespace
+
 FaultInjector::FaultInjector(net::Network& net, std::uint64_t seed)
-    : net_(net), rng_(seed) {
+    : net_(net), seed_(sim::Rng::stream_seed(seed, kFaultStreamTag, 0)) {
   net_.set_fault_hook(this);
 }
 
+sim::Rng FaultInjector::rng_at(SlotIndex slot,
+                               std::uint64_t channel) const {
+  return sim::Rng::stream(seed_, static_cast<std::uint64_t>(slot), channel);
+}
+
+std::optional<FaultInjector::TargetedFault> FaultInjector::take(
+    std::vector<TargetedFault>& v, SlotIndex slot, NodeId node) {
+  const auto key = std::make_pair(slot, node);
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), key,
+      [](const TargetedFault& f, const std::pair<SlotIndex, NodeId>& k) {
+        return std::make_pair(f.slot, f.node) < k;
+      });
+  if (it == v.end() || it->slot != slot || it->node != node) {
+    return std::nullopt;
+  }
+  const TargetedFault f = *it;
+  v.erase(it);
+  return f;
+}
+
+void FaultInjector::insert_sorted(std::vector<TargetedFault>& v,
+                                  TargetedFault f) {
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), f, [](const TargetedFault& a,
+                                const TargetedFault& b) {
+        return std::make_pair(a.slot, a.node) <
+               std::make_pair(b.slot, b.node);
+      });
+  v.insert(it, f);
+}
+
 void FaultInjector::schedule_token_loss(SlotIndex slot) {
-  scheduled_losses_.insert(slot);
+  const auto it = std::lower_bound(scheduled_losses_.begin(),
+                                   scheduled_losses_.end(), slot);
+  if (it != scheduled_losses_.end() && *it == slot) return;
+  scheduled_losses_.insert(it, slot);
 }
 
 void FaultInjector::set_random_token_loss(double p) {
@@ -25,14 +79,154 @@ void FaultInjector::schedule_node_restore(NodeId id, sim::TimePoint at) {
   net_.sim().schedule_at(at, [this, id] { net_.restore_node(id); });
 }
 
+void FaultInjector::set_control_ber(double ber) {
+  ber_.emplace(net_.nodes(), ber, seed_);
+}
+
+void FaultInjector::set_control_ber(std::vector<double> link_ber) {
+  CCREDF_EXPECT(link_ber.size() == net_.nodes(),
+                "FaultInjector: one BER per ring link required");
+  ber_.emplace(std::move(link_ber), seed_);
+}
+
+void FaultInjector::schedule_collection_drop(SlotIndex slot, NodeId node) {
+  CCREDF_EXPECT(node < net_.nodes(), "FaultInjector: node out of range");
+  insert_sorted(collection_drops_, TargetedFault{slot, node, 0});
+}
+
+void FaultInjector::schedule_collection_corruption(SlotIndex slot,
+                                                   NodeId node, int bits) {
+  CCREDF_EXPECT(node < net_.nodes(), "FaultInjector: node out of range");
+  CCREDF_EXPECT(bits >= 1, "FaultInjector: must corrupt at least one bit");
+  insert_sorted(collection_corruptions_, TargetedFault{slot, node, bits});
+}
+
+void FaultInjector::schedule_distribution_corruption(SlotIndex slot,
+                                                     int bits) {
+  CCREDF_EXPECT(bits >= 1, "FaultInjector: must corrupt at least one bit");
+  insert_sorted(distribution_corruptions_, TargetedFault{slot, 0, bits});
+}
+
+void FaultInjector::set_babbling_node(NodeId id, double p) {
+  CCREDF_EXPECT(id < net_.nodes(), "FaultInjector: node out of range");
+  CCREDF_EXPECT(p >= 0.0 && p <= 1.0,
+                "FaultInjector: babble probability out of [0,1]");
+  babbler_ = id;
+  babble_p_ = p;
+}
+
 bool FaultInjector::drop_distribution(SlotIndex slot) {
   bool drop = false;
-  if (scheduled_losses_.erase(slot) > 0) drop = true;
-  if (!drop && random_loss_p_ > 0.0 && rng_.bernoulli(random_loss_p_)) {
+  const auto it = std::lower_bound(scheduled_losses_.begin(),
+                                   scheduled_losses_.end(), slot);
+  if (it != scheduled_losses_.end() && *it == slot) {
+    scheduled_losses_.erase(it);
+    drop = true;
+  }
+  if (!drop && random_loss_p_ > 0.0 &&
+      rng_at(slot, kChanDrop).bernoulli(random_loss_p_)) {
     drop = true;
   }
   if (drop) ++injected_;
   return drop;
+}
+
+void FaultInjector::flip_bits(core::FrameCodec::Encoded& e, int bits,
+                              SlotIndex slot, std::uint64_t channel) {
+  sim::Rng rng = rng_at(slot, channel);
+  std::vector<std::size_t> chosen;
+  while (static_cast<int>(chosen.size()) < bits &&
+         chosen.size() < e.bit_count) {
+    const std::size_t pos = rng.uniform_u64(e.bit_count);
+    if (std::find(chosen.begin(), chosen.end(), pos) != chosen.end()) {
+      continue;
+    }
+    chosen.push_back(pos);
+    e.bytes[pos / 8] ^= static_cast<std::uint8_t>(0x80u >> (pos % 8));
+    ++bits_flipped_;
+  }
+}
+
+net::FaultHook::RequestFault FaultInjector::filter_request(
+    SlotIndex slot, NodeId hop, NodeId node, core::Request& rq) {
+  if (take(collection_drops_, slot, node)) return RequestFault::kDropped;
+
+  const core::FrameCodec& codec = net_.codec();
+  const auto targeted = take(collection_corruptions_, slot, node);
+
+  // Babbling node: fabricate a broadcast request whenever the node
+  // would otherwise stay idle (it has no message, so any grant it wins
+  // is pure waste).
+  if (!targeted && node == babbler_ && !rq.wants_slot() &&
+      babble_p_ > 0.0) {
+    sim::Rng rng = rng_at(slot, kChanBabble + node);
+    if (rng.bernoulli(babble_p_)) {
+      const NodeSet dests = net_.broadcast_dests(node);
+      const auto seg =
+          ring::Segment::for_transmission(net_.topology(), node, dests);
+      rq.priority = static_cast<core::Priority>(
+          rng.uniform_int(1, codec.layout().max_level()));
+      rq.links = seg.links();
+      rq.dests = dests;
+      return RequestFault::kSpurious;
+    }
+  }
+
+  // Wire-image corruption: scheduled flips, else link bit errors.
+  const bool ber_active = ber_.has_value() && ber_->enabled();
+  if (!targeted && !ber_active) return RequestFault::kNone;
+  core::FrameCodec::Encoded enc = codec.encode_request(rq);
+  const std::int64_t before = bits_flipped_;
+  if (targeted) {
+    flip_bits(enc, targeted->bits, slot, kChanTargeted + node);
+  } else {
+    // Node j writes its record at hop h and the record rides the rest
+    // of the ring back to the master; the master's own record (hop 0)
+    // rides the whole loop.  Its first exposed link is link j.
+    const NodeId hops = hop == 0 ? net_.nodes() : net_.nodes() - hop;
+    const double p = ber_->path_error_probability(node, hops);
+    bits_flipped_ += ber_->corrupt(slot, kChanCollection + node, p,
+                                   enc.bytes.data(), enc.bit_count);
+  }
+  if (bits_flipped_ == before) return RequestFault::kNone;
+  const auto checked = codec.decode_request_checked(enc, node);
+  if (!checked.ok) return RequestFault::kDetected;
+  if (checked.request == rq) return RequestFault::kNone;
+  rq = checked.request;
+  return RequestFault::kSilent;
+}
+
+net::FaultHook::DistributionFault FaultInjector::filter_distribution(
+    SlotIndex slot, core::DistributionPacket& p) {
+  const auto targeted = take(distribution_corruptions_, slot, 0);
+  const bool ber_active = ber_.has_value() && ber_->enabled();
+  if (!targeted && !ber_active) return DistributionFault::kNone;
+
+  const core::FrameCodec& codec = net_.codec();
+  core::FrameCodec::Encoded enc = codec.encode(p);
+  const std::int64_t before = bits_flipped_;
+  if (targeted) {
+    flip_bits(enc, targeted->bits, slot, kChanDistribution);
+  } else {
+    // Worst-case receiver: the node N-1 links downstream of the master
+    // sees the packet after its full exposure.
+    const NodeId master = net_.current_master();
+    const double pb =
+        ber_->path_error_probability(master, net_.nodes() - 1);
+    bits_flipped_ += ber_->corrupt(slot, kChanDistribution, pb,
+                                   enc.bytes.data(), enc.bit_count);
+  }
+  if (bits_flipped_ == before) return DistributionFault::kNone;
+  const auto checked = codec.decode_distribution_checked(enc);
+  if (!checked.ok) return DistributionFault::kDetected;
+  if (checked.packet.hp_node != p.hp_node) {
+    return DistributionFault::kSilentMaster;
+  }
+  if (!(checked.packet == p)) {
+    p = checked.packet;
+    return DistributionFault::kGrantView;
+  }
+  return DistributionFault::kNone;
 }
 
 }  // namespace ccredf::fault

@@ -1,6 +1,7 @@
-// Fault injection (realises the paper's §8 future-work scenarios).
+// Fault injection (grows the paper's §8 future-work sketch into a
+// physical error model).
 //
-// Two fault families:
+// Fault families:
 //   * token loss -- the distribution packet ending a chosen slot is
 //     destroyed, so no node learns the next master; the network recovers
 //     through the designated-restarter timeout built into the engine
@@ -9,14 +10,33 @@
 //   * fail-silent node -- a node stops requesting, transmitting and
 //     receiving at a chosen time (its ribbon is optically bypassed);
 //     if it was the master, the clock dies and the token-loss recovery
-//     path kicks in.
+//     path kicks in;
+//   * control-channel bit errors -- every control-frame bit is flipped
+//     independently per traversed link with the configured BER
+//     (phy::BitErrorModel); the injector encodes the in-flight frame,
+//     flips bits on the wire image, and classifies the outcome with the
+//     integrity-checked decoders, so detection depends on the actual
+//     guard strength (with/without the CRC extension);
+//   * targeted faults -- drop or corrupt a specific node's request
+//     record in a specific slot, or the distribution packet of a
+//     specific slot (deterministic unit-test scenarios);
+//   * babbling node -- a node fabricates requests it has no message
+//     for, soaking up grants (the classic babbling-idiot hazard).
+//
+// Determinism: every random draw is keyed on (slot, channel) through
+// Rng::stream_seed -- no generator state across calls -- so injections
+// are reproducible regardless of call order, container iteration or
+// sweep thread count, and the fault stream is independent of workload
+// streams seeded from the same base.
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
+#include <optional>
+#include <vector>
 
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "phy/bit_error.hpp"
 #include "sim/rng.hpp"
 
 namespace ccredf::fault {
@@ -26,31 +46,86 @@ class FaultInjector final : public net::FaultHook {
   /// Attaches to `net` as its fault hook; `net` must outlive the injector.
   explicit FaultInjector(net::Network& net, std::uint64_t seed = 1);
 
+  // -- token loss ---------------------------------------------------------
   /// Destroy the distribution packet that ends slot `slot`.
   void schedule_token_loss(SlotIndex slot);
-
   /// Destroy distribution packets independently with probability `p`.
   void set_random_token_loss(double p);
 
+  // -- fail-silent nodes --------------------------------------------------
   /// Fail node `id` at simulated time `at`.
   void schedule_node_failure(NodeId id, sim::TimePoint at);
-
   /// Restore node `id` at simulated time `at`.
   void schedule_node_restore(NodeId id, sim::TimePoint at);
+
+  // -- control-channel bit errors -----------------------------------------
+  /// Uniform bit-error rate on every link of the ring.
+  void set_control_ber(double ber);
+  /// Per-link bit-error rates (link l = node l to its downstream).
+  void set_control_ber(std::vector<double> link_ber);
+
+  // -- targeted faults ----------------------------------------------------
+  /// Destroy node `node`'s request record in slot `slot`.
+  void schedule_collection_drop(SlotIndex slot, NodeId node);
+  /// Flip `bits` bits of node `node`'s request record in slot `slot`.
+  void schedule_collection_corruption(SlotIndex slot, NodeId node,
+                                      int bits = 1);
+  /// Flip `bits` bits of the distribution packet ending slot `slot`.
+  void schedule_distribution_corruption(SlotIndex slot, int bits = 1);
+
+  // -- babbling node ------------------------------------------------------
+  /// Node `id` fabricates a spurious broadcast request with probability
+  /// `p` in every slot it would otherwise stay idle.
+  void set_babbling_node(NodeId id, double p);
 
   [[nodiscard]] std::int64_t token_losses_injected() const {
     return injected_;
   }
+  /// Control-channel bits flipped so far (BER + targeted faults).
+  [[nodiscard]] std::int64_t bits_flipped() const { return bits_flipped_; }
 
   // net::FaultHook
   bool drop_distribution(SlotIndex slot) override;
+  RequestFault filter_request(SlotIndex slot, NodeId hop, NodeId node,
+                              core::Request& rq) override;
+  DistributionFault filter_distribution(
+      SlotIndex slot, core::DistributionPacket& p) override;
 
  private:
+  struct TargetedFault {
+    SlotIndex slot = 0;
+    NodeId node = 0;
+    int bits = 1;
+  };
+
+  /// Keyed generator for this slot and logical channel.
+  [[nodiscard]] sim::Rng rng_at(SlotIndex slot, std::uint64_t channel) const;
+  /// Pops the entry for (slot, node) from a sorted fault list, if any.
+  static std::optional<TargetedFault> take(std::vector<TargetedFault>& v,
+                                           SlotIndex slot, NodeId node);
+  /// Inserts into a fault list sorted by (slot, node).
+  static void insert_sorted(std::vector<TargetedFault>& v, TargetedFault f);
+  /// Flips `bits` distinct keyed-random bits of `e`.
+  void flip_bits(core::FrameCodec::Encoded& e, int bits, SlotIndex slot,
+                 std::uint64_t channel);
+
   net::Network& net_;
-  sim::Rng rng_;
-  std::unordered_set<SlotIndex> scheduled_losses_;
+  std::uint64_t seed_;
+
+  std::vector<SlotIndex> scheduled_losses_;  // sorted
   double random_loss_p_ = 0.0;
+
+  std::optional<phy::BitErrorModel> ber_;
+
+  std::vector<TargetedFault> collection_drops_;        // sorted
+  std::vector<TargetedFault> collection_corruptions_;  // sorted
+  std::vector<TargetedFault> distribution_corruptions_;  // sorted
+
+  NodeId babbler_ = kInvalidNode;
+  double babble_p_ = 0.0;
+
   std::int64_t injected_ = 0;
+  std::int64_t bits_flipped_ = 0;
 };
 
 }  // namespace ccredf::fault

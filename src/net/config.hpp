@@ -52,6 +52,13 @@ struct NetworkConfig {
   /// Carry the reliable-service ack field in the distribution packet.
   bool with_acks = false;
 
+  /// Frame-integrity extension: append a CRC-8 to every request record
+  /// in the collection packet and to the distribution packet, so
+  /// receivers detect control-channel bit errors instead of acting on
+  /// garbage (see PROTOCOL.md §7).  Off by default: the paper's frames
+  /// carry no checksum, and enabling it lengthens both control packets.
+  bool with_frame_crc = false;
+
   enum class Mapper { kLogarithmic, kLinear };
   Mapper mapper = Mapper::kLogarithmic;
   /// Slots per priority level for the linear mapper ablation.

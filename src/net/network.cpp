@@ -42,8 +42,8 @@ Network::Network(NetworkConfig cfg)
   CCREDF_EXPECT(cfg_.recovery_timeout_slots >= 1,
                 "Network: recovery timeout must be at least one slot");
 
-  codec_ = std::make_unique<core::FrameCodec>(cfg_.nodes, cfg_.priority,
-                                              cfg_.with_acks);
+  codec_ = std::make_unique<core::FrameCodec>(
+      cfg_.nodes, cfg_.priority, cfg_.with_acks, cfg_.with_frame_crc);
   std::int64_t payload = cfg_.slot_payload_bytes;
   if (payload == 0) {
     // Auto payload: the exact control-phase budget.  Eq. 2 counts only
@@ -83,6 +83,7 @@ Network::Network(NetworkConfig cfg)
   // node per slot, so this capacity is final.
   rec_.requests.reserve(cfg_.nodes);
   rec_.deliveries.reserve(cfg_.nodes);
+  stats_.per_node_faults.resize(cfg_.nodes);
 }
 
 Node& Network::node(NodeId id) {
@@ -290,12 +291,53 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
     Node& nd = nodes_[j];
     if (nd.failed()) continue;
     const core::Message* m = nd.queues().head(sample);
-    if (m == nullptr) continue;
-    const auto seg = ring::Segment::for_transmission(topo_, j, m->dests);
-    reqs[j].priority = priority_of(*m, sample);
-    reqs[j].links = seg.links();
-    reqs[j].dests = m->dests;
-    bindings_[j] = Binding{m->id, seg.hops(), m->dests};
+    if (m != nullptr) {
+      const auto seg = ring::Segment::for_transmission(topo_, j, m->dests);
+      reqs[j].priority = priority_of(*m, sample);
+      reqs[j].links = seg.links();
+      reqs[j].dests = m->dests;
+      bindings_[j] = Binding{m->id, seg.hops(), m->dests};
+    }
+    if (fault_hook_ == nullptr) continue;
+    using RF = FaultHook::RequestFault;
+    switch (fault_hook_->filter_request(slot_, h, j, reqs[j])) {
+      case RF::kNone:
+        break;
+      case RF::kDropped:
+        // The record died on the wire: the master sees an idle node.
+        reqs[j] = core::Request{};
+        bindings_[j].reset();
+        ++stats_.faults.collection_drops;
+        ++stats_.per_node_faults[j].requests_dropped;
+        break;
+      case RF::kDetected:
+        // The master's integrity guards rejected the record; the
+        // containment action is to treat the node as idle this round
+        // (its message stays queued and re-requests next slot).
+        reqs[j] = core::Request{};
+        bindings_[j].reset();
+        ++stats_.faults.collection_corruptions;
+        ++stats_.faults.collection_detected;
+        ++stats_.per_node_faults[j].requests_corrupted;
+        ++stats_.per_node_faults[j].requests_rejected;
+        break;
+      case RF::kSilent:
+        // Corruption passed the guards: arbitration acts on the mutated
+        // fields.  The binding stays -- if granted, the node transmits
+        // its real message (only the master's view was lied to).
+        ++stats_.faults.collection_corruptions;
+        ++stats_.faults.collection_silent;
+        ++stats_.per_node_faults[j].requests_corrupted;
+        break;
+      case RF::kSpurious:
+        // Babbling node: a fabricated request with no message behind
+        // it.  If granted, the grant is wasted (execute_grants counts
+        // it) and the slot capacity is lost to the babbler.
+        bindings_[j].reset();
+        ++stats_.faults.spurious_requests;
+        ++stats_.per_node_faults[j].spurious_requests;
+        break;
+    }
   }
 }
 
@@ -339,8 +381,11 @@ void Network::step_slot() {
   // point before the packet's last bit) means no node learns the outcome
   // -- so drain events through slot end before judging.
   sim_.run_until(slot_end);
-  bool token_lost =
-      fault_hook_ != nullptr && fault_hook_->drop_distribution(slot_);
+  bool token_lost = false;
+  if (fault_hook_ != nullptr && fault_hook_->drop_distribution(slot_)) {
+    token_lost = true;
+    ++stats_.faults.token_losses;
+  }
   if (nodes_[master_].failed()) token_lost = true;
   SlotPlan plan;
   if (!token_lost) {
@@ -360,15 +405,91 @@ void Network::step_slot() {
       ++stats_.priority_inversions;
     }
   }
+  if (!token_lost && fault_hook_ != nullptr) {
+    // The distribution packet crosses every link; bit errors on it are
+    // the most dangerous fault axis because ALL nodes act on the result.
+    core::DistributionPacket pkt;
+    pkt.granted = plan.granted;
+    pkt.hp_node = plan.next_master;
+    pkt.has_acks = cfg_.with_acks;
+    pkt.acks = rec.acks;
+    using DF = FaultHook::DistributionFault;
+    switch (fault_hook_->filter_distribution(slot_, pkt)) {
+      case DF::kNone:
+        break;
+      case DF::kDetected:
+        // Receivers reject the frame (CRC / start bit / hp range): no
+        // node learns the next master, which is exactly the token-loss
+        // condition, so the designated-restarter timeout recovers
+        // (PROTOCOL.md §7).  Rejecting is the SAFE outcome -- the
+        // alternative is acting on a corrupted grant view.
+        ++stats_.faults.distribution_corruptions;
+        ++stats_.faults.distribution_detected;
+        token_lost = true;
+        break;
+      case DF::kGrantView: {
+        // The frame passed the guards but its grant/ack bits mutated.
+        // Each node cross-checks the view against what it knows
+        // locally: a grant bit on a node that sent priority 0 is
+        // impossible (that node knows it), so the ring can void the
+        // slot and re-arbitrate instead of breaking the clock.
+        ++stats_.faults.distribution_corruptions;
+        bool impossible = false;  // grant bit on a non-requester
+        bool collision = false;   // grant bit on an ungranted requester
+        for (const NodeId g : pkt.granted) {
+          if (plan.granted.contains(g)) continue;
+          if (!requests[g].wants_slot()) {
+            impossible = true;
+          } else {
+            collision = true;
+          }
+        }
+        if (impossible) {
+          ++stats_.faults.distribution_detected;
+          ++stats_.faults.rearbitration_slots;
+          plan.granted = NodeSet{};
+          rec.acks = NodeSet{};
+          for (auto& b : bindings_) b.reset();
+        } else if (collision) {
+          // Undetectable: the extra node believes its request was
+          // granted and transmits into links arbitration gave to
+          // others.  Model the collision as the whole slot's transfers
+          // garbled -- this is the residual hazard the CRC exists to
+          // shrink.
+          ++stats_.faults.silent_misarbitrations;
+          plan.granted = NodeSet{};
+          for (auto& b : bindings_) b.reset();
+        } else {
+          // Only cleared bits: granted nodes stay silent, capacity is
+          // lost but nothing collides -- harmless degradation.
+          plan.granted = pkt.granted;
+          rec.acks = pkt.acks;
+        }
+        break;
+      }
+      case DF::kSilentMaster:
+        // The hp-node index mutated to another in-range value.  Nodes
+        // upstream of the corrupted link saw the true master, nodes
+        // downstream the wrong one: two nodes start slot k+1 -- the
+        // clock-break hazard.  The collision is detected only by the
+        // restarter's silence timeout, so model it as a stalled clock.
+        ++stats_.faults.distribution_corruptions;
+        ++stats_.faults.silent_misarbitrations;
+        token_lost = true;
+        break;
+    }
+  }
 
   sim::Duration gap;
   if (token_lost) {
     // Recovery (paper §8): the designated node times out and restarts the
     // clock; the planned grants died with the distribution packet.
     ++recoveries_;
+    ++stats_.faults.recoveries;
     rec.token_lost = true;
     gap = (t_slot + protocol_->max_gap()) * cfg_.recovery_timeout_slots;
     recovery_time_ += gap;
+    stats_.faults.recovery_gap.add(gap);
     // The designated restarter takes over; if it is itself down, the
     // first live node downstream of it assumes the role (a failed
     // "always starts" node needs a deputy or the ring stays dark).

@@ -71,12 +71,48 @@ struct SlotRecord {
 };
 
 /// Run-time fault injection hooks (see src/fault/ for implementations).
+///
+/// The engine calls a hook at each point where a physical fault can
+/// strike a control frame.  A hook mutates the in-flight frame content
+/// and reports WHAT HAPPENED; the engine models the receivers' reaction
+/// (containment or hazard) and counts it in NetworkStats::faults.  Every
+/// hook defaults to "no fault", so an implementation overrides only the
+/// axes it injects.
 class FaultHook {
  public:
+  /// What befell one request record of the collection packet.
+  enum class RequestFault {
+    kNone,      ///< untouched
+    kDropped,   ///< record destroyed in transit; master sees nothing
+    kDetected,  ///< corrupted; the integrity guards rejected it
+    kSilent,    ///< corrupted; passed the guards -- `rq` was mutated
+    kSpurious,  ///< fabricated by a babbling node -- `rq` was filled in
+  };
+  /// What befell the distribution packet.
+  enum class DistributionFault {
+    kNone,
+    kDetected,      ///< receivers reject the frame (=> token loss)
+    kGrantView,     ///< grant/ack bits mutated; frame passes the guards
+    kSilentMaster,  ///< hp-node index mutated undetectably
+  };
+
   virtual ~FaultHook() = default;
   /// Return true to destroy the distribution packet ending `slot`
   /// (token loss: no node learns the next master).
-  virtual bool drop_distribution(SlotIndex slot) = 0;
+  virtual bool drop_distribution(SlotIndex) { return false; }
+  /// Intercepts node `node`'s request record as the collection packet
+  /// leaves it (`hop` links downstream of the master; hop 0 is the
+  /// master itself).  May mutate `rq`; returns the classification.
+  virtual RequestFault filter_request(SlotIndex, NodeId /*hop*/,
+                                      NodeId /*node*/, core::Request&) {
+    return RequestFault::kNone;
+  }
+  /// Intercepts the distribution packet ending `slot`.  May mutate `p`;
+  /// returns the classification.
+  virtual DistributionFault filter_distribution(SlotIndex,
+                                                core::DistributionPacket&) {
+    return DistributionFault::kNone;
+  }
 };
 
 class Network {

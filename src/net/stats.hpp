@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "core/message.hpp"
 #include "sim/stats.hpp"
@@ -46,6 +47,61 @@ struct ClassStats {
   }
 };
 
+/// Per-node fault containment accounting (fault experiments).  Indexed by
+/// the node whose request record the fault struck (or that babbled).
+struct NodeFaultCounters {
+  std::int64_t requests_dropped = 0;    // record destroyed in transit
+  std::int64_t requests_corrupted = 0;  // bit errors hit the record
+  std::int64_t requests_rejected = 0;   // guards rejected -> treated idle
+  std::int64_t spurious_requests = 0;   // babbling fabrications
+};
+
+/// Network-wide fault / detection / recovery accounting.  All zero unless
+/// a FaultHook is attached -- the clean path never touches these.
+struct FaultStats {
+  /// Distribution packets destroyed whole (drop_distribution hook).
+  std::int64_t token_losses = 0;
+  /// Collection-packet request records destroyed in transit.
+  std::int64_t collection_drops = 0;
+  /// Request records hit by bit errors (detected + silent).
+  std::int64_t collection_corruptions = 0;
+  /// ... of which the frame-integrity guards rejected (record treated as
+  /// idle; the requester retries next slot).
+  std::int64_t collection_detected = 0;
+  /// ... of which passed the guards and reached arbitration mutated.
+  std::int64_t collection_silent = 0;
+  /// Fabricated requests from babbling nodes.
+  std::int64_t spurious_requests = 0;
+  /// Distribution packets hit by bit errors (detected + grant-view +
+  /// silent-master).
+  std::int64_t distribution_corruptions = 0;
+  /// ... of which receivers rejected outright (handled as token loss).
+  std::int64_t distribution_detected = 0;
+  /// Slots voided because receivers proved the grant view inconsistent
+  /// (a grant bit on a known non-requester) -- re-arbitration instead of
+  /// a clock break.
+  std::int64_t rearbitration_slots = 0;
+  /// Corruptions no receiver could detect: a grant bit landing on an
+  /// ungranted requester (data-channel collision) or a mutated
+  /// next-master index (clock break).  The hazard class the guards
+  /// cannot remove, only shrink.
+  std::int64_t silent_misarbitrations = 0;
+  /// Token-loss recoveries performed (mirror of Network::recoveries()).
+  std::int64_t recoveries = 0;
+  /// Distribution of the recovery timeout gaps, ps.
+  sim::OnlineStats recovery_gap;
+
+  /// Corruptions the receivers caught before acting on them.
+  [[nodiscard]] std::int64_t detected() const {
+    return collection_detected + distribution_detected +
+           rearbitration_slots;
+  }
+  /// Corruptions that mutated behaviour without any receiver noticing.
+  [[nodiscard]] std::int64_t silent() const {
+    return collection_silent + silent_misarbitrations;
+  }
+};
+
 struct NetworkStats {
   std::int64_t slots = 0;
   /// Slots in which at least one transmission was granted.
@@ -72,6 +128,11 @@ struct NetworkStats {
 
   std::array<ClassStats, 3> per_class;  // indexed by TrafficClass
   std::unordered_map<ConnectionId, ConnectionStats> per_connection;
+
+  /// Fault / detection / recovery accounting (zero on clean runs).
+  FaultStats faults;
+  /// Per-node fault counters, sized to the node count at construction.
+  std::vector<NodeFaultCounters> per_node_faults;
 
   [[nodiscard]] ClassStats& cls(core::TrafficClass c) {
     return per_class[static_cast<std::size_t>(c)];

@@ -1,0 +1,62 @@
+// Per-link bit-error-rate model for the bit-serial control channel.
+//
+// Fibre-ribbon links fail bit-wise: a flipped priority or reservation
+// bit silently misarbitrates a slot, it does not kill the packet.  This
+// model draws the bit flips a control frame suffers while traversing a
+// set of links, with every draw keyed on (slot, channel) coordinates via
+// Rng::stream_seed -- no generator state is carried between calls, so
+// fault streams are independent of workload streams and byte-identical
+// across sweep thread counts (the same determinism contract as the
+// sweep runner itself).
+//
+// The model is deliberately ignorant of frame layout: it flips bits in
+// a raw MSB-first packed buffer.  Layout knowledge (which field a flip
+// landed in, whether guards catch it) lives in core/frames.* and the
+// fault injector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::phy {
+
+class BitErrorModel {
+ public:
+  /// Uniform BER on every one of the ring's `nodes` links.
+  BitErrorModel(NodeId nodes, double ber, std::uint64_t stream_seed);
+  /// Per-link BER; link l connects node l to its downstream neighbour.
+  BitErrorModel(std::vector<double> link_ber, std::uint64_t stream_seed);
+
+  [[nodiscard]] NodeId nodes() const {
+    return static_cast<NodeId>(link_ber_.size());
+  }
+  [[nodiscard]] double link_ber(LinkId link) const;
+  /// True when at least one link has a non-zero error rate.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Probability that a given bit is corrupted on the path starting at
+  /// link `first` and spanning `hops` consecutive links:
+  /// 1 - prod(1 - ber_l).  (An even number of flips of the SAME bit
+  /// re-corrupting it back is negligible at realistic BERs and ignored.)
+  [[nodiscard]] double path_error_probability(LinkId first,
+                                              NodeId hops) const;
+
+  /// Flips each of the `nbits` MSB-first packed bits in `bytes`
+  /// independently with probability `p`; returns the number of flips.
+  /// All randomness is keyed on (slot, channel): two calls with the
+  /// same coordinates flip the same bits, calls with different
+  /// coordinates are statistically independent.  `channel` namespaces
+  /// the frame (collection record of node j, distribution packet, ...).
+  int corrupt(SlotIndex slot, std::uint64_t channel, double p,
+              std::uint8_t* bytes, std::size_t nbits) const;
+
+ private:
+  std::vector<double> link_ber_;
+  std::uint64_t seed_;
+  bool enabled_ = false;
+};
+
+}  // namespace ccredf::phy

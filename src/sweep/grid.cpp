@@ -78,7 +78,7 @@ bool parse_mix(const std::string& s, WorkloadMix& out) {
 
 std::size_t GridSpec::point_count() const {
   return protocols.size() * node_counts.size() * utilisations.size() *
-         mixes.size() * set_seeds.size();
+         bers.size() * mixes.size() * set_seeds.size();
 }
 
 std::vector<GridPoint> GridSpec::expand() const {
@@ -88,16 +88,19 @@ std::vector<GridPoint> GridSpec::expand() const {
   for (const Protocol proto : protocols) {
     for (const NodeId nodes : node_counts) {
       for (const double u : utilisations) {
-        for (const WorkloadMix mix : mixes) {
-          for (const std::uint64_t seed : set_seeds) {
-            GridPoint p;
-            p.index = index++;
-            p.protocol = proto;
-            p.nodes = nodes;
-            p.utilisation = u;
-            p.mix = mix;
-            p.set_seed = seed;
-            points.push_back(p);
+        for (const double ber : bers) {
+          for (const WorkloadMix mix : mixes) {
+            for (const std::uint64_t seed : set_seeds) {
+              GridPoint p;
+              p.index = index++;
+              p.protocol = proto;
+              p.nodes = nodes;
+              p.utilisation = u;
+              p.ber = ber;
+              p.mix = mix;
+              p.set_seed = seed;
+              points.push_back(p);
+            }
           }
         }
       }
@@ -118,6 +121,10 @@ std::string GridSpec::validate() const {
   for (const double u : utilisations) {
     if (!(u > 0.0) || u > 1.0) return "utilisation fraction out of (0, 1]";
   }
+  if (bers.empty()) return "bers axis is empty";
+  for (const double b : bers) {
+    if (!(b >= 0.0) || b >= 1.0) return "ber out of [0, 1)";
+  }
   if (repetitions < 1) return "repetitions must be >= 1";
   if (slots < 1) return "slots must be >= 1";
   if (connections_per_node < 1) return "connections_per_node must be >= 1";
@@ -135,7 +142,10 @@ std::string GridSpec::validate() const {
 }
 
 std::uint64_t workload_key(const GridPoint& p) {
-  // Protocol intentionally excluded (paired comparisons across protocols).
+  // Protocol intentionally excluded (paired comparisons across
+  // protocols), and so is ber: a BER sweep compares fault levels on the
+  // SAME workload, and the injector's draws live in their own stream
+  // family keyed off the shard seed.
   std::uint64_t k = sim::Rng::stream_seed(p.set_seed, p.nodes,
                                           std::bit_cast<std::uint64_t>(
                                               p.utilisation));
@@ -156,6 +166,7 @@ net::NetworkConfig make_network_config(const GridSpec& spec,
   cfg.link_length_m = spec.link_length_m;
   cfg.slot_payload_bytes = spec.slot_payload_bytes;
   cfg.spatial_reuse = spec.spatial_reuse;
+  cfg.with_frame_crc = spec.frame_crc;
   // Long sweeps must stay allocation-free and memory-bounded.
   cfg.record_inboxes = false;
   switch (p.protocol) {
@@ -288,6 +299,15 @@ bool parse_grid(const std::string& text, GridSpec& spec,
         if (!parse_f64(it, u)) return fail("bad utilisation `" + it + "`");
         out.utilisations.push_back(u);
       }
+    } else if (key == "bers") {
+      out.bers.clear();
+      for (const auto& it : items) {
+        double b;
+        if (!parse_f64(it, b) || !(b >= 0.0) || b >= 1.0) {
+          return fail("bad ber `" + it + "`");
+        }
+        out.bers.push_back(b);
+      }
     } else if (key == "mixes") {
       out.mixes.clear();
       for (const auto& it : items) {
@@ -344,6 +364,10 @@ bool parse_grid(const std::string& text, GridSpec& spec,
         bool b;
         if (!parse_flag(it, b)) return fail("bad spatial_reuse");
         out.spatial_reuse = b;
+      } else if (key == "frame_crc") {
+        bool b;
+        if (!parse_flag(it, b)) return fail("bad frame_crc");
+        out.frame_crc = b;
       } else if (key == "base_seed") {
         std::uint64_t s;
         if (!parse_u64(it, s)) return fail("bad base_seed");

@@ -11,7 +11,10 @@
 // (base_seed, workload_key(point), repetition) via sim::Rng::stream_seed.
 // workload_key deliberately EXCLUDES the protocol axis, so CCR-EDF,
 // CC-FPR and TDMA points that agree on every other axis run bit-identical
-// connection sets -- the paired-comparison methodology of E6.
+// connection sets -- the paired-comparison methodology of E6.  It
+// likewise EXCLUDES the ber fault axis: points along a BER sweep run the
+// same workload, and the fault injector keys its own draws on a separate
+// stream family, so changing the BER can never reshuffle the workload.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +57,9 @@ struct GridPoint {
   NodeId nodes = 8;
   /// Offered utilisation as a fraction of the ring's U_max (Eq. 6).
   double utilisation = 0.5;
+  /// Control-channel bit-error rate applied uniformly per link (fault
+  /// axis); 0 disables injection entirely.
+  double ber = 0.0;
   WorkloadMix mix = WorkloadMix::kPeriodic;
   /// Workload-set seed axis (distinct sets at identical load).
   std::uint64_t set_seed = 1;
@@ -63,6 +69,9 @@ struct GridSpec {
   std::vector<Protocol> protocols{Protocol::kCcrEdf};
   std::vector<NodeId> node_counts{8};
   std::vector<double> utilisations{0.5};
+  /// Control-channel BER axis; the default single 0 keeps fault-free
+  /// grids' point numbering and shard seeds untouched.
+  std::vector<double> bers{0.0};
   std::vector<WorkloadMix> mixes{WorkloadMix::kPeriodic};
   std::vector<std::uint64_t> set_seeds{1};
   /// Independent repetitions per point (distinct RNG streams).
@@ -80,6 +89,10 @@ struct GridSpec {
   double link_length_m = 10.0;
   std::int64_t slot_payload_bytes = 0;  // 0 => network default
   bool spatial_reuse = true;
+  /// Enable the frame-integrity CRC extension on every point's network
+  /// (NetworkConfig::with_frame_crc) -- fault grids flip this on so
+  /// detection reflects the full guard strength.
+  bool frame_crc = false;
   /// Root of every derived RNG stream in this sweep.
   std::uint64_t base_seed = 1;
 
@@ -115,10 +128,12 @@ struct GridSpec {
 //   protocols     = ccr-edf, cc-fpr, tdma
 //   nodes         = 4, 8, 16
 //   utilisations  = 0.3, 0.5, 0.7, 0.85
+//   bers          = 0, 1e-4, 1e-3
 //   mixes         = periodic
 //   seeds         = 1, 2
 //   repetitions   = 3
 //   slots         = 5000
+//   frame_crc     = on
 //
 // Unknown keys and malformed values are hard errors (a silently ignored
 // axis would invalidate an experiment).

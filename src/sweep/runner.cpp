@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "workload/periodic.hpp"
 #include "workload/poisson.hpp"
@@ -37,6 +38,14 @@ const char* metric_name(Metric m) {
       return "goodput_bps";
     case Metric::kGrantsPerBusySlot:
       return "grants_per_busy_slot";
+    case Metric::kRecoveries:
+      return "recoveries";
+    case Metric::kRecoveryUs:
+      return "recovery_us";
+    case Metric::kFaultsDetected:
+      return "faults_detected";
+    case Metric::kFaultsSilent:
+      return "faults_silent";
   }
   return "?";
 }
@@ -47,6 +56,14 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
                             int repetition) {
   net::Network n(make_network_config(spec, point));
   const std::uint64_t seed = shard_seed(spec, point, repetition);
+
+  // Fault axis: the injector derives its own stream family from the
+  // shard seed, so the workload below is byte-identical at every BER.
+  std::optional<fault::FaultInjector> injector;
+  if (point.ber > 0.0) {
+    injector.emplace(n, seed);
+    injector->set_control_ber(point.ber);
+  }
 
   int requested = 0;
   int admitted = 0;
@@ -104,6 +121,11 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
   m[Metric::kSlotFraction] = n.stats().slot_time_fraction();
   m[Metric::kGoodputBps] = n.stats().goodput_bps();
   m[Metric::kGrantsPerBusySlot] = n.stats().mean_grants_per_busy_slot();
+  m[Metric::kRecoveries] = static_cast<double>(n.recoveries());
+  m[Metric::kRecoveryUs] = n.recovery_time().us();
+  m[Metric::kFaultsDetected] =
+      static_cast<double>(n.stats().faults.detected());
+  m[Metric::kFaultsSilent] = static_cast<double>(n.stats().faults.silent());
   m.ok = true;
   return m;
 }

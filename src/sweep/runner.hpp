@@ -31,9 +31,13 @@ enum class Metric : std::size_t {
   kMeanLatencyUs,     // mean RT latency, microseconds
   kSlotFraction,      // wall-time fraction spent in data slots
   kGoodputBps,        // delivered payload bits / simulated second
-  kGrantsPerBusySlot  // spatial-reuse factor
+  kGrantsPerBusySlot,  // spatial-reuse factor
+  kRecoveries,         // token-loss recoveries (fault axis)
+  kRecoveryUs,         // wall time lost to recovery timeouts, microseconds
+  kFaultsDetected,     // corruptions caught by the integrity guards
+  kFaultsSilent        // corruptions that mutated behaviour unnoticed
 };
-inline constexpr std::size_t kMetricCount = 11;
+inline constexpr std::size_t kMetricCount = 15;
 
 [[nodiscard]] const char* metric_name(Metric m);
 

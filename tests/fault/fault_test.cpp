@@ -152,5 +152,231 @@ TEST(Fault, InjectorValidatesProbability) {
   EXPECT_THROW(inj.set_random_token_loss(-0.1), ConfigError);
 }
 
+TEST(Fault, InjectorValidatesFaultParameters) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  EXPECT_THROW(inj.schedule_collection_drop(0, 6), ConfigError);
+  EXPECT_THROW(inj.schedule_collection_corruption(0, 6), ConfigError);
+  EXPECT_THROW(inj.schedule_collection_corruption(0, 1, 0), ConfigError);
+  EXPECT_THROW(inj.schedule_distribution_corruption(0, 0), ConfigError);
+  EXPECT_THROW(inj.set_babbling_node(6, 0.5), ConfigError);
+  EXPECT_THROW(inj.set_babbling_node(1, 1.5), ConfigError);
+  EXPECT_THROW(inj.set_control_ber(1.0), ConfigError);
+  EXPECT_THROW(inj.set_control_ber({0.1, 0.1}), ConfigError);  // 6 links
+}
+
+// -- satellite: node-restore paths ---------------------------------------
+
+TEST(Fault, RestoredMasterAtFailureTimeWorksAgain) {
+  // Node 0 is the initial master; killing it breaks the clock, and a
+  // restore must bring it back as an ordinary participant.
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  inj.schedule_node_failure(
+      0, sim::TimePoint::origin() + n.timing().slot() / 2);
+  inj.schedule_node_restore(
+      0, sim::TimePoint::origin() + n.timing().slot() * 20);
+  n.run_slots(25);
+  EXPECT_GE(n.recoveries(), 1);
+  n.send_best_effort(0, NodeSet::single(3), 1, Duration::milliseconds(5));
+  n.run_slots(10);
+  EXPECT_EQ(n.node(3).inbox().size(), 1u);
+}
+
+TEST(Fault, FailedRestarterDeputizesThenResumesAfterRestore) {
+  // The paper's "designated node that always will start" is itself a
+  // single point of failure: when it is down, the first live node
+  // downstream must assume the role, and a restore hands it back.
+  net::NetworkConfig cfg = cfg6();
+  cfg.designated_restarter = 2;
+  net::Network n(cfg);
+  FaultInjector inj(n);
+  inj.schedule_node_failure(2, sim::TimePoint::origin());
+  inj.schedule_token_loss(3);
+  std::vector<net::SlotRecord> recs;
+  n.add_slot_observer([&](const net::SlotRecord& rec) {
+    recs.push_back(rec);
+  });
+  n.run_slots(6);
+  ASSERT_GE(recs.size(), 5u);
+  EXPECT_TRUE(recs[3].token_lost);
+  EXPECT_EQ(recs[3].next_master, 3u);  // deputy: downstream of node 2
+  EXPECT_EQ(recs[4].master, 3u);
+
+  n.restore_node(2);
+  inj.schedule_token_loss(8);
+  n.run_slots(6);
+  ASSERT_GE(recs.size(), 10u);
+  EXPECT_TRUE(recs[8].token_lost);
+  EXPECT_EQ(recs[8].next_master, 2u);  // restored restarter is back
+  EXPECT_EQ(recs[9].master, 2u);
+}
+
+// -- targeted control-channel corruption ---------------------------------
+
+net::NetworkConfig cfg6_crc() {
+  net::NetworkConfig cfg = cfg6();
+  cfg.with_frame_crc = true;
+  return cfg;
+}
+
+TEST(Fault, CollectionCorruptionIsDetectedWithCrcAndMessageSurvives) {
+  net::Network n(cfg6_crc());
+  FaultInjector inj(n);
+  for (SlotIndex s = 0; s < 5; ++s) {
+    inj.schedule_collection_corruption(s, 1);
+  }
+  n.send_best_effort(1, NodeSet::single(4), 1, Duration::milliseconds(50));
+  n.run_slots(20);
+  const auto& f = n.stats().faults;
+  EXPECT_EQ(f.collection_corruptions, 5);
+  EXPECT_EQ(f.collection_detected, 5);
+  EXPECT_EQ(f.silent(), 0);
+  EXPECT_EQ(n.stats().per_node_faults[1].requests_corrupted, 5);
+  EXPECT_EQ(n.stats().per_node_faults[1].requests_rejected, 5);
+  EXPECT_GT(inj.bits_flipped(), 0);
+  // Containment, not loss: the rejected node re-requests and delivers.
+  EXPECT_EQ(n.node(4).inbox().size(), 1u);
+}
+
+TEST(Fault, PriorityFieldCorruptionNeverMisarbitratesWithCrc) {
+  // Acceptance check: odd-weight flips (1 or 3 bits) across the record
+  // -- priority, reservation and destination fields included -- must
+  // all be caught by the CRC (poly 0x07 divides x+1, so every
+  // odd-weight error is detected).  No silent misarbitration allowed.
+  net::Network n(cfg6_crc());
+  FaultInjector inj(n);
+  for (SlotIndex s = 0; s < 12; ++s) {
+    inj.schedule_collection_corruption(s, 2, s % 2 == 0 ? 1 : 3);
+  }
+  for (int i = 0; i < 15; ++i) {
+    n.send_best_effort(2, NodeSet::single(5), 1,
+                       Duration::milliseconds(50));
+  }
+  n.run_slots(30);
+  const auto& f = n.stats().faults;
+  EXPECT_EQ(f.collection_corruptions, 12);
+  EXPECT_EQ(f.collection_detected, 12);
+  EXPECT_EQ(f.silent(), 0);
+  EXPECT_EQ(n.stats().priority_inversions, 0);
+}
+
+TEST(Fault, WithoutCrcSomeCorruptionSlipsThroughTheGuards) {
+  // The plausibility guards alone cannot catch flips that keep the
+  // record well-formed (e.g. a mutated priority value): those reach
+  // arbitration as silent corruption.  This is the hazard the CRC
+  // extension removes -- compare the test above.
+  net::Network n(cfg6());  // no CRC
+  FaultInjector inj(n);
+  for (SlotIndex s = 0; s < 30; ++s) {
+    inj.schedule_collection_corruption(s, 2, 1);
+  }
+  for (int i = 0; i < 35; ++i) {
+    n.send_best_effort(2, NodeSet::single(5), 1,
+                       Duration::milliseconds(50));
+  }
+  n.run_slots(40);
+  const auto& f = n.stats().faults;
+  // Every injected corruption is accounted: detected or silent.
+  EXPECT_EQ(f.collection_corruptions,
+            f.collection_detected + f.collection_silent);
+  EXPECT_EQ(f.collection_corruptions, 30);
+  EXPECT_GT(f.collection_silent, 0);
+}
+
+TEST(Fault, CollectionDropDelaysButDeliversMessage) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  inj.schedule_collection_drop(0, 4);
+  n.send_best_effort(4, NodeSet::single(1), 1, Duration::milliseconds(50));
+  n.run_slots(10);
+  EXPECT_EQ(n.stats().faults.collection_drops, 1);
+  EXPECT_EQ(n.stats().per_node_faults[4].requests_dropped, 1);
+  EXPECT_EQ(n.node(1).inbox().size(), 1u);
+}
+
+TEST(Fault, DistributionCorruptionDetectedTriggersRecovery) {
+  // A receiver rejecting the distribution packet is exactly the
+  // token-loss condition: the restarter timeout recovers, bounded.
+  net::Network n(cfg6_crc());
+  FaultInjector inj(n);
+  inj.schedule_distribution_corruption(2);
+  n.run_slots(10);
+  const auto& f = n.stats().faults;
+  EXPECT_EQ(f.distribution_corruptions, 1);
+  EXPECT_EQ(f.distribution_detected, 1);
+  EXPECT_EQ(f.silent(), 0);
+  EXPECT_EQ(n.recoveries(), 1);
+  EXPECT_EQ(f.recoveries, 1);
+  EXPECT_EQ(f.recovery_gap.count(), 1);
+  EXPECT_GT(f.recovery_gap.mean(), 0.0);
+}
+
+TEST(Fault, BabblingNodeWastesGrantsAndIsCounted) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  inj.set_babbling_node(5, 1.0);
+  n.run_slots(20);
+  const auto& f = n.stats().faults;
+  EXPECT_EQ(f.spurious_requests, 20);
+  EXPECT_EQ(n.stats().per_node_faults[5].spurious_requests, 20);
+  // Fabricated requests carry no message: every grant they win is waste.
+  EXPECT_GT(n.stats().wasted_grants, 0);
+  EXPECT_EQ(n.stats().busy_slots, 0);
+}
+
+TEST(Fault, BerRunIsDeterministicAcrossIdenticalNetworks) {
+  // The keyed fault streams make a BER run a pure function of (seed,
+  // slot, channel): two identical networks see identical faults.
+  auto run = [](net::NetworkStats* out) -> std::int64_t {
+    net::Network n(cfg6_crc());
+    FaultInjector inj(n, /*seed=*/7);
+    inj.set_control_ber(2e-3);
+    for (NodeId i = 0; i < 10; ++i) {
+      n.send_best_effort(i % 6, NodeSet::single((i + 3) % 6), 1,
+                         Duration::milliseconds(50));
+    }
+    n.run_slots(300);
+    *out = n.stats();
+    return inj.bits_flipped();
+  };
+  net::NetworkStats a, b;
+  const std::int64_t fa = run(&a);
+  const std::int64_t fb = run(&b);
+  EXPECT_EQ(fa, fb);
+  EXPECT_GT(fa, 0);
+  EXPECT_EQ(a.faults.collection_corruptions, b.faults.collection_corruptions);
+  EXPECT_EQ(a.faults.collection_detected, b.faults.collection_detected);
+  EXPECT_EQ(a.faults.distribution_corruptions,
+            b.faults.distribution_corruptions);
+  EXPECT_EQ(a.faults.recoveries, b.faults.recoveries);
+  // Accounting identity: every corrupted record is classified.
+  EXPECT_EQ(a.faults.collection_corruptions,
+            a.faults.collection_detected + a.faults.collection_silent);
+}
+
+TEST(Fault, IdleInjectorLeavesTheNetworkUntouched) {
+  // An attached hook with nothing configured must not perturb the run:
+  // the fault counters stay zero and traffic behaves as without it.
+  net::Network clean(cfg6());
+  net::Network hooked(cfg6());
+  FaultInjector inj(hooked, /*seed=*/9);
+  for (net::Network* n : {&clean, &hooked}) {
+    for (NodeId s = 0; s < 6; ++s) {
+      n->send_best_effort(s, NodeSet::single((s + 2) % 6), 1,
+                          Duration::milliseconds(50));
+    }
+    n->run_slots(30);
+  }
+  EXPECT_EQ(inj.bits_flipped(), 0);
+  EXPECT_EQ(hooked.stats().faults.detected(), 0);
+  EXPECT_EQ(hooked.stats().faults.silent(), 0);
+  EXPECT_EQ(hooked.stats().faults.token_losses, 0);
+  for (NodeId i = 0; i < 6; ++i) {
+    EXPECT_EQ(hooked.node(i).inbox().size(), clean.node(i).inbox().size());
+  }
+  EXPECT_EQ(hooked.stats().busy_slots, clean.stats().busy_slots);
+}
+
 }  // namespace
 }  // namespace ccredf::fault

@@ -1,0 +1,131 @@
+#include "phy/bit_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::phy {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5EEDu;
+
+std::vector<std::uint8_t> zeroes(std::size_t nbits) {
+  return std::vector<std::uint8_t>((nbits + 7) / 8, 0);
+}
+
+TEST(BitErrorModel, ValidatesConstruction) {
+  EXPECT_THROW(BitErrorModel(1, 0.0, kSeed), ConfigError);
+  EXPECT_THROW(BitErrorModel(65, 0.0, kSeed), ConfigError);
+  EXPECT_THROW(BitErrorModel(4, -0.1, kSeed), ConfigError);
+  EXPECT_THROW(BitErrorModel(4, 1.0, kSeed), ConfigError);
+  EXPECT_THROW(BitErrorModel(std::vector<double>{0.1}, kSeed), ConfigError);
+  EXPECT_NO_THROW(BitErrorModel(4, 0.999, kSeed));
+}
+
+TEST(BitErrorModel, EnabledOnlyWithNonZeroRate) {
+  EXPECT_FALSE(BitErrorModel(4, 0.0, kSeed).enabled());
+  EXPECT_TRUE(BitErrorModel(4, 1e-6, kSeed).enabled());
+  EXPECT_TRUE(
+      BitErrorModel(std::vector<double>{0, 0, 1e-4, 0}, kSeed).enabled());
+}
+
+TEST(BitErrorModel, PathErrorProbabilityCompounds) {
+  const BitErrorModel uniform(4, 0.1, kSeed);
+  EXPECT_DOUBLE_EQ(uniform.path_error_probability(0, 1), 0.1);
+  // 1 - (1 - 0.1)^2 over two links.
+  EXPECT_NEAR(uniform.path_error_probability(0, 2), 0.19, 1e-12);
+  // Full ring: 1 - 0.9^4.
+  EXPECT_NEAR(uniform.path_error_probability(2, 4), 1.0 - 0.6561, 1e-12);
+
+  // Per-link rates wrap around the ring from `first`.
+  const BitErrorModel mixed(std::vector<double>{0.0, 0.5, 0.0, 0.0}, kSeed);
+  EXPECT_DOUBLE_EQ(mixed.path_error_probability(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(mixed.path_error_probability(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(mixed.path_error_probability(3, 3), 0.5);
+}
+
+TEST(BitErrorModel, ZeroProbabilityNeverFlips) {
+  const BitErrorModel m(4, 0.5, kSeed);
+  auto buf = zeroes(256);
+  for (SlotIndex s = 0; s < 50; ++s) {
+    EXPECT_EQ(m.corrupt(s, 0, 0.0, buf.data(), 256), 0);
+  }
+  EXPECT_EQ(buf, zeroes(256));
+}
+
+TEST(BitErrorModel, SameCoordinatesFlipTheSameBits) {
+  const BitErrorModel m(4, 0.5, kSeed);
+  auto a = zeroes(96);
+  auto b = zeroes(96);
+  const int fa = m.corrupt(17, 3, 0.25, a.data(), 96);
+  const int fb = m.corrupt(17, 3, 0.25, b.data(), 96);
+  EXPECT_EQ(fa, fb);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(fa, 0);  // p = 0.25 over 96 bits: flipless is ~1e-12
+}
+
+TEST(BitErrorModel, DifferentCoordinatesAreIndependent) {
+  const BitErrorModel m(4, 0.5, kSeed);
+  auto by_slot = zeroes(96);
+  auto by_chan = zeroes(96);
+  auto base = zeroes(96);
+  m.corrupt(17, 3, 0.25, base.data(), 96);
+  m.corrupt(18, 3, 0.25, by_slot.data(), 96);
+  m.corrupt(17, 4, 0.25, by_chan.data(), 96);
+  EXPECT_NE(base, by_slot);
+  EXPECT_NE(base, by_chan);
+}
+
+TEST(BitErrorModel, FlipCountTracksProbability) {
+  // Mean flips per frame = p * nbits; over many keyed frames the
+  // empirical mean must land close (law of large numbers, fixed seed).
+  const BitErrorModel m(4, 0.5, kSeed);
+  const double p = 0.1;
+  const std::size_t nbits = 200;
+  std::int64_t total = 0;
+  const int frames = 2000;
+  for (SlotIndex s = 0; s < frames; ++s) {
+    auto buf = zeroes(nbits);
+    total += m.corrupt(s, 9, p, buf.data(), nbits);
+  }
+  const double mean = static_cast<double>(total) / frames;
+  EXPECT_NEAR(mean, p * static_cast<double>(nbits), 1.0);
+}
+
+TEST(BitErrorModel, FlipsStayInsideTheBitRange) {
+  // nbits not byte-aligned: bits past nbits (padding in the last byte)
+  // must never be touched.
+  const BitErrorModel m(4, 0.5, kSeed);
+  const std::size_t nbits = 13;  // 2 bytes, 3 padding bits
+  for (SlotIndex s = 0; s < 500; ++s) {
+    auto buf = zeroes(nbits);
+    m.corrupt(s, 1, 0.9, buf.data(), nbits);
+    EXPECT_EQ(buf[1] & 0x07u, 0) << "padding bit flipped at slot " << s;
+  }
+}
+
+TEST(BitErrorModel, CertainCorruptionHitsEveryFrame) {
+  const BitErrorModel m(4, 0.5, kSeed);
+  for (SlotIndex s = 0; s < 100; ++s) {
+    auto buf = zeroes(32);
+    EXPECT_GT(m.corrupt(s, 2, 0.999999, buf.data(), 32), 0);
+  }
+}
+
+TEST(BitErrorModel, SeedChangesTheStream) {
+  const BitErrorModel a(4, 0.5, kSeed);
+  const BitErrorModel b(4, 0.5, kSeed + 1);
+  auto ba = zeroes(96);
+  auto bb = zeroes(96);
+  a.corrupt(5, 0, 0.25, ba.data(), 96);
+  b.corrupt(5, 0, 0.25, bb.data(), 96);
+  EXPECT_NE(ba, bb);
+}
+
+}  // namespace
+}  // namespace ccredf::phy

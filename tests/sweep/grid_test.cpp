@@ -127,5 +127,79 @@ TEST(GridTest, ParserIsCrossFieldValidated) {
       "min_period_slots = 100\nmax_period_slots = 50\n", spec, error));
 }
 
+TEST(GridTest, BerAxisExpandsBetweenUtilisationAndMix) {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {4};
+  spec.utilisations = {0.3, 0.7};
+  spec.bers = {0.0, 1e-4};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.set_seeds = {1};
+
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(spec.point_count(), 4u);
+  // ber is an inner axis of utilisation: u cycles slowest of the two.
+  EXPECT_DOUBLE_EQ(points[0].utilisation, 0.3);
+  EXPECT_DOUBLE_EQ(points[0].ber, 0.0);
+  EXPECT_DOUBLE_EQ(points[1].ber, 1e-4);
+  EXPECT_DOUBLE_EQ(points[2].utilisation, 0.7);
+  EXPECT_DOUBLE_EQ(points[2].ber, 0.0);
+}
+
+TEST(GridTest, DefaultBerAxisKeepsLegacyPointCount) {
+  // The implicit {0.0} ber axis must not multiply legacy grids.
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf, Protocol::kTdma};
+  spec.node_counts = {4, 8};
+  EXPECT_EQ(spec.point_count(), 4u);
+  for (const auto& p : spec.expand()) EXPECT_DOUBLE_EQ(p.ber, 0.0);
+}
+
+TEST(GridTest, WorkloadKeyIgnoresBerAndProtocol) {
+  // Paired comparison along the fault axis: a BER sweep must run the
+  // exact same workloads at every ber value and for every protocol.
+  GridPoint a;
+  a.protocol = Protocol::kCcrEdf;
+  a.ber = 0.0;
+  GridPoint b = a;
+  b.protocol = Protocol::kCcFpr;
+  b.ber = 1e-3;
+  EXPECT_EQ(workload_key(a), workload_key(b));
+  GridPoint c = a;
+  c.utilisation = a.utilisation + 0.1;
+  EXPECT_NE(workload_key(a), workload_key(c));
+}
+
+TEST(GridTest, ValidatesBerAxis) {
+  GridSpec spec;
+  spec.bers = {};
+  EXPECT_FALSE(spec.validate().empty());
+  spec = GridSpec{};
+  spec.bers = {0.0, 1.0};  // BER must stay below 1
+  EXPECT_FALSE(spec.validate().empty());
+  spec = GridSpec{};
+  spec.bers = {-1e-6};
+  EXPECT_FALSE(spec.validate().empty());
+  spec = GridSpec{};
+  spec.bers = {0.0, 1e-6, 1e-3};
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(GridTest, ParsesBerAndFrameCrcKeys) {
+  GridSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_grid("bers = 0, 1e-4, 1e-3\nframe_crc = on\n", spec,
+                         error))
+      << error;
+  EXPECT_EQ(spec.bers, (std::vector<double>{0.0, 1e-4, 1e-3}));
+  EXPECT_TRUE(spec.frame_crc);
+  GridSpec off;
+  ASSERT_TRUE(parse_grid("frame_crc = off\n", off, error)) << error;
+  EXPECT_FALSE(off.frame_crc);
+  EXPECT_FALSE(parse_grid("bers = 1.5\n", spec, error));
+  EXPECT_FALSE(parse_grid("bers = banana\n", spec, error));
+}
+
 }  // namespace
 }  // namespace ccredf::sweep

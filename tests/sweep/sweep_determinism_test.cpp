@@ -86,6 +86,69 @@ TEST(SweepDeterminismTest, ProtocolsSeeIdenticalConnectionSets) {
   }
 }
 
+TEST(SweepDeterminismTest, FaultAxisJsonIdenticalAcrossThreadCounts) {
+  // The BER fault axis attaches a keyed-stream injector per shard; the
+  // report must stay a pure function of the grid regardless of worker
+  // count (scripts/check.sh enforces the same over the shipped grid).
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf, Protocol::kCcFpr};
+  spec.node_counts = {6};
+  spec.utilisations = {0.5};
+  spec.bers = {0.0, 1e-3};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.set_seeds = {5};
+  spec.repetitions = 2;
+  spec.slots = 150;
+  spec.frame_crc = true;
+  spec.base_seed = 3;
+  const std::string json_1 = to_json(run_sweep(spec, {.threads = 1}));
+  for (const int threads : {4, 8}) {
+    EXPECT_EQ(json_1, to_json(run_sweep(spec, {.threads = threads})))
+        << "fault sweep non-deterministic at " << threads << " threads";
+  }
+  // The ber > 0 points must actually have exercised the fault paths.
+  const SweepResult res = run_sweep(spec, {.threads = 2});
+  ASSERT_EQ(res.failed_shards, 0);
+  bool any_faults = false;
+  for (const PointResult& pr : res.points) {
+    if (pr.point.ber == 0.0) {
+      EXPECT_EQ(pr.mean(Metric::kFaultsDetected), 0.0);
+      EXPECT_EQ(pr.mean(Metric::kRecoveries), 0.0);
+    } else if (pr.mean(Metric::kFaultsDetected) > 0.0) {
+      any_faults = true;
+    }
+  }
+  EXPECT_TRUE(any_faults) << "BER axis injected nothing";
+}
+
+TEST(SweepDeterminismTest, BerAxisDoesNotPerturbTheWorkload) {
+  // Same point at ber 0 and ber > 0: fault draws come from a separate
+  // stream family, so workload-shaped metrics (admitted fraction, u_max)
+  // must agree exactly between the paired points.
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {6};
+  spec.utilisations = {0.5};
+  spec.bers = {0.0, 1e-3};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.set_seeds = {5};
+  spec.repetitions = 1;
+  spec.slots = 150;
+  spec.frame_crc = true;
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 2u);
+  const ShardMetrics clean = run_shard(spec, points[0], 0);
+  const ShardMetrics faulty = run_shard(spec, points[1], 0);
+  ASSERT_TRUE(clean.ok);
+  ASSERT_TRUE(faulty.ok);
+  EXPECT_EQ(clean.values[static_cast<std::size_t>(
+                Metric::kAdmittedFraction)],
+            faulty.values[static_cast<std::size_t>(
+                Metric::kAdmittedFraction)]);
+  EXPECT_EQ(clean.values[static_cast<std::size_t>(Metric::kUMax)],
+            faulty.values[static_cast<std::size_t>(Metric::kUMax)]);
+}
+
 TEST(SweepDeterminismTest, AllShardsSucceedAndAggregate) {
   const GridSpec spec = small_grid();
   const SweepResult res = run_sweep(spec, {.threads = 8});
