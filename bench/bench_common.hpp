@@ -54,6 +54,30 @@ inline int open_all(net::Network& n,
   return admitted;
 }
 
+// ---- fault-sweep scaffolding (bench_fault_recovery, E19) ---------------
+
+/// One cell of a fault-rate sweep: the injected rate and the fragment
+/// naming it in JSON keys.
+struct BerCase {
+  double ber;
+  const char* label;
+};
+
+/// The canonical fault-experiment workload: tight deadlines (a few
+/// slots), so one recovery stall or retransmission round trip overruns
+/// them and faults translate directly into misses.
+inline workload::PeriodicSetParams fault_workload(const net::Network& n,
+                                                  double load = 0.5) {
+  workload::PeriodicSetParams wp;
+  wp.nodes = n.nodes();
+  wp.connections = 12;
+  wp.total_utilisation = load * n.timing().u_max();
+  wp.min_period_slots = 8;
+  wp.max_period_slots = 40;
+  wp.seed = 3;
+  return wp;
+}
+
 /// Result digest used by several experiments.
 struct RunDigest {
   std::int64_t rt_delivered = 0;

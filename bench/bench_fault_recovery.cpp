@@ -17,15 +17,6 @@
 using namespace ccredf;
 using namespace ccredf::bench;
 
-namespace {
-
-struct BerCase {
-  double ber;
-  const char* label;  // JSON-key fragment
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const std::string json_path = extract_json_path(argc, argv);
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
@@ -83,16 +74,9 @@ int main(int argc, char** argv) {
     net::Network n(make_config(8, Protocol::kCcrEdf));
     fault::FaultInjector inj(n, 13);
     if (rate > 0.0) inj.set_random_token_loss(rate);
-    workload::PeriodicSetParams wp;
-    wp.nodes = 8;
-    wp.connections = 12;
-    wp.total_utilisation = 0.5 * n.timing().u_max();
     // Deadlines of a few slots: one recovery stall (timeout * slot
     // extents) overruns them, so losses translate directly to misses.
-    wp.min_period_slots = 8;
-    wp.max_period_slots = 40;
-    wp.seed = 3;
-    open_all(n, workload::make_periodic_set(wp));
+    open_all(n, workload::make_periodic_set(fault_workload(n)));
     n.run_for(n.timing().slot() * e11b_slots);  // same wall time per row
     const auto& rt = n.stats().cls(core::TrafficClass::kRealTime);
     m.row()
@@ -134,14 +118,7 @@ int main(int argc, char** argv) {
       net::Network n(cfg);
       fault::FaultInjector inj(n, 21);
       if (ber > 0.0) inj.set_control_ber(ber);
-      workload::PeriodicSetParams wp;
-      wp.nodes = 8;
-      wp.connections = 12;
-      wp.total_utilisation = 0.5 * n.timing().u_max();
-      wp.min_period_slots = 8;
-      wp.max_period_slots = 40;
-      wp.seed = 3;
-      open_all(n, workload::make_periodic_set(wp));
+      open_all(n, workload::make_periodic_set(fault_workload(n)));
       n.run_for(n.timing().slot() * e18_slots);
       const auto& rt = n.stats().cls(core::TrafficClass::kRealTime);
       const auto& f = n.stats().faults;

@@ -61,6 +61,7 @@ run_bench() {
 run_bench bench_slot_throughput ${QUICK}
 run_bench bench_sweep ${QUICK}
 run_bench bench_fault_recovery ${QUICK}
+run_bench bench_data_reliability ${QUICK}
 
 # The sweep CLI's determinism contract: byte-identical reports at any
 # worker-thread count.

@@ -36,6 +36,49 @@ def validate_metrics(path, metrics):
     return True
 
 
+def validate_data_reliability(path, metrics):
+    """E19 acceptance gates, re-checked at validation time.
+
+    The bench itself exits non-zero when a gate fails, but the validator
+    re-asserts them so a stale or hand-edited JSON cannot sneak a
+    regression past CI: the CRC + laxity-budgeted ARQ must strictly beat
+    both baselines, low-BER runs must show zero undetected corruption,
+    admission derating must be monotone, and the data-BER sweep must be
+    thread-count deterministic.
+    """
+    required = (
+        "arq_miss_ratio",
+        "fixed_miss_ratio",
+        "nocrc_miss_ratio",
+        "low_ber_undetected",
+        "derate_monotone",
+        "threads_json_identical",
+    )
+    for key in required:
+        value = metrics.get(key)
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            return fail(path, f"data_reliability needs numeric `{key}`")
+    arq = metrics["arq_miss_ratio"]
+    if not (arq < metrics["fixed_miss_ratio"] and arq < metrics["nocrc_miss_ratio"]):
+        return fail(
+            path,
+            "laxity ARQ miss ratio not strictly below both baselines "
+            f"(arq={arq}, fixed={metrics['fixed_miss_ratio']}, "
+            f"nocrc={metrics['nocrc_miss_ratio']})",
+        )
+    if metrics["low_ber_undetected"] != 0:
+        return fail(
+            path,
+            f"{metrics['low_ber_undetected']} undetected payload "
+            "corruptions at low BER with the CRC on",
+        )
+    if metrics["derate_monotone"] != 1:
+        return fail(path, "admission derating not monotone in the BER")
+    if metrics["threads_json_identical"] != 1:
+        return fail(path, "data-BER sweep not thread-count deterministic")
+    return True
+
+
 def validate_sweep_report(path, doc):
     for key, kind in (
         ("grid", dict),
@@ -75,6 +118,8 @@ def validate(path):
         return fail(path, "missing non-empty string `bench`")
     if not validate_metrics(path, doc.get("metrics")):
         return False
+    if doc["bench"] == "data_reliability":
+        return validate_data_reliability(path, doc["metrics"])
     return True
 
 

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+
 namespace ccredf::core {
+
+void AdmissionController::set_capacity_factor(double factor) {
+  CCREDF_EXPECT(factor >= 0.0 && factor <= 1.0,
+                "AdmissionController: capacity factor out of [0,1]");
+  capacity_factor_ = factor;
+}
 
 double AdmissionController::weight(const ConnectionParams& params) const {
   switch (policy_) {
@@ -24,10 +32,11 @@ AdmissionController::Decision AdmissionController::request(
   ++requests_;
   Decision d;
   const double u_new = weight(params);
-  // Eq. 5 against Eq. 6's bound.  A small epsilon forgives accumulated
-  // floating-point error when many connections sum exactly to U_max.
+  // Eq. 5 against Eq. 6's bound (derated in degraded mode).  A small
+  // epsilon forgives accumulated floating-point error when many
+  // connections sum exactly to the bound.
   constexpr double kEps = 1e-12;
-  if (utilisation_ + u_new <= u_max_ + kEps) {
+  if (utilisation_ + u_new <= effective_u_max() + kEps) {
     Connection c;
     c.id = next_id_++;
     c.params = params;

@@ -55,6 +55,15 @@ class AdmissionController {
   bool release(ConnectionId id);
 
   [[nodiscard]] double u_max() const { return u_max_; }
+  /// Degraded-mode capacity scaling in [0,1] (graceful degradation): a
+  /// health monitor derates the admission bound when retransmission
+  /// overhead eats into the schedulable capacity.  1 = full capacity.
+  void set_capacity_factor(double factor);
+  [[nodiscard]] double capacity_factor() const { return capacity_factor_; }
+  /// The bound actually enforced: U_max scaled by the capacity factor.
+  [[nodiscard]] double effective_u_max() const {
+    return u_max_ * capacity_factor_;
+  }
   [[nodiscard]] double utilisation() const { return utilisation_; }
   [[nodiscard]] std::size_t active_connections() const { return ma_.size(); }
   [[nodiscard]] const Connection* find(ConnectionId id) const;
@@ -67,6 +76,7 @@ class AdmissionController {
 
  private:
   double u_max_;
+  double capacity_factor_ = 1.0;
   AdmissionPolicy policy_ = AdmissionPolicy::kUtilisation;
   double utilisation_ = 0.0;
   ConnectionId next_id_ = 1;

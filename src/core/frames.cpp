@@ -21,11 +21,14 @@ std::uint64_t read_mask(BitReader& r, NodeId n) {
 }  // namespace
 
 FrameCodec::FrameCodec(NodeId nodes, PriorityLayout layout, bool with_acks,
-                       bool with_crc)
+                       bool with_crc, bool with_nacks)
     : n_(nodes), layout_(layout), with_acks_(with_acks),
-      with_crc_(with_crc), idx_bits_(index_bits(nodes)) {
+      with_crc_(with_crc), with_nacks_(with_nacks),
+      idx_bits_(index_bits(nodes)) {
   CCREDF_EXPECT(nodes >= 2 && nodes <= kMaxNodes,
                 "FrameCodec: node count out of range");
+  CCREDF_EXPECT(!with_nacks || with_acks,
+                "FrameCodec: the NACK field rides on top of the ack field");
   layout_.validate();
 }
 
@@ -40,9 +43,11 @@ std::int64_t FrameCodec::collection_bits() const {
 }
 
 std::int64_t FrameCodec::distribution_bits() const {
-  // start + result bits + hp index + optional ack bits + optional CRC
+  // start + result bits + hp index + optional ack bits + optional NACK
+  // bits + optional CRC
   std::int64_t bits = 1 + n_ + idx_bits_;
   if (with_acks_) bits += n_;
+  if (with_nacks_) bits += n_;
   if (with_crc_) bits += 8;
   return bits;
 }
@@ -98,11 +103,14 @@ FrameCodec::Encoded FrameCodec::encode(const DistributionPacket& p) const {
   CCREDF_EXPECT(p.hp_node < n_, "DistributionPacket: invalid hp-node index");
   CCREDF_EXPECT(p.has_acks == with_acks_,
                 "DistributionPacket: ack field presence mismatch");
+  CCREDF_EXPECT(p.has_nacks == with_nacks_,
+                "DistributionPacket: NACK field presence mismatch");
   BitWriter w;
   w.push_bit(true);  // start bit
   write_mask(w, p.granted.mask(), n_);
   w.write(p.hp_node, idx_bits_);
   if (with_acks_) write_mask(w, p.acks.mask(), n_);
+  if (with_nacks_) write_mask(w, p.nacks.mask(), n_);
   if (with_crc_) w.write(crc8_bits(w.bytes(), 0, w.bit_count()), 8);
   return Encoded{w.bytes(), w.bit_count()};
 }
@@ -139,6 +147,8 @@ DistributionPacket FrameCodec::decode_distribution(const Encoded& e) const {
   p.hp_node = static_cast<NodeId>(r.read(idx_bits_));
   p.has_acks = with_acks_;
   if (with_acks_) p.acks = NodeSet::from_mask(read_mask(r, n_));
+  p.has_nacks = with_nacks_;
+  if (with_nacks_) p.nacks = NodeSet::from_mask(read_mask(r, n_));
   if (with_crc_) {
     const auto crc = static_cast<std::uint8_t>(r.read(8));
     CCREDF_EXPECT(crc == crc8_bits(e.bytes, 0, e.bit_count - 8),
@@ -226,6 +236,8 @@ FrameCodec::CheckedDistribution FrameCodec::decode_distribution_checked(
   p.hp_node = static_cast<NodeId>(r.read(idx_bits_));
   p.has_acks = with_acks_;
   if (with_acks_) p.acks = NodeSet::from_mask(read_mask(r, n_));
+  p.has_nacks = with_nacks_;
+  if (with_nacks_) p.nacks = NodeSet::from_mask(read_mask(r, n_));
   if (with_crc_) {
     const auto crc = static_cast<std::uint8_t>(r.read(8));
     if (crc != crc8_bits(e.bytes, 0, e.bit_count - 8)) {

@@ -9,7 +9,10 @@
 //   start bit | request results (N bits, 1 = granted)
 //   | index of hp-node (ceil(log2 N) bits)
 //   | other fields: ack bits (N bits, reliable service [11]), present when
-//     the network enables reliable transmission.
+//     the network enables reliable transmission; NACK bits (N bits),
+//     present when the payload CRC-32 extension rides on top of the ack
+//     field -- a set bit tells that source its previous slot's transfer
+//     failed the receivers' payload check (PROTOCOL.md §7.3).
 //
 // A node with nothing to send writes priority 0 and zeroes in the other
 // fields (paper §3).
@@ -58,6 +61,9 @@ struct DistributionPacket {
                                   // field is always a valid index on wire
   bool has_acks = false;
   NodeSet acks;  // per-source ack of the previous slot's transfers
+  bool has_nacks = false;
+  NodeSet nacks;  // per-source NACK: the previous slot's transfer failed
+                  // the receivers' payload CRC (with_payload_crc runs)
 
   bool operator==(const DistributionPacket&) const = default;
 };
@@ -68,11 +74,12 @@ struct DistributionPacket {
 class FrameCodec {
  public:
   FrameCodec(NodeId nodes, PriorityLayout layout, bool with_acks,
-             bool with_crc = false);
+             bool with_crc = false, bool with_nacks = false);
 
   [[nodiscard]] NodeId nodes() const { return n_; }
   [[nodiscard]] const PriorityLayout& layout() const { return layout_; }
   [[nodiscard]] bool with_crc() const { return with_crc_; }
+  [[nodiscard]] bool with_nacks() const { return with_nacks_; }
 
   /// Bits in a complete collection packet (start + N requests).
   [[nodiscard]] std::int64_t collection_bits() const;
@@ -132,6 +139,7 @@ class FrameCodec {
   PriorityLayout layout_;
   bool with_acks_;
   bool with_crc_;
+  bool with_nacks_;
   unsigned idx_bits_;
 };
 

@@ -16,6 +16,8 @@ constexpr std::uint64_t kChanDistribution = 1;  // distribution-packet bits
 constexpr std::uint64_t kChanBabble = 0x100;    // + node
 constexpr std::uint64_t kChanCollection = 0x200;  // + node (BER)
 constexpr std::uint64_t kChanTargeted = 0x300;    // + node (scheduled)
+constexpr std::uint64_t kChanData = 0x400;        // + source (payload BER)
+constexpr std::uint64_t kChanDataResidual = 0x500;  // + source (CRC forge)
 // Tag separating the injector's stream family from workload streams
 // derived from the same base seed.
 constexpr std::uint64_t kFaultStreamTag = 0xFA;
@@ -89,6 +91,16 @@ void FaultInjector::set_control_ber(std::vector<double> link_ber) {
   ber_.emplace(std::move(link_ber), seed_);
 }
 
+void FaultInjector::set_data_ber(double ber) {
+  data_ber_.emplace(net_.nodes(), ber, seed_);
+}
+
+void FaultInjector::set_data_ber(std::vector<double> link_ber) {
+  CCREDF_EXPECT(link_ber.size() == net_.nodes(),
+                "FaultInjector: one data BER per ring link required");
+  data_ber_.emplace(std::move(link_ber), seed_);
+}
+
 void FaultInjector::schedule_collection_drop(SlotIndex slot, NodeId node) {
   CCREDF_EXPECT(node < net_.nodes(), "FaultInjector: node out of range");
   insert_sorted(collection_drops_, TargetedFault{slot, node, 0});
@@ -105,6 +117,12 @@ void FaultInjector::schedule_distribution_corruption(SlotIndex slot,
                                                      int bits) {
   CCREDF_EXPECT(bits >= 1, "FaultInjector: must corrupt at least one bit");
   insert_sorted(distribution_corruptions_, TargetedFault{slot, 0, bits});
+}
+
+void FaultInjector::schedule_payload_corruption(SlotIndex slot,
+                                                NodeId node) {
+  CCREDF_EXPECT(node < net_.nodes(), "FaultInjector: node out of range");
+  insert_sorted(payload_corruptions_, TargetedFault{slot, node, 1});
 }
 
 void FaultInjector::set_babbling_node(NodeId id, double p) {
@@ -227,6 +245,32 @@ net::FaultHook::DistributionFault FaultInjector::filter_distribution(
     return DistributionFault::kGrantView;
   }
   return DistributionFault::kNone;
+}
+
+net::FaultHook::DataFault FaultInjector::filter_data(
+    SlotIndex slot, NodeId source, NodeId hops,
+    std::int64_t payload_bits) {
+  // The payload never rides the control channel, so no codec round-trip:
+  // the flip count alone decides the outcome, and the receivers' guard
+  // is the payload CRC-32 (or nothing).
+  int flips = 0;
+  if (take(payload_corruptions_, slot, source)) {
+    flips = 1;
+  } else if (data_ber_.has_value() && data_ber_->enabled()) {
+    const double p = data_ber_->path_error_probability(source, hops);
+    flips = data_ber_->count_flips(
+        slot, kChanData + source, p,
+        static_cast<std::size_t>(payload_bits));
+  }
+  if (flips == 0) return DataFault::kNone;
+  data_bits_flipped_ += flips;
+  if (!net_.config().with_payload_crc) return DataFault::kSilent;
+  // CRC-32 residual: a corrupted packet forges a valid checksum with
+  // probability 2^-32 per packet (keyed draw, deterministic).
+  if (rng_at(slot, kChanDataResidual + source).uniform01() < 0x1p-32) {
+    return DataFault::kSilent;
+  }
+  return DataFault::kDetected;
 }
 
 }  // namespace ccredf::fault

@@ -17,6 +17,11 @@
 //     flips bits on the wire image, and classifies the outcome with the
 //     integrity-checked decoders, so detection depends on the actual
 //     guard strength (with/without the CRC extension);
+//   * data-channel bit errors -- every payload bit of a completed
+//     transfer is flipped independently per traversed link (source to
+//     furthest destination) with the configured data BER; detection
+//     depends on NetworkConfig::with_payload_crc, including the 2^-32
+//     residual that forges a valid CRC-32;
 //   * targeted faults -- drop or corrupt a specific node's request
 //     record in a specific slot, or the distribution packet of a
 //     specific slot (deterministic unit-test scenarios);
@@ -64,6 +69,12 @@ class FaultInjector final : public net::FaultHook {
   /// Per-link bit-error rates (link l = node l to its downstream).
   void set_control_ber(std::vector<double> link_ber);
 
+  // -- data-channel bit errors --------------------------------------------
+  /// Uniform bit-error rate on the data fibres of every link.
+  void set_data_ber(double ber);
+  /// Per-link data-fibre bit-error rates.
+  void set_data_ber(std::vector<double> link_ber);
+
   // -- targeted faults ----------------------------------------------------
   /// Destroy node `node`'s request record in slot `slot`.
   void schedule_collection_drop(SlotIndex slot, NodeId node);
@@ -72,6 +83,9 @@ class FaultInjector final : public net::FaultHook {
                                       int bits = 1);
   /// Flip `bits` bits of the distribution packet ending slot `slot`.
   void schedule_distribution_corruption(SlotIndex slot, int bits = 1);
+  /// Corrupt the payload of the transfer sourced by `node` whose final
+  /// slot is `slot` (one flipped bit; deterministic test scenarios).
+  void schedule_payload_corruption(SlotIndex slot, NodeId node);
 
   // -- babbling node ------------------------------------------------------
   /// Node `id` fabricates a spurious broadcast request with probability
@@ -83,6 +97,10 @@ class FaultInjector final : public net::FaultHook {
   }
   /// Control-channel bits flipped so far (BER + targeted faults).
   [[nodiscard]] std::int64_t bits_flipped() const { return bits_flipped_; }
+  /// Data-channel (payload) bits flipped so far.
+  [[nodiscard]] std::int64_t data_bits_flipped() const {
+    return data_bits_flipped_;
+  }
 
   // net::FaultHook
   bool drop_distribution(SlotIndex slot) override;
@@ -90,6 +108,8 @@ class FaultInjector final : public net::FaultHook {
                               core::Request& rq) override;
   DistributionFault filter_distribution(
       SlotIndex slot, core::DistributionPacket& p) override;
+  DataFault filter_data(SlotIndex slot, NodeId source, NodeId hops,
+                        std::int64_t payload_bits) override;
 
  private:
   struct TargetedFault {
@@ -116,16 +136,19 @@ class FaultInjector final : public net::FaultHook {
   double random_loss_p_ = 0.0;
 
   std::optional<phy::BitErrorModel> ber_;
+  std::optional<phy::BitErrorModel> data_ber_;
 
   std::vector<TargetedFault> collection_drops_;        // sorted
   std::vector<TargetedFault> collection_corruptions_;  // sorted
   std::vector<TargetedFault> distribution_corruptions_;  // sorted
+  std::vector<TargetedFault> payload_corruptions_;       // sorted
 
   NodeId babbler_ = kInvalidNode;
   double babble_p_ = 0.0;
 
   std::int64_t injected_ = 0;
   std::int64_t bits_flipped_ = 0;
+  std::int64_t data_bits_flipped_ = 0;
 };
 
 }  // namespace ccredf::fault

@@ -59,6 +59,17 @@ struct NetworkConfig {
   /// carry no checksum, and enabling it lengthens both control packets.
   bool with_frame_crc = false;
 
+  /// Data-channel integrity extension: every data packet carries a
+  /// CRC-32 per payload slot, so receivers detect payload corruption
+  /// instead of delivering garbage.  A detected packet is dropped before
+  /// the inbox and its source is NACKed through the distribution
+  /// packet's ack field on the next slot (requires with_acks for the
+  /// NACK bits to have a wire to ride; without acks, detection still
+  /// suppresses the delivery).  Off by default: the paper's data fibres
+  /// are raw byte lanes, and the checksum costs 4 bytes per slot of
+  /// payload.  See PROTOCOL.md §7.3.
+  bool with_payload_crc = false;
+
   enum class Mapper { kLogarithmic, kLinear };
   Mapper mapper = Mapper::kLogarithmic;
   /// Slots per priority level for the linear mapper ablation.

@@ -42,8 +42,11 @@ Network::Network(NetworkConfig cfg)
   CCREDF_EXPECT(cfg_.recovery_timeout_slots >= 1,
                 "Network: recovery timeout must be at least one slot");
 
+  // The NACK bits extend the ack field, so they exist only when both the
+  // payload CRC and the ack wire are enabled (config.hpp).
   codec_ = std::make_unique<core::FrameCodec>(
-      cfg_.nodes, cfg_.priority, cfg_.with_acks, cfg_.with_frame_crc);
+      cfg_.nodes, cfg_.priority, cfg_.with_acks, cfg_.with_frame_crc,
+      cfg_.with_acks && cfg_.with_payload_crc);
   std::int64_t payload = cfg_.slot_payload_bytes;
   if (payload == 0) {
     // Auto payload: the exact control-phase budget.  Eq. 2 counts only
@@ -83,6 +86,7 @@ Network::Network(NetworkConfig cfg)
   // node per slot, so this capacity is final.
   rec_.requests.reserve(cfg_.nodes);
   rec_.deliveries.reserve(cfg_.nodes);
+  rec_.corrupt_deliveries.reserve(cfg_.nodes);
   stats_.per_node_faults.resize(cfg_.nodes);
 }
 
@@ -248,6 +252,33 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
     d.completed = slot_end + phy_->path_delay(g, b->hops);
     d.deadline = done->deadline;
     d.size_slots = done->size_slots;
+
+    if (fault_hook_ != nullptr) {
+      // Data-channel exposure: the payload rode the byte-parallel fibres
+      // from the source over the links to its furthest destination.
+      // With the payload CRC every slot also carries its 32-bit check.
+      std::int64_t payload_bits = done->payload_bytes * 8;
+      if (cfg_.with_payload_crc) payload_bits += 32 * done->size_slots;
+      using DataF = FaultHook::DataFault;
+      const DataF fate =
+          fault_hook_->filter_data(slot_, g, b->hops, payload_bits);
+      if (fate != DataF::kNone) {
+        ++stats_.faults.payload_corruptions;
+        ++stats_.per_node_faults[g].payloads_corrupted;
+      }
+      if (fate == DataF::kDetected) {
+        // The receivers' CRC-32 rejected the payload: the garbage never
+        // reaches an inbox, and the source learns through the NACK bits
+        // of the next distribution packet (with_acks runs).
+        ++stats_.faults.payload_detected;
+        rec.corrupt_deliveries.push_back(d);
+        continue;
+      }
+      // kSilent: the corruption escaped detection (no payload CRC, or
+      // the CRC-32 residual) -- the garbage is delivered and counted as
+      // the hazard it is.
+      if (fate == DataF::kSilent) ++stats_.faults.payload_undetected;
+    }
     rec.deliveries.push_back(d);
 
     for (const NodeId dst : b->dests) {
@@ -357,7 +388,9 @@ void Network::step_slot() {
   rec.next_master = kInvalidNode;
   rec.granted = current_granted_;
   rec.deliveries.clear();
+  rec.corrupt_deliveries.clear();
   rec.acks = NodeSet{};
+  rec.nacks = NodeSet{};
   rec.token_lost = false;
 
   // Phase 1: the data of this slot (granted during slot k-1).
@@ -370,6 +403,16 @@ void Network::step_slot() {
     rec.acks = pending_acks_;
     pending_acks_ = NodeSet{};
     for (const auto& d : rec.deliveries) pending_acks_.insert(d.source);
+  }
+  const bool nack_wire = cfg_.with_acks && cfg_.with_payload_crc;
+  if (nack_wire) {
+    // Receivers NACK last slot's CRC-rejected payloads the same way the
+    // acks travel: on the next distribution packet.
+    rec.nacks = pending_nacks_;
+    pending_nacks_ = NodeSet{};
+    for (const auto& d : rec.corrupt_deliveries) {
+      pending_nacks_.insert(d.source);
+    }
   }
 
   // Phase 2: collection for slot k+1 rides the control channel now.
@@ -413,6 +456,8 @@ void Network::step_slot() {
     pkt.hp_node = plan.next_master;
     pkt.has_acks = cfg_.with_acks;
     pkt.acks = rec.acks;
+    pkt.has_nacks = nack_wire;
+    pkt.nacks = rec.nacks;
     using DF = FaultHook::DistributionFault;
     switch (fault_hook_->filter_distribution(slot_, pkt)) {
       case DF::kNone:
@@ -449,6 +494,7 @@ void Network::step_slot() {
           ++stats_.faults.rearbitration_slots;
           plan.granted = NodeSet{};
           rec.acks = NodeSet{};
+          rec.nacks = NodeSet{};
           for (auto& b : bindings_) b.reset();
         } else if (collision) {
           // Undetectable: the extra node believes its request was
@@ -464,6 +510,7 @@ void Network::step_slot() {
           // lost but nothing collides -- harmless degradation.
           plan.granted = pkt.granted;
           rec.acks = pkt.acks;
+          rec.nacks = pkt.nacks;
         }
         break;
       }
@@ -484,26 +531,40 @@ void Network::step_slot() {
   if (token_lost) {
     // Recovery (paper §8): the designated node times out and restarts the
     // clock; the planned grants died with the distribution packet.
-    ++recoveries_;
-    ++stats_.faults.recoveries;
     rec.token_lost = true;
     gap = (t_slot + protocol_->max_gap()) * cfg_.recovery_timeout_slots;
-    recovery_time_ += gap;
-    stats_.faults.recovery_gap.add(gap);
     // The designated restarter takes over; if it is itself down, the
-    // first live node downstream of it assumes the role (a failed
-    // "always starts" node needs a deputy or the ring stays dark).
+    // first live node downstream of it assumes the role.
     NodeId restarter = cfg_.designated_restarter;
-    for (NodeId i = 0; i < nodes() && nodes_[restarter].failed(); ++i) {
+    NodeId tried = 0;
+    while (tried < nodes() && nodes_[restarter].failed()) {
       restarter = topo_.downstream(restarter);
+      ++tried;
     }
-    plan.next_master = restarter;
+    if (tried == nodes()) {
+      // EVERY node is failed: no deputy exists, so nothing restarts the
+      // clock -- the ring is dark until a node is restored.  Counting a
+      // recovery here would be a phantom restart; the clock is parked at
+      // the designated restarter so recovery resumes the moment it (or
+      // any upstream deputy) comes back.
+      ++stats_.faults.ring_dark;
+      plan.next_master = cfg_.designated_restarter;
+    } else {
+      ++recoveries_;
+      ++stats_.faults.recoveries;
+      recovery_time_ += gap;
+      stats_.faults.recovery_gap.add(gap);
+      plan.next_master = restarter;
+    }
     plan.granted = NodeSet{};
-    rec.acks = NodeSet{};  // the acks died with the distribution packet
+    // The acks and NACKs died with the distribution packet.
+    rec.acks = NodeSet{};
+    rec.nacks = NodeSet{};
     for (auto& b : bindings_) b.reset();
   } else {
     gap = protocol_->gap(master_, plan.next_master);
   }
+  stats_.faults.payload_nacks += rec.nacks.size();
 
   rec.gap_after = gap;
   rec.next_master = plan.next_master;

@@ -60,12 +60,22 @@ struct SlotRecord {
   NodeSet granted;
   /// Messages whose final slot completed this slot.
   std::vector<core::Delivery> deliveries;
+  /// Messages whose final slot completed this slot but whose payload
+  /// failed the receivers' CRC-32 (NetworkConfig::with_payload_crc):
+  /// the garbage was dropped before any inbox and the source will be
+  /// NACKed in the NEXT slot's distribution packet.  Always empty on
+  /// clean runs (no fault hook attached).
+  std::vector<core::Delivery> corrupt_deliveries;
   /// When the network runs with the reliable-service ack field
   /// (NetworkConfig::with_acks), the per-source acknowledgement bits
   /// carried by this slot's distribution packet: sources whose transfer
   /// completed in the PREVIOUS slot (the receivers' acks ride the next
   /// control-channel round, paper ref [11]).
   NodeSet acks;
+  /// Per-source NACK bits carried by this slot's distribution packet:
+  /// sources whose transfer failed its payload CRC in the PREVIOUS slot
+  /// (with_acks + with_payload_crc runs only).
+  NodeSet nacks;
   /// True when this slot boundary suffered a token loss (fault runs).
   bool token_lost = false;
 };
@@ -95,6 +105,12 @@ class FaultHook {
     kGrantView,     ///< grant/ack bits mutated; frame passes the guards
     kSilentMaster,  ///< hp-node index mutated undetectably
   };
+  /// What befell the data payload of one completed transfer.
+  enum class DataFault {
+    kNone,      ///< untouched
+    kDetected,  ///< corrupted; the receivers' payload CRC caught it
+    kSilent,    ///< corrupted; reaches the application as garbage
+  };
 
   virtual ~FaultHook() = default;
   /// Return true to destroy the distribution packet ending `slot`
@@ -112,6 +128,16 @@ class FaultHook {
   virtual DistributionFault filter_distribution(SlotIndex,
                                                 core::DistributionPacket&) {
     return DistributionFault::kNone;
+  }
+  /// Intercepts the payload of a transfer from `source` whose FINAL slot
+  /// is `slot`: `payload_bits` bits rode the data fibres over `hops`
+  /// consecutive links (source to furthest destination).  On kDetected
+  /// the engine suppresses the delivery and NACKs the source; on kSilent
+  /// it delivers the garbage and counts the hazard.
+  virtual DataFault filter_data(SlotIndex, NodeId /*source*/,
+                                NodeId /*hops*/,
+                                std::int64_t /*payload_bits*/) {
+    return DataFault::kNone;
   }
 };
 
@@ -249,6 +275,9 @@ class Network {
   /// Sources whose transfers completed last slot (ack bits for the next
   /// distribution packet when with_acks is enabled).
   NodeSet pending_acks_;
+  /// Sources whose transfers failed the payload CRC last slot (NACK bits
+  /// for the next distribution packet; with_acks + with_payload_crc).
+  NodeSet pending_nacks_;
   MessageId next_message_id_ = 1;
   NetworkStats stats_;
   std::int64_t recoveries_ = 0;

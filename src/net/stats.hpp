@@ -54,6 +54,8 @@ struct NodeFaultCounters {
   std::int64_t requests_corrupted = 0;  // bit errors hit the record
   std::int64_t requests_rejected = 0;   // guards rejected -> treated idle
   std::int64_t spurious_requests = 0;   // babbling fabrications
+  std::int64_t payloads_corrupted = 0;  // data packets sourced here that
+                                        // were hit on the data fibres
 };
 
 /// Network-wide fault / detection / recovery accounting.  All zero unless
@@ -90,15 +92,36 @@ struct FaultStats {
   std::int64_t recoveries = 0;
   /// Distribution of the recovery timeout gaps, ps.
   sim::OnlineStats recovery_gap;
+  /// Token-loss windows during which EVERY node was failed: no live
+  /// restarter exists, so the ring stays dark until a node is restored
+  /// (no phantom recovery is counted for these).
+  std::int64_t ring_dark = 0;
+
+  // -- data channel (payload) axis ---------------------------------------
+  /// Data packets whose payload was hit by bit errors on the data
+  /// fibres (detected + undetected).
+  std::int64_t payload_corruptions = 0;
+  /// ... of which the payload CRC-32 caught at the receivers: the
+  /// garbage is dropped before any inbox and the source is NACKed.
+  std::int64_t payload_detected = 0;
+  /// ... of which reached the application as garbage (no payload CRC,
+  /// or the 2^-32 residual that forges a valid checksum).
+  std::int64_t payload_undetected = 0;
+  /// NACK bits that rode a distribution packet back to a source.
+  std::int64_t payload_nacks = 0;
+  /// Degraded-mode renegotiations: a health monitor changed the
+  /// admission capacity factor (services::AdmissionAgent).
+  std::int64_t admission_renegotiations = 0;
 
   /// Corruptions the receivers caught before acting on them.
   [[nodiscard]] std::int64_t detected() const {
     return collection_detected + distribution_detected +
-           rearbitration_slots;
+           rearbitration_slots + payload_detected;
   }
   /// Corruptions that mutated behaviour without any receiver noticing.
   [[nodiscard]] std::int64_t silent() const {
-    return collection_silent + silent_misarbitrations;
+    return collection_silent + silent_misarbitrations +
+           payload_undetected;
   }
 };
 

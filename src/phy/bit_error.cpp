@@ -52,6 +52,17 @@ double BitErrorModel::path_error_probability(LinkId first,
 
 int BitErrorModel::corrupt(SlotIndex slot, std::uint64_t channel, double p,
                            std::uint8_t* bytes, std::size_t nbits) const {
+  return sample_flips(slot, channel, p, bytes, nbits);
+}
+
+int BitErrorModel::count_flips(SlotIndex slot, std::uint64_t channel,
+                               double p, std::size_t nbits) const {
+  return sample_flips(slot, channel, p, nullptr, nbits);
+}
+
+int BitErrorModel::sample_flips(SlotIndex slot, std::uint64_t channel,
+                                double p, std::uint8_t* bytes,
+                                std::size_t nbits) const {
   if (p <= 0.0 || nbits == 0) return 0;
   CCREDF_EXPECT(p < 1.0, "BitErrorModel: corruption probability >= 1");
   sim::Rng rng =
@@ -70,7 +81,9 @@ int BitErrorModel::corrupt(SlotIndex slot, std::uint64_t channel, double p,
     // flips in this frame" long before the cast could overflow.
     if (!(skip < static_cast<double>(nbits - pos))) break;
     pos += static_cast<std::size_t>(skip);
-    bytes[pos / 8] ^= static_cast<std::uint8_t>(0x80u >> (pos % 8));
+    if (bytes != nullptr) {
+      bytes[pos / 8] ^= static_cast<std::uint8_t>(0x80u >> (pos % 8));
+    }
     ++flips;
     ++pos;
     if (pos >= nbits) break;

@@ -1,13 +1,16 @@
-// Per-link bit-error-rate model for the bit-serial control channel.
+// Per-link bit-error-rate model for the ribbon's serial channels.
 //
 // Fibre-ribbon links fail bit-wise: a flipped priority or reservation
-// bit silently misarbitrates a slot, it does not kill the packet.  This
-// model draws the bit flips a control frame suffers while traversing a
-// set of links, with every draw keyed on (slot, channel) coordinates via
+// bit silently misarbitrates a slot, a flipped payload bit silently
+// corrupts the application's data -- neither kills the packet.  This
+// model draws the bit flips a frame suffers while traversing a set of
+// links, with every draw keyed on (slot, channel) coordinates via
 // Rng::stream_seed -- no generator state is carried between calls, so
 // fault streams are independent of workload streams and byte-identical
 // across sweep thread counts (the same determinism contract as the
-// sweep runner itself).
+// sweep runner itself).  One instance models the control fibre; a
+// second, independently seeded instance models the data fibres (the
+// injector keeps the two on disjoint channel namespaces).
 //
 // The model is deliberately ignorant of frame layout: it flips bits in
 // a raw MSB-first packed buffer.  Layout knowledge (which field a flip
@@ -53,7 +56,19 @@ class BitErrorModel {
   int corrupt(SlotIndex slot, std::uint64_t channel, double p,
               std::uint8_t* bytes, std::size_t nbits) const;
 
+  /// Counts the flips an `nbits`-bit frame would suffer at probability
+  /// `p`, without materialising any buffer -- data-channel payloads are
+  /// orders of magnitude larger than control frames and the reliability
+  /// model only needs to know whether (and how badly) a packet was hit.
+  /// Keyed identically to corrupt(): the same (slot, channel, p, nbits)
+  /// always yields the same count.
+  [[nodiscard]] int count_flips(SlotIndex slot, std::uint64_t channel,
+                                double p, std::size_t nbits) const;
+
  private:
+  int sample_flips(SlotIndex slot, std::uint64_t channel, double p,
+                   std::uint8_t* bytes, std::size_t nbits) const;
+
   std::vector<double> link_ber_;
   std::uint64_t seed_;
   bool enabled_ = false;

@@ -1,5 +1,7 @@
 #include "services/admission_agent.hpp"
 
+#include <sstream>
+
 #include "common/error.hpp"
 
 namespace ccredf::services {
@@ -12,6 +14,16 @@ AdmissionAgent::AdmissionAgent(net::Network& net, Params params)
                 "AdmissionAgent: message laxity must be >= 1 slot");
   CCREDF_EXPECT(params_.activation_margin_slots >= 0,
                 "AdmissionAgent: negative activation margin");
+  CCREDF_EXPECT(params_.health_window_slots >= 0,
+                "AdmissionAgent: negative health window");
+  CCREDF_EXPECT(params_.derate_threshold > 0.0 &&
+                    params_.derate_threshold <= 1.0,
+                "AdmissionAgent: derate threshold out of (0,1]");
+  if (params_.health_window_slots > 0) {
+    node_total_.assign(net_.nodes(), 0);
+    node_corrupt_.assign(net_.nodes(), 0);
+    node_rate_.assign(net_.nodes(), 0.0);
+  }
   net_.add_slot_observer(
       [this](const net::SlotRecord& rec) { on_slot(rec); });
 }
@@ -68,6 +80,63 @@ void AdmissionAgent::on_slot(const net::SlotRecord& rec) {
       if (reply.cb) reply.cb(reply.admitted, reply.id);
     }
   }
+  if (params_.health_window_slots > 0) observe(rec);
+}
+
+void AdmissionAgent::observe(const net::SlotRecord& rec) {
+  window_total_ += static_cast<std::int64_t>(rec.deliveries.size()) +
+                   static_cast<std::int64_t>(rec.corrupt_deliveries.size());
+  window_corrupt_ +=
+      static_cast<std::int64_t>(rec.corrupt_deliveries.size());
+  for (const core::Delivery& d : rec.deliveries) ++node_total_[d.source];
+  for (const core::Delivery& d : rec.corrupt_deliveries) {
+    ++node_total_[d.source];
+    ++node_corrupt_[d.source];
+  }
+  if (++window_slots_ < params_.health_window_slots) return;
+  close_window();
+}
+
+void AdmissionAgent::close_window() {
+  last_rate_ = window_total_ == 0
+                   ? 0.0
+                   : static_cast<double>(window_corrupt_) /
+                         static_cast<double>(window_total_);
+  for (NodeId i = 0; i < net_.nodes(); ++i) {
+    node_rate_[i] = node_total_[i] == 0
+                        ? 0.0
+                        : static_cast<double>(node_corrupt_[i]) /
+                              static_cast<double>(node_total_[i]);
+    node_total_[i] = 0;
+    node_corrupt_[i] = 0;
+  }
+  window_slots_ = 0;
+  window_total_ = 0;
+  window_corrupt_ = 0;
+
+  // Every corrupted transfer returns as a retransmission, so the
+  // fraction of capacity left for first transmissions is (1 - rate):
+  // derate the admission bound to exactly that.  Below the threshold
+  // the channel is considered healthy and full capacity is restored.
+  const double target =
+      last_rate_ >= params_.derate_threshold ? 1.0 - last_rate_ : 1.0;
+  if (target == factor_) return;
+  factor_ = target;
+  ++renegotiations_;
+  ++net_.mutable_stats().faults.admission_renegotiations;
+  net_.admission().set_capacity_factor(factor_);
+  net_.trace().emit(net_.sim().now(), sim::TraceCategory::kAdmission, [&] {
+    std::ostringstream os;
+    os << "health monitor: corruption rate " << last_rate_
+       << " -> capacity factor " << factor_ << " (effective U_max "
+       << net_.admission().effective_u_max() << ")";
+    return os.str();
+  });
+}
+
+double AdmissionAgent::link_corruption_rate(NodeId node) const {
+  CCREDF_EXPECT(node < net_.nodes(), "AdmissionAgent: node out of range");
+  return node_rate_.empty() ? 0.0 : node_rate_[node];
 }
 
 }  // namespace ccredf::services

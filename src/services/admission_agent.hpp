@@ -10,11 +10,21 @@
 // requester, which only then sees its callback fire.  Accepted
 // connections start releasing after a configurable activation margin so
 // no message is released before the source has learned the verdict.
+//
+// Graceful degradation (health monitor): when `health_window_slots` is
+// non-zero the agent also watches the data channel.  Over each window it
+// measures the payload-corruption ratio (CRC-rejected transfers over all
+// completed transfers); past `derate_threshold` it renegotiates the
+// admission bound, scaling U_max by the measured good-put fraction
+// (1 - corruption ratio) -- every corrupted transfer comes back as a
+// retransmission, so that fraction is exactly the capacity left for
+// first transmissions.  The factor recovers to 1 when the channel heals.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 #include "core/connection.hpp"
@@ -35,6 +45,10 @@ class AdmissionAgent {
     /// Extra release offset granted to accepted connections so the first
     /// release never precedes the requester's notification.
     std::int64_t activation_margin_slots = 6;
+    /// Health-monitor window in slots; 0 disables the monitor.
+    std::int64_t health_window_slots = 0;
+    /// Corruption ratio at or above which the admission bound is derated.
+    double derate_threshold = 0.02;
   };
 
   AdmissionAgent(net::Network& net, Params params);
@@ -46,6 +60,18 @@ class AdmissionAgent {
 
   [[nodiscard]] std::int64_t requests_sent() const { return sent_; }
   [[nodiscard]] std::int64_t replies_delivered() const { return replied_; }
+
+  // -- health monitor -------------------------------------------------------
+  /// The capacity factor currently enforced on the admission bound.
+  [[nodiscard]] double capacity_factor() const { return factor_; }
+  /// Corruption ratio measured over the last completed window.
+  [[nodiscard]] double observed_corruption_rate() const { return last_rate_; }
+  /// Times the capacity factor changed (mirrors
+  /// FaultStats::admission_renegotiations for this agent).
+  [[nodiscard]] std::int64_t renegotiations() const { return renegotiations_; }
+  /// Last-window corruption ratio of transfers SOURCED at `node` --
+  /// localises a failing link to the upstream transmitter.
+  [[nodiscard]] double link_corruption_rate(NodeId node) const;
 
  private:
   struct PendingRequest {
@@ -61,6 +87,8 @@ class AdmissionAgent {
 
   void on_slot(const net::SlotRecord& rec);
   void decide(PendingRequest req);
+  void observe(const net::SlotRecord& rec);
+  void close_window();
 
   net::Network& net_;
   Params params_;
@@ -68,6 +96,17 @@ class AdmissionAgent {
   std::unordered_map<MessageId, PendingReply> awaiting_reply_;
   std::int64_t sent_ = 0;
   std::int64_t replied_ = 0;
+
+  // Health-monitor state (untouched when health_window_slots == 0).
+  std::int64_t window_slots_ = 0;
+  std::int64_t window_total_ = 0;
+  std::int64_t window_corrupt_ = 0;
+  std::vector<std::int64_t> node_total_;
+  std::vector<std::int64_t> node_corrupt_;
+  std::vector<double> node_rate_;
+  double last_rate_ = 0.0;
+  double factor_ = 1.0;
+  std::int64_t renegotiations_ = 0;
 };
 
 }  // namespace ccredf::services

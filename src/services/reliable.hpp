@@ -2,16 +2,24 @@
 // acknowledgement ... provided as an intrinsic part of the network" [4]).
 //
 // The destination acknowledges a received message in the distribution
-// packet's ack field; the sender retransmits after a timeout when the
-// acknowledgement does not appear (e.g. the transfer was corrupted).
-// Since the simulated medium itself is error-free, the service injects
-// losses with a configurable probability to exercise the recovery path.
+// packet's ack field; a payload rejected by the receivers' CRC-32
+// (NetworkConfig::with_payload_crc) is NACKed the same way, and the
+// sender retransmits.  Retransmission is *laxity-budgeted*: a repeat is
+// sent only while the remaining time to the transfer's deadline still
+// covers the worst-case extent of one more attempt (size_slots plus an
+// ack margin, each a full slot-plus-max-gap).  Each retransmission
+// re-enters EDF at its TRUE remaining laxity -- tighter than the
+// original -- so repair work competes at the urgency it actually has.
+// A transfer whose budget no longer covers an attempt is abandoned
+// early, releasing its slots to messages that can still make it.
+//
+// The legacy synthetic-loss mode (Params::loss_probability, for runs
+// without a physical fault model) is kept but deprecated.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/nodeset.hpp"
 #include "common/types.hpp"
@@ -24,22 +32,43 @@ namespace ccredf::services {
 class ReliableChannel {
  public:
   struct Params {
-    /// Probability a transfer is corrupted and must be retransmitted.
+    /// DEPRECATED: probability a transfer is synthetically corrupted
+    /// (pre-dates the physical data-channel fault model; prefer
+    /// fault::FaultInjector::set_data_ber with with_payload_crc, which
+    /// exercises the real NACK wire).  Still honoured; a one-time trace
+    /// warning is emitted when non-zero.
     double loss_probability = 0.0;
     /// Ack timeout (as a multiple of the worst-case slot extent), counted
     /// from the moment the sender observes its own transmission complete
-    /// -- queueing delay never triggers a spurious retransmission.
+    /// -- queueing delay never triggers a spurious retransmission.  Used
+    /// by the legacy synthetic-loss path only; NACKed transfers need no
+    /// timeout (the NACK rides the very next distribution packet).
     std::int64_t timeout_slots = 8;
     /// Give up after this many attempts (0 = never).
     int max_attempts = 16;
+    /// Budget retransmissions against the transfer deadline: retransmit
+    /// only while remaining laxity covers one more worst-case attempt,
+    /// and re-enter EDF at the true (tighter) remaining laxity.  When
+    /// off, retries use the original relative deadline until the
+    /// attempt cap -- the fixed-retry baseline.
+    bool laxity_budgeted = true;
+    /// Worst-case slots between a transfer's last data slot and the
+    /// sender learning its fate (the ack/NACK rides the next
+    /// distribution packet); part of the per-attempt budget.
+    std::int64_t ack_margin_slots = 1;
     std::uint64_t seed = 42;
   };
 
   struct TransferResult {
     MessageId id = 0;
     bool delivered = false;
+    /// True when the laxity budget ran out before the attempt cap: the
+    /// transfer was hopeless and was abandoned early.
+    bool abandoned = false;
     int attempts = 0;
     sim::TimePoint completed;
+    /// The transfer's absolute deadline (infinity if none).
+    sim::TimePoint deadline;
   };
   using CompletionCallback = std::function<void(const TransferResult&)>;
 
@@ -56,7 +85,13 @@ class ReliableChannel {
     return delivered_;
   }
   [[nodiscard]] std::int64_t transfers_failed() const { return failed_; }
+  /// ... of which were abandoned by the laxity budget.
+  [[nodiscard]] std::int64_t transfers_abandoned() const {
+    return abandoned_;
+  }
   [[nodiscard]] std::int64_t retransmissions() const { return retx_; }
+  /// Payload-CRC NACKs observed for this channel's transfers.
+  [[nodiscard]] std::int64_t nacks_received() const { return nacks_; }
 
  private:
   struct Transfer {
@@ -65,6 +100,8 @@ class ReliableChannel {
     NodeId dst = kInvalidNode;
     std::int64_t size_slots = 1;
     sim::Duration relative_deadline = sim::Duration::zero();
+    /// Absolute deadline (send time + relative; infinity if none).
+    sim::TimePoint deadline;
     int attempts = 0;
     MessageId current_attempt = 0;
     sim::EventId timeout_event = 0;
@@ -73,7 +110,16 @@ class ReliableChannel {
 
   void on_slot(const net::SlotRecord& rec);
   void attempt(Transfer& t);
-  void on_timeout(MessageId transfer_id);
+  /// Fires when the sender learns an attempt failed (ack timeout or
+  /// NACK arrival): retransmit, or abandon if the budget ran out.
+  void on_resolve(MessageId transfer_id);
+  void finish(Transfer& t, bool delivered, bool abandoned,
+              sim::TimePoint completed);
+  /// Claims the live transfer owning in-flight attempt `id` (nullptr if
+  /// the attempt is stale or foreign).
+  Transfer* claim_attempt(MessageId id);
+  /// True while the remaining laxity covers one more worst-case attempt.
+  [[nodiscard]] bool budget_covers_attempt(const Transfer& t) const;
   [[nodiscard]] sim::Duration timeout() const;
 
   net::Network& net_;
@@ -85,7 +131,9 @@ class ReliableChannel {
   std::int64_t started_ = 0;
   std::int64_t delivered_ = 0;
   std::int64_t failed_ = 0;
+  std::int64_t abandoned_ = 0;
   std::int64_t retx_ = 0;
+  std::int64_t nacks_ = 0;
 };
 
 }  // namespace ccredf::services

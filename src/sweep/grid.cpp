@@ -78,7 +78,7 @@ bool parse_mix(const std::string& s, WorkloadMix& out) {
 
 std::size_t GridSpec::point_count() const {
   return protocols.size() * node_counts.size() * utilisations.size() *
-         bers.size() * mixes.size() * set_seeds.size();
+         bers.size() * data_bers.size() * mixes.size() * set_seeds.size();
 }
 
 std::vector<GridPoint> GridSpec::expand() const {
@@ -89,17 +89,20 @@ std::vector<GridPoint> GridSpec::expand() const {
     for (const NodeId nodes : node_counts) {
       for (const double u : utilisations) {
         for (const double ber : bers) {
-          for (const WorkloadMix mix : mixes) {
-            for (const std::uint64_t seed : set_seeds) {
-              GridPoint p;
-              p.index = index++;
-              p.protocol = proto;
-              p.nodes = nodes;
-              p.utilisation = u;
-              p.ber = ber;
-              p.mix = mix;
-              p.set_seed = seed;
-              points.push_back(p);
+          for (const double data_ber : data_bers) {
+            for (const WorkloadMix mix : mixes) {
+              for (const std::uint64_t seed : set_seeds) {
+                GridPoint p;
+                p.index = index++;
+                p.protocol = proto;
+                p.nodes = nodes;
+                p.utilisation = u;
+                p.ber = ber;
+                p.data_ber = data_ber;
+                p.mix = mix;
+                p.set_seed = seed;
+                points.push_back(p);
+              }
             }
           }
         }
@@ -125,6 +128,10 @@ std::string GridSpec::validate() const {
   for (const double b : bers) {
     if (!(b >= 0.0) || b >= 1.0) return "ber out of [0, 1)";
   }
+  if (data_bers.empty()) return "data_bers axis is empty";
+  for (const double b : data_bers) {
+    if (!(b >= 0.0) || b >= 1.0) return "data_ber out of [0, 1)";
+  }
   if (repetitions < 1) return "repetitions must be >= 1";
   if (slots < 1) return "slots must be >= 1";
   if (connections_per_node < 1) return "connections_per_node must be >= 1";
@@ -143,9 +150,9 @@ std::string GridSpec::validate() const {
 
 std::uint64_t workload_key(const GridPoint& p) {
   // Protocol intentionally excluded (paired comparisons across
-  // protocols), and so is ber: a BER sweep compares fault levels on the
-  // SAME workload, and the injector's draws live in their own stream
-  // family keyed off the shard seed.
+  // protocols), and so are ber and data_ber: a BER sweep compares fault
+  // levels on the SAME workload, and the injector's draws live in their
+  // own stream family keyed off the shard seed.
   std::uint64_t k = sim::Rng::stream_seed(p.set_seed, p.nodes,
                                           std::bit_cast<std::uint64_t>(
                                               p.utilisation));
@@ -167,6 +174,9 @@ net::NetworkConfig make_network_config(const GridSpec& spec,
   cfg.slot_payload_bytes = spec.slot_payload_bytes;
   cfg.spatial_reuse = spec.spatial_reuse;
   cfg.with_frame_crc = spec.frame_crc;
+  cfg.with_payload_crc = spec.payload_crc;
+  // The NACK bits ride the ack field, so the payload CRC implies acks.
+  if (spec.payload_crc) cfg.with_acks = true;
   // Long sweeps must stay allocation-free and memory-bounded.
   cfg.record_inboxes = false;
   switch (p.protocol) {
@@ -308,6 +318,15 @@ bool parse_grid(const std::string& text, GridSpec& spec,
         }
         out.bers.push_back(b);
       }
+    } else if (key == "data_bers") {
+      out.data_bers.clear();
+      for (const auto& it : items) {
+        double b;
+        if (!parse_f64(it, b) || !(b >= 0.0) || b >= 1.0) {
+          return fail("bad data_ber `" + it + "`");
+        }
+        out.data_bers.push_back(b);
+      }
     } else if (key == "mixes") {
       out.mixes.clear();
       for (const auto& it : items) {
@@ -368,6 +387,10 @@ bool parse_grid(const std::string& text, GridSpec& spec,
         bool b;
         if (!parse_flag(it, b)) return fail("bad frame_crc");
         out.frame_crc = b;
+      } else if (key == "payload_crc") {
+        bool b;
+        if (!parse_flag(it, b)) return fail("bad payload_crc");
+        out.payload_crc = b;
       } else if (key == "base_seed") {
         std::uint64_t s;
         if (!parse_u64(it, s)) return fail("bad base_seed");

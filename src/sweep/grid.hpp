@@ -12,9 +12,10 @@
 // workload_key deliberately EXCLUDES the protocol axis, so CCR-EDF,
 // CC-FPR and TDMA points that agree on every other axis run bit-identical
 // connection sets -- the paired-comparison methodology of E6.  It
-// likewise EXCLUDES the ber fault axis: points along a BER sweep run the
-// same workload, and the fault injector keys its own draws on a separate
-// stream family, so changing the BER can never reshuffle the workload.
+// likewise EXCLUDES the fault axes (ber and data_ber): points along a
+// BER sweep run the same workload, and the fault injector keys its own
+// draws on a separate stream family, so changing either BER can never
+// reshuffle the workload.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +61,8 @@ struct GridPoint {
   /// Control-channel bit-error rate applied uniformly per link (fault
   /// axis); 0 disables injection entirely.
   double ber = 0.0;
+  /// Data-channel (payload) bit-error rate per link; 0 disables.
+  double data_ber = 0.0;
   WorkloadMix mix = WorkloadMix::kPeriodic;
   /// Workload-set seed axis (distinct sets at identical load).
   std::uint64_t set_seed = 1;
@@ -72,6 +75,8 @@ struct GridSpec {
   /// Control-channel BER axis; the default single 0 keeps fault-free
   /// grids' point numbering and shard seeds untouched.
   std::vector<double> bers{0.0};
+  /// Data-channel (payload) BER axis; same default-0 convention.
+  std::vector<double> data_bers{0.0};
   std::vector<WorkloadMix> mixes{WorkloadMix::kPeriodic};
   std::vector<std::uint64_t> set_seeds{1};
   /// Independent repetitions per point (distinct RNG streams).
@@ -93,6 +98,10 @@ struct GridSpec {
   /// (NetworkConfig::with_frame_crc) -- fault grids flip this on so
   /// detection reflects the full guard strength.
   bool frame_crc = false;
+  /// Enable the payload CRC-32 extension (NetworkConfig::with_payload_crc)
+  /// on every point's network; implies the ack wire so the NACK bits have
+  /// somewhere to ride.
+  bool payload_crc = false;
   /// Root of every derived RNG stream in this sweep.
   std::uint64_t base_seed = 1;
 
@@ -129,11 +138,13 @@ struct GridSpec {
 //   nodes         = 4, 8, 16
 //   utilisations  = 0.3, 0.5, 0.7, 0.85
 //   bers          = 0, 1e-4, 1e-3
+//   data_bers     = 0, 1e-5
 //   mixes         = periodic
 //   seeds         = 1, 2
 //   repetitions   = 3
 //   slots         = 5000
 //   frame_crc     = on
+//   payload_crc   = on
 //
 // Unknown keys and malformed values are hard errors (a silently ignored
 // axis would invalidate an experiment).

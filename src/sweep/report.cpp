@@ -26,6 +26,9 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("bers").begin_array();
   for (const double b : spec.bers) w.value(b);
   w.end_array();
+  w.key("data_bers").begin_array();
+  for (const double b : spec.data_bers) w.value(b);
+  w.end_array();
   w.key("mixes").begin_array();
   for (const WorkloadMix m : spec.mixes) w.value(mix_name(m));
   w.end_array();
@@ -44,6 +47,7 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("payload_bytes").value(spec.slot_payload_bytes);
   w.key("spatial_reuse").value(spec.spatial_reuse);
   w.key("frame_crc").value(spec.frame_crc);
+  w.key("payload_crc").value(spec.payload_crc);
   w.key("base_seed").value(spec.base_seed);
   w.end_object();
 }
@@ -54,6 +58,7 @@ void write_point(analysis::JsonWriter& w, const PointResult& pr) {
   w.key("nodes").value(static_cast<std::int64_t>(pr.point.nodes));
   w.key("utilisation").value(pr.point.utilisation);
   w.key("ber").value(pr.point.ber);
+  w.key("data_ber").value(pr.point.data_ber);
   w.key("mix").value(mix_name(pr.point.mix));
   w.key("set_seed").value(pr.point.set_seed);
   w.key("failed_shards").value(pr.failed_shards);
@@ -105,8 +110,9 @@ analysis::Table to_table(const SweepResult& result,
                          const std::vector<Metric>& metrics,
                          const std::string& title) {
   analysis::Table t(title);
-  std::vector<std::string> headers{"protocol", "nodes", "u/U_max", "ber",
-                                   "mix", "seed"};
+  std::vector<std::string> headers{"protocol", "nodes",    "u/U_max",
+                                   "ber",      "data_ber", "mix",
+                                   "seed"};
   for (const Metric m : metrics) headers.emplace_back(metric_name(m));
   t.columns(std::move(headers));
   for (const PointResult& pr : result.points) {
@@ -115,6 +121,7 @@ analysis::Table to_table(const SweepResult& result,
         .cell(static_cast<std::int64_t>(pr.point.nodes))
         .cell(pr.point.utilisation, 2)
         .cell(pr.point.ber, 6)
+        .cell(pr.point.data_ber, 6)
         .cell(mix_name(pr.point.mix))
         .cell(static_cast<std::int64_t>(pr.point.set_seed));
     for (const Metric m : metrics) row.cell(pr.mean(m), 4);

@@ -46,6 +46,14 @@ const char* metric_name(Metric m) {
       return "faults_detected";
     case Metric::kFaultsSilent:
       return "faults_silent";
+    case Metric::kPayloadCorruptions:
+      return "payload_corruptions";
+    case Metric::kPayloadDetected:
+      return "payload_detected";
+    case Metric::kPayloadUndetected:
+      return "payload_undetected";
+    case Metric::kPayloadNacks:
+      return "payload_nacks";
   }
   return "?";
 }
@@ -60,9 +68,10 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
   // Fault axis: the injector derives its own stream family from the
   // shard seed, so the workload below is byte-identical at every BER.
   std::optional<fault::FaultInjector> injector;
-  if (point.ber > 0.0) {
+  if (point.ber > 0.0 || point.data_ber > 0.0) {
     injector.emplace(n, seed);
-    injector->set_control_ber(point.ber);
+    if (point.ber > 0.0) injector->set_control_ber(point.ber);
+    if (point.data_ber > 0.0) injector->set_data_ber(point.data_ber);
   }
 
   int requested = 0;
@@ -126,6 +135,14 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
   m[Metric::kFaultsDetected] =
       static_cast<double>(n.stats().faults.detected());
   m[Metric::kFaultsSilent] = static_cast<double>(n.stats().faults.silent());
+  m[Metric::kPayloadCorruptions] =
+      static_cast<double>(n.stats().faults.payload_corruptions);
+  m[Metric::kPayloadDetected] =
+      static_cast<double>(n.stats().faults.payload_detected);
+  m[Metric::kPayloadUndetected] =
+      static_cast<double>(n.stats().faults.payload_undetected);
+  m[Metric::kPayloadNacks] =
+      static_cast<double>(n.stats().faults.payload_nacks);
   m.ok = true;
   return m;
 }

@@ -35,9 +35,13 @@ enum class Metric : std::size_t {
   kRecoveries,         // token-loss recoveries (fault axis)
   kRecoveryUs,         // wall time lost to recovery timeouts, microseconds
   kFaultsDetected,     // corruptions caught by the integrity guards
-  kFaultsSilent        // corruptions that mutated behaviour unnoticed
+  kFaultsSilent,       // corruptions that mutated behaviour unnoticed
+  kPayloadCorruptions,  // data packets hit on the data fibres
+  kPayloadDetected,     // ... caught by the payload CRC-32
+  kPayloadUndetected,   // ... delivered as garbage
+  kPayloadNacks         // NACK bits carried on distribution packets
 };
-inline constexpr std::size_t kMetricCount = 15;
+inline constexpr std::size_t kMetricCount = 19;
 
 [[nodiscard]] const char* metric_name(Metric m);
 

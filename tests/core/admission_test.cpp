@@ -117,5 +117,40 @@ TEST(Admission, UtilisationNeverNegativeAfterReleases) {
   EXPECT_NEAR(a.utilisation(), 0.0, 1e-12);
 }
 
+// -- capacity derating (graceful degradation) ----------------------------
+
+TEST(Admission, CapacityFactorDeratesEffectiveBound) {
+  AdmissionController a(0.8);
+  EXPECT_DOUBLE_EQ(a.capacity_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(a.effective_u_max(), 0.8);
+  a.set_capacity_factor(0.5);
+  EXPECT_DOUBLE_EQ(a.effective_u_max(), 0.4);
+  EXPECT_TRUE(a.request(conn(1, 4), TimePoint::origin()).admitted);  // 0.25
+  EXPECT_FALSE(a.request(conn(1, 4), TimePoint::origin()).admitted);
+  // Recovery: the same request fits once the channel heals.
+  a.set_capacity_factor(1.0);
+  EXPECT_TRUE(a.request(conn(1, 4), TimePoint::origin()).admitted);
+}
+
+TEST(Admission, CapacityFactorDoesNotEvictAdmittedConnections) {
+  // Derating constrains NEW admissions; connections admitted before the
+  // factor dropped keep their slots (utilisation may exceed the derated
+  // bound until they are released).
+  AdmissionController a(0.8);
+  ASSERT_TRUE(a.request(conn(1, 2), TimePoint::origin()).admitted);  // 0.5
+  a.set_capacity_factor(0.25);  // effective bound now 0.2 < 0.5
+  EXPECT_EQ(a.active_connections(), 1u);
+  EXPECT_DOUBLE_EQ(a.utilisation(), 0.5);
+  EXPECT_FALSE(a.request(conn(1, 100), TimePoint::origin()).admitted);
+}
+
+TEST(Admission, CapacityFactorValidated) {
+  AdmissionController a(0.8);
+  EXPECT_THROW(a.set_capacity_factor(-0.1), ConfigError);
+  EXPECT_THROW(a.set_capacity_factor(1.5), ConfigError);
+  EXPECT_NO_THROW(a.set_capacity_factor(0.0));
+  EXPECT_NO_THROW(a.set_capacity_factor(1.0));
+}
+
 }  // namespace
 }  // namespace ccredf::core

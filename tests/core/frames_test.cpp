@@ -342,6 +342,54 @@ TEST(FrameCrc, HpRangeGuardWorksWithoutCrc) {
   EXPECT_FALSE(checked.ok);
 }
 
+// -- payload-NACK extension (data-channel reliability) -------------------
+
+FrameCodec codec_nacks(NodeId n, bool crc = false) {
+  return FrameCodec(n, PriorityLayout{}, /*with_acks=*/true, crc,
+                    /*with_nacks=*/true);
+}
+
+TEST(FrameNack, NackFieldAddsNBits) {
+  EXPECT_EQ(codec_nacks(8).distribution_bits(),
+            codec_n(8, true).distribution_bits() + 8);
+  EXPECT_EQ(codec_nacks(5).distribution_bits(),
+            codec_n(5, true).distribution_bits() + 5);
+}
+
+TEST(FrameNack, DistributionRoundTripsWithNacks) {
+  for (const bool crc : {false, true}) {
+    const FrameCodec c = codec_nacks(6, crc);
+    DistributionPacket p;
+    p.granted = NodeSet::from_mask(0b000011);
+    p.hp_node = 1;
+    p.has_acks = true;
+    p.acks = NodeSet::from_mask(0b110000);
+    p.has_nacks = true;
+    p.nacks = NodeSet::from_mask(0b001100);
+    const auto enc = c.encode(p);
+    EXPECT_EQ(enc.bit_count,
+              static_cast<std::size_t>(c.distribution_bits()));
+    EXPECT_EQ(c.decode_distribution(enc), p) << "crc=" << crc;
+  }
+}
+
+TEST(FrameNack, NackPresenceMismatchRejected) {
+  const FrameCodec c = codec_nacks(4);
+  DistributionPacket p;
+  p.hp_node = 0;
+  p.has_acks = true;
+  p.has_nacks = false;  // codec expects a nack field
+  EXPECT_THROW((void)c.encode(p), ConfigError);
+}
+
+TEST(FrameNack, NacksRequireTheAckField) {
+  // The NACK rides the same ack mechanism; a codec with nacks but no
+  // acks is a configuration contradiction.
+  EXPECT_THROW(FrameCodec(4, PriorityLayout{}, /*with_acks=*/false,
+                          /*with_crc=*/false, /*with_nacks=*/true),
+               ConfigError);
+}
+
 TEST(FrameCrc, CrcOffIsBitIdenticalToLegacyEncoding) {
   // The extension flag defaults off; default-constructed codecs must
   // produce byte-for-byte the frames the seed produced.

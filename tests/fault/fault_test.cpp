@@ -163,6 +163,79 @@ TEST(Fault, InjectorValidatesFaultParameters) {
   EXPECT_THROW(inj.set_babbling_node(1, 1.5), ConfigError);
   EXPECT_THROW(inj.set_control_ber(1.0), ConfigError);
   EXPECT_THROW(inj.set_control_ber({0.1, 0.1}), ConfigError);  // 6 links
+  EXPECT_THROW(inj.set_data_ber(1.0), ConfigError);
+  EXPECT_THROW(inj.set_data_ber({0.1, 0.1}), ConfigError);  // 6 links
+  EXPECT_THROW(inj.schedule_payload_corruption(0, 6), ConfigError);
+}
+
+// -- satellite: token-loss recovery edge cases ---------------------------
+
+TEST(Fault, AllNodesFailedLeavesRingDarkWithoutPhantomRecoveries) {
+  // Regression: with EVERY node failed at token-loss time the restarter
+  // search has no live candidate.  The engine must count the window as
+  // ring-dark -- not as a recovery, which would poison the recovery-cost
+  // statistics with events that never happened.
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  for (NodeId i = 0; i < 6; ++i) {
+    inj.schedule_node_failure(i, sim::TimePoint::origin());
+  }
+  n.run_slots(8);
+  const auto& f = n.stats().faults;
+  EXPECT_GE(f.ring_dark, 1);
+  EXPECT_EQ(n.recoveries(), 0);
+  EXPECT_EQ(f.recoveries, 0);
+  EXPECT_EQ(f.recovery_gap.count(), 0);
+  EXPECT_EQ(n.recovery_time(), Duration::zero());
+
+  // A restored node ends the dark window through the normal recovery.
+  n.restore_node(3);
+  n.restore_node(4);
+  n.run_slots(10);
+  EXPECT_GE(n.recoveries(), 1);
+  n.send_best_effort(3, NodeSet::single(4), 1, Duration::milliseconds(5));
+  n.run_slots(10);
+  EXPECT_EQ(n.node(4).inbox().size(), 1u);
+}
+
+TEST(Fault, MasterRestoredMidRecoveryYieldsOneClockMaster) {
+  // The failed master comes back BEFORE the restarter timeout elapses.
+  // The restart plan was already fixed at the loss: the designated
+  // restarter -- and only it -- takes the clock; the restored node
+  // rejoins as an ordinary participant (no concurrent masters).
+  net::NetworkConfig cfg = cfg6();
+  cfg.designated_restarter = 2;
+  net::Network n(cfg);
+  FaultInjector inj(n);
+  inj.schedule_node_failure(
+      0, sim::TimePoint::origin() + n.timing().slot() / 2);
+  inj.schedule_node_restore(
+      0, sim::TimePoint::origin() + n.timing().slot() * 2);
+  std::vector<net::SlotRecord> recs;
+  n.add_slot_observer([&](const net::SlotRecord& rec) {
+    recs.push_back(rec);
+  });
+  n.run_slots(15);
+  ASSERT_GE(recs.size(), 15u);
+  std::size_t lost = recs.size();
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].token_lost) {
+      lost = i;
+      break;
+    }
+  }
+  ASSERT_LT(lost, recs.size() - 1);
+  EXPECT_EQ(recs[lost].next_master, 2u);
+  EXPECT_EQ(recs[lost + 1].master, 2u);  // restarter, not the restored node
+  EXPECT_EQ(n.recoveries(), 1);
+  // One clock master: the ring is healthy after the recovery -- the
+  // restored node does not break the rotation by asserting a stale clock.
+  for (std::size_t i = lost + 1; i < recs.size(); ++i) {
+    EXPECT_FALSE(recs[i].token_lost) << "slot " << i;
+  }
+  n.send_best_effort(0, NodeSet::single(3), 1, Duration::milliseconds(5));
+  n.run_slots(10);
+  EXPECT_EQ(n.node(3).inbox().size(), 1u);
 }
 
 // -- satellite: node-restore paths ---------------------------------------
@@ -376,6 +449,80 @@ TEST(Fault, IdleInjectorLeavesTheNetworkUntouched) {
     EXPECT_EQ(hooked.node(i).inbox().size(), clean.node(i).inbox().size());
   }
   EXPECT_EQ(hooked.stats().busy_slots, clean.stats().busy_slots);
+}
+
+// -- data-channel (payload) faults ---------------------------------------
+
+net::NetworkConfig cfg6_payload_crc() {
+  net::NetworkConfig cfg = cfg6();
+  cfg.with_acks = true;
+  cfg.with_payload_crc = true;
+  return cfg;
+}
+
+TEST(Fault, PayloadCorruptionDetectedWithPayloadCrc) {
+  net::Network n(cfg6_payload_crc());
+  FaultInjector inj(n);
+  for (SlotIndex s = 0; s < 6; ++s) inj.schedule_payload_corruption(s, 1);
+  n.send_best_effort(1, NodeSet::single(4), 1, Duration::milliseconds(50));
+  n.run_slots(10);
+  const auto& f = n.stats().faults;
+  EXPECT_EQ(f.payload_corruptions, 1);
+  EXPECT_EQ(f.payload_detected, 1);
+  EXPECT_EQ(f.payload_undetected, 0);
+  EXPECT_EQ(f.payload_nacks, 1);
+  EXPECT_EQ(n.stats().per_node_faults[1].payloads_corrupted, 1);
+  EXPECT_GT(inj.data_bits_flipped(), 0);
+  EXPECT_EQ(inj.bits_flipped(), 0);  // control channel untouched
+  // The receivers drop the garbage; the engine itself never retries
+  // (end-to-end repair is the ReliableChannel's job).
+  EXPECT_EQ(n.node(4).inbox().size(), 0u);
+}
+
+TEST(Fault, PayloadCorruptionSilentWithoutPayloadCrc) {
+  net::Network n(cfg6());
+  FaultInjector inj(n);
+  for (SlotIndex s = 0; s < 6; ++s) inj.schedule_payload_corruption(s, 1);
+  n.send_best_effort(1, NodeSet::single(4), 1, Duration::milliseconds(50));
+  n.run_slots(10);
+  const auto& f = n.stats().faults;
+  EXPECT_EQ(f.payload_corruptions, 1);
+  EXPECT_EQ(f.payload_detected, 0);
+  EXPECT_EQ(f.payload_undetected, 1);
+  EXPECT_EQ(f.payload_nacks, 0);
+  EXPECT_GE(f.silent(), 1);
+  // The corrupted payload reaches the application as garbage.
+  EXPECT_EQ(n.node(4).inbox().size(), 1u);
+}
+
+TEST(Fault, DataBerRunIsDeterministicAcrossIdenticalNetworks) {
+  // The data-channel fault stream is keyed on (seed, slot, channel)
+  // exactly as the control stream: identical networks see identical
+  // payload corruption, and every corruption is classified.
+  auto run = [](net::NetworkStats* out) -> std::int64_t {
+    net::Network n(cfg6_payload_crc());
+    FaultInjector inj(n, /*seed=*/7);
+    inj.set_data_ber(1e-4);
+    for (NodeId i = 0; i < 24; ++i) {
+      n.send_best_effort(i % 6, NodeSet::single((i + 3) % 6), 1,
+                         Duration::milliseconds(50));
+    }
+    n.run_slots(300);
+    *out = n.stats();
+    return inj.data_bits_flipped();
+  };
+  net::NetworkStats a, b;
+  const std::int64_t fa = run(&a);
+  const std::int64_t fb = run(&b);
+  EXPECT_EQ(fa, fb);
+  EXPECT_GT(fa, 0);
+  EXPECT_EQ(a.faults.payload_corruptions, b.faults.payload_corruptions);
+  EXPECT_EQ(a.faults.payload_detected, b.faults.payload_detected);
+  EXPECT_EQ(a.faults.payload_nacks, b.faults.payload_nacks);
+  EXPECT_GT(a.faults.payload_corruptions, 0);
+  // Accounting identity: every corrupted payload is classified.
+  EXPECT_EQ(a.faults.payload_corruptions,
+            a.faults.payload_detected + a.faults.payload_undetected);
 }
 
 }  // namespace

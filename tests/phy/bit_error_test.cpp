@@ -117,6 +117,32 @@ TEST(BitErrorModel, CertainCorruptionHitsEveryFrame) {
   }
 }
 
+TEST(BitErrorModel, CountFlipsMatchesCorruptExactly) {
+  // The bufferless payload sampler must agree flip-for-flip with the
+  // buffer-materialising path at every coordinate -- the reliability
+  // model's verdicts are then provably the same ones a real corrupted
+  // buffer would have produced.
+  const BitErrorModel m(4, 0.5, kSeed);
+  const std::size_t nbits = 340 * 8;  // a typical slot payload
+  for (SlotIndex s = 0; s < 200; ++s) {
+    auto buf = zeroes(nbits);
+    const int flipped = m.corrupt(s, 7, 1e-3, buf.data(), nbits);
+    EXPECT_EQ(m.count_flips(s, 7, 1e-3, nbits), flipped) << "slot " << s;
+  }
+}
+
+TEST(BitErrorModel, CountFlipsIsDeterministicAndKeyed) {
+  const BitErrorModel m(4, 0.5, kSeed);
+  EXPECT_EQ(m.count_flips(17, 3, 0.25, 96), m.count_flips(17, 3, 0.25, 96));
+  EXPECT_EQ(m.count_flips(5, 1, 0.0, 4096), 0);
+  // Over many frames the empirical mean tracks p * nbits, as corrupt().
+  std::int64_t total = 0;
+  for (SlotIndex s = 0; s < 2000; ++s) {
+    total += m.count_flips(s, 9, 0.1, 200);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / 2000.0, 20.0, 1.0);
+}
+
 TEST(BitErrorModel, SeedChangesTheStream) {
   const BitErrorModel a(4, 0.5, kSeed);
   const BitErrorModel b(4, 0.5, kSeed + 1);

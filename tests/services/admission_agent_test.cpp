@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "fault/injector.hpp"
 
 namespace ccredf::services {
 namespace {
@@ -128,6 +131,89 @@ TEST(AdmissionAgent, ValidatesConfig) {
   EXPECT_THROW(AdmissionAgent(n, p), ConfigError);
   p = AdmissionAgent::Params{};
   p.message_laxity_slots = 0;
+  EXPECT_THROW(AdmissionAgent(n, p), ConfigError);
+}
+
+// -- health monitor: graceful degradation --------------------------------
+
+net::NetworkConfig cfg8_payload_crc() {
+  net::NetworkConfig cfg = cfg8();
+  cfg.with_acks = true;
+  cfg.with_payload_crc = true;
+  return cfg;
+}
+
+void open_probe_traffic(net::Network& n) {
+  // A few periodic connections so the monitor has transfers to observe.
+  for (NodeId src = 0; src < 4; ++src) {
+    ASSERT_TRUE(
+        n.open_connection(conn(src, (src + 3) % 8, 1, 10)).admitted);
+  }
+}
+
+TEST(AdmissionAgent, HealthMonitorDeratesUnderCorruptionAndRecovers) {
+  net::Network n(cfg8_payload_crc());
+  fault::FaultInjector inj(n, /*seed=*/23);
+  inj.set_data_ber(2e-4);  // heavy corruption: most transfers are hit
+  AdmissionAgent::Params p;
+  p.health_window_slots = 300;
+  p.derate_threshold = 0.005;
+  AdmissionAgent agent(n, p);
+  open_probe_traffic(n);
+  n.run_slots(700);  // two complete windows
+
+  EXPECT_GT(agent.observed_corruption_rate(), p.derate_threshold);
+  EXPECT_LT(agent.capacity_factor(), 1.0);
+  EXPECT_NEAR(agent.capacity_factor(),
+              1.0 - agent.observed_corruption_rate(), 1e-12);
+  EXPECT_GE(agent.renegotiations(), 1);
+  // The factor is actually enforced on the controller, and the
+  // renegotiations are mirrored into the network's fault accounting.
+  EXPECT_DOUBLE_EQ(n.admission().capacity_factor(),
+                   agent.capacity_factor());
+  EXPECT_LT(n.admission().effective_u_max(), n.admission().u_max());
+  EXPECT_EQ(n.stats().faults.admission_renegotiations,
+            agent.renegotiations());
+  // Per-link localisation: the sources of the probe traffic show a
+  // non-zero corruption rate.
+  double worst = 0.0;
+  for (NodeId i = 0; i < 4; ++i) {
+    worst = std::max(worst, agent.link_corruption_rate(i));
+  }
+  EXPECT_GT(worst, 0.0);
+
+  // The channel heals: the factor recovers to 1 and admissions reopen.
+  inj.set_data_ber(0.0);
+  const std::int64_t renegs_before = agent.renegotiations();
+  n.run_slots(700);
+  EXPECT_DOUBLE_EQ(agent.capacity_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(n.admission().effective_u_max(), n.admission().u_max());
+  EXPECT_GT(agent.renegotiations(), renegs_before);
+}
+
+TEST(AdmissionAgent, HealthMonitorOffByDefault) {
+  // health_window_slots defaults to 0: corruption must not move the
+  // admission bound unless the monitor was asked for.
+  net::Network n(cfg8_payload_crc());
+  fault::FaultInjector inj(n, /*seed=*/23);
+  inj.set_data_ber(2e-4);
+  AdmissionAgent agent(n, AdmissionAgent::Params{});
+  open_probe_traffic(n);
+  n.run_slots(700);
+  EXPECT_DOUBLE_EQ(agent.capacity_factor(), 1.0);
+  EXPECT_EQ(agent.renegotiations(), 0);
+  EXPECT_DOUBLE_EQ(n.admission().effective_u_max(), n.admission().u_max());
+  EXPECT_EQ(n.stats().faults.admission_renegotiations, 0);
+  EXPECT_GT(n.stats().faults.payload_corruptions, 0);  // faults did occur
+}
+
+TEST(AdmissionAgent, HealthMonitorValidatesParams) {
+  net::Network n(cfg8_payload_crc());
+  AdmissionAgent::Params p;
+  p.health_window_slots = -1;
+  EXPECT_THROW(AdmissionAgent(n, p), ConfigError);
+  p = AdmissionAgent::Params{};
+  p.derate_threshold = -0.5;
   EXPECT_THROW(AdmissionAgent(n, p), ConfigError);
 }
 

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/error.hpp"
+#include "fault/injector.hpp"
 
 namespace ccredf::services {
 namespace {
@@ -12,6 +15,13 @@ using sim::Duration;
 net::NetworkConfig cfg6() {
   net::NetworkConfig cfg;
   cfg.nodes = 6;
+  return cfg;
+}
+
+net::NetworkConfig cfg6_payload_crc() {
+  net::NetworkConfig cfg = cfg6();
+  cfg.with_acks = true;
+  cfg.with_payload_crc = true;
   return cfg;
 }
 
@@ -135,6 +145,138 @@ TEST(Reliable, RejectsSelfSend) {
   ReliableChannel ch(n, ReliableChannel::Params{});
   EXPECT_THROW(ch.send(2, 2, 1, Duration::milliseconds(1), nullptr),
                ConfigError);
+}
+
+// -- physical NACK path (payload CRC + data-channel faults) --------------
+
+TEST(Reliable, NackFromPayloadCrcTriggersRetransmission) {
+  // No synthetic loss at all: corruption comes from the data fibres, is
+  // caught by the receivers' CRC-32, and the NACK on the distribution
+  // packet drives the retransmission.
+  net::Network n(cfg6_payload_crc());
+  fault::FaultInjector inj(n, /*seed=*/17);
+  inj.set_data_ber(5e-5);
+  ReliableChannel ch(n, ReliableChannel::Params{});
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    ch.send(0, 3, 1, Duration::milliseconds(50),
+            [&](const ReliableChannel::TransferResult& r) {
+              EXPECT_TRUE(r.delivered);
+              ++completed;
+            });
+  }
+  n.run_slots(1500);
+  EXPECT_EQ(completed, 20);
+  EXPECT_GT(ch.nacks_received(), 0);
+  EXPECT_GT(ch.retransmissions(), 0);
+  EXPECT_EQ(ch.transfers_failed(), 0);
+  // Every NACK the channel saw is one the engine counted on the wire.
+  EXPECT_GE(n.stats().faults.payload_nacks, ch.nacks_received());
+  // With the CRC on, nothing reached an application as garbage (the
+  // 2^-32 residual is unobservable at these sample sizes).
+  EXPECT_EQ(n.stats().faults.payload_undetected, 0);
+}
+
+TEST(Reliable, HopelessTransferIsAbandonedEarly) {
+  // Every attempt's payload is corrupted; with a deadline that covers
+  // only a couple of attempts, the laxity budget must abandon the
+  // transfer long before the attempt cap.
+  net::Network n(cfg6_payload_crc());
+  fault::FaultInjector inj(n);
+  for (SlotIndex s = 0; s < 200; ++s) inj.schedule_payload_corruption(s, 0);
+  ReliableChannel::Params p;
+  p.max_attempts = 16;
+  ReliableChannel ch(n, p);
+  ReliableChannel::TransferResult result;
+  bool done = false;
+  ch.send(0, 3, 1, n.timing().slot_plus_max_gap() * 6,
+          [&](const ReliableChannel::TransferResult& r) {
+            result = r;
+            done = true;
+          });
+  n.run_slots(200);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.delivered);
+  EXPECT_TRUE(result.abandoned);
+  EXPECT_LT(result.attempts, p.max_attempts);
+  EXPECT_EQ(ch.transfers_abandoned(), 1);
+  EXPECT_EQ(ch.transfers_failed(), 1);
+  EXPECT_GT(ch.nacks_received(), 0);
+}
+
+TEST(Reliable, FixedRetryBaselineBurnsAllAttempts) {
+  // Same hopeless scenario with the budget off: the baseline keeps
+  // resending until the attempt cap -- the contrast the laxity budget
+  // exists to remove.
+  net::Network n(cfg6_payload_crc());
+  fault::FaultInjector inj(n);
+  for (SlotIndex s = 0; s < 400; ++s) inj.schedule_payload_corruption(s, 0);
+  ReliableChannel::Params p;
+  p.laxity_budgeted = false;
+  p.max_attempts = 5;
+  ReliableChannel ch(n, p);
+  ReliableChannel::TransferResult result;
+  bool done = false;
+  ch.send(0, 3, 1, n.timing().slot_plus_max_gap() * 6,
+          [&](const ReliableChannel::TransferResult& r) {
+            result = r;
+            done = true;
+          });
+  n.run_slots(400);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.delivered);
+  EXPECT_FALSE(result.abandoned);
+  EXPECT_EQ(result.attempts, 5);
+  EXPECT_EQ(ch.transfers_abandoned(), 0);
+  EXPECT_EQ(ch.transfers_failed(), 1);
+}
+
+TEST(Reliable, InfiniteDeadlineIsNeverAbandoned) {
+  // The budget only bites when there IS a deadline.
+  net::Network n(cfg6_payload_crc());
+  fault::FaultInjector inj(n);
+  for (SlotIndex s = 0; s < 400; ++s) inj.schedule_payload_corruption(s, 0);
+  ReliableChannel::Params p;
+  p.max_attempts = 4;
+  ReliableChannel ch(n, p);
+  ReliableChannel::TransferResult result;
+  bool done = false;
+  ch.send(0, 3, 1, Duration::infinity(),
+          [&](const ReliableChannel::TransferResult& r) {
+            result = r;
+            done = true;
+          });
+  n.run_slots(400);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.abandoned);
+  EXPECT_EQ(result.attempts, 4);  // the cap, not the budget, ended it
+  EXPECT_EQ(ch.transfers_abandoned(), 0);
+}
+
+// -- deprecated synthetic-loss mode --------------------------------------
+
+TEST(Reliable, DeprecatedLossProbabilityWarnsOnce) {
+  net::Network n(cfg6());
+  n.trace().enable(sim::TraceCategory::kService);
+  n.trace().set_capture(true);
+  ReliableChannel::Params p;
+  p.loss_probability = 0.25;
+  ReliableChannel ch(n, p);
+  int warnings = 0;
+  for (const auto& rec : n.trace().records()) {
+    if (rec.text.find("deprecated") != std::string::npos) ++warnings;
+  }
+  EXPECT_EQ(warnings, 1);
+}
+
+TEST(Reliable, CleanParamsEmitNoDeprecationWarning) {
+  net::Network n(cfg6());
+  n.trace().enable(sim::TraceCategory::kService);
+  n.trace().set_capture(true);
+  ReliableChannel ch(n, ReliableChannel::Params{});
+  for (const auto& rec : n.trace().records()) {
+    EXPECT_EQ(rec.text.find("deprecated"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -201,5 +201,91 @@ TEST(GridTest, ParsesBerAndFrameCrcKeys) {
   EXPECT_FALSE(parse_grid("bers = banana\n", spec, error));
 }
 
+// -- data-channel fault axis ---------------------------------------------
+
+TEST(GridTest, DataBerAxisExpandsBetweenBerAndMix) {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {4};
+  spec.utilisations = {0.5};
+  spec.bers = {0.0, 1e-4};
+  spec.data_bers = {0.0, 2e-4};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.set_seeds = {1};
+
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(spec.point_count(), 4u);
+  // data_ber is the inner axis of ber.
+  EXPECT_DOUBLE_EQ(points[0].ber, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].data_ber, 0.0);
+  EXPECT_DOUBLE_EQ(points[1].ber, 0.0);
+  EXPECT_DOUBLE_EQ(points[1].data_ber, 2e-4);
+  EXPECT_DOUBLE_EQ(points[2].ber, 1e-4);
+  EXPECT_DOUBLE_EQ(points[2].data_ber, 0.0);
+  EXPECT_DOUBLE_EQ(points[3].data_ber, 2e-4);
+}
+
+TEST(GridTest, DefaultDataBerAxisKeepsLegacyPointCount) {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf, Protocol::kTdma};
+  spec.node_counts = {4, 8};
+  EXPECT_EQ(spec.point_count(), 4u);
+  for (const auto& p : spec.expand()) EXPECT_DOUBLE_EQ(p.data_ber, 0.0);
+}
+
+TEST(GridTest, WorkloadKeyIgnoresDataBer) {
+  // Paired comparison along the data-fault axis too: the same workloads
+  // must run at every data_ber value.
+  GridPoint a;
+  a.data_ber = 0.0;
+  GridPoint b = a;
+  b.data_ber = 2e-4;
+  EXPECT_EQ(workload_key(a), workload_key(b));
+}
+
+TEST(GridTest, ValidatesDataBerAxis) {
+  GridSpec spec;
+  spec.data_bers = {};
+  EXPECT_FALSE(spec.validate().empty());
+  spec = GridSpec{};
+  spec.data_bers = {0.0, 1.0};  // BER must stay below 1
+  EXPECT_FALSE(spec.validate().empty());
+  spec = GridSpec{};
+  spec.data_bers = {-1e-6};
+  EXPECT_FALSE(spec.validate().empty());
+  spec = GridSpec{};
+  spec.data_bers = {0.0, 1e-6, 2e-4};
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(GridTest, ParsesDataBersAndPayloadCrcKeys) {
+  GridSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_grid("data_bers = 0, 2e-5, 2e-4\npayload_crc = on\n",
+                         spec, error))
+      << error;
+  EXPECT_EQ(spec.data_bers, (std::vector<double>{0.0, 2e-5, 2e-4}));
+  EXPECT_TRUE(spec.payload_crc);
+  GridSpec off;
+  ASSERT_TRUE(parse_grid("payload_crc = off\n", off, error)) << error;
+  EXPECT_FALSE(off.payload_crc);
+  EXPECT_FALSE(parse_grid("data_bers = 1.5\n", spec, error));
+  EXPECT_FALSE(parse_grid("data_bers = banana\n", spec, error));
+}
+
+TEST(GridTest, PayloadCrcImpliesAcksInTheNetworkConfig) {
+  // The NACK rides the distribution packet's ack mechanism; a grid that
+  // asks for the payload CRC must get a wire that can carry the NACK.
+  GridSpec spec;
+  spec.payload_crc = true;
+  GridPoint point;
+  point.protocol = Protocol::kCcrEdf;
+  point.nodes = 8;
+  const net::NetworkConfig cfg = make_network_config(spec, point);
+  EXPECT_TRUE(cfg.with_payload_crc);
+  EXPECT_TRUE(cfg.with_acks);
+}
+
 }  // namespace
 }  // namespace ccredf::sweep

@@ -149,6 +149,68 @@ TEST(SweepDeterminismTest, BerAxisDoesNotPerturbTheWorkload) {
             faulty.values[static_cast<std::size_t>(Metric::kUMax)]);
 }
 
+TEST(SweepDeterminismTest, DataBerAxisJsonIdenticalAcrossThreadCounts) {
+  // The data-channel fault axis must honour the same contract as the
+  // control axis: a pure function of the grid at any worker count, with
+  // the payload counters actually exercised at data_ber > 0.
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {6};
+  spec.utilisations = {0.5};
+  spec.data_bers = {0.0, 2e-4};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.set_seeds = {5};
+  spec.repetitions = 2;
+  spec.slots = 150;
+  spec.payload_crc = true;
+  spec.base_seed = 3;
+  const std::string json_1 = to_json(run_sweep(spec, {.threads = 1}));
+  for (const int threads : {4, 8}) {
+    EXPECT_EQ(json_1, to_json(run_sweep(spec, {.threads = threads})))
+        << "data-fault sweep non-deterministic at " << threads
+        << " threads";
+  }
+  const SweepResult res = run_sweep(spec, {.threads = 2});
+  ASSERT_EQ(res.failed_shards, 0);
+  bool any_payload_faults = false;
+  for (const PointResult& pr : res.points) {
+    if (pr.point.data_ber == 0.0) {
+      EXPECT_EQ(pr.mean(Metric::kPayloadCorruptions), 0.0);
+      EXPECT_EQ(pr.mean(Metric::kPayloadNacks), 0.0);
+    } else if (pr.mean(Metric::kPayloadCorruptions) > 0.0) {
+      // With the CRC on, corrupted payloads are detected and NACKed.
+      EXPECT_GT(pr.mean(Metric::kPayloadDetected), 0.0);
+      any_payload_faults = true;
+    }
+  }
+  EXPECT_TRUE(any_payload_faults) << "data-BER axis injected nothing";
+}
+
+TEST(SweepDeterminismTest, DataBerAxisDoesNotPerturbTheWorkload) {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {6};
+  spec.utilisations = {0.5};
+  spec.data_bers = {0.0, 2e-4};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.set_seeds = {5};
+  spec.repetitions = 1;
+  spec.slots = 150;
+  spec.payload_crc = true;
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 2u);
+  const ShardMetrics clean = run_shard(spec, points[0], 0);
+  const ShardMetrics faulty = run_shard(spec, points[1], 0);
+  ASSERT_TRUE(clean.ok);
+  ASSERT_TRUE(faulty.ok);
+  EXPECT_EQ(clean.values[static_cast<std::size_t>(
+                Metric::kAdmittedFraction)],
+            faulty.values[static_cast<std::size_t>(
+                Metric::kAdmittedFraction)]);
+  EXPECT_EQ(clean.values[static_cast<std::size_t>(Metric::kUMax)],
+            faulty.values[static_cast<std::size_t>(Metric::kUMax)]);
+}
+
 TEST(SweepDeterminismTest, AllShardsSucceedAndAggregate) {
   const GridSpec spec = small_grid();
   const SweepResult res = run_sweep(spec, {.threads = 8});
