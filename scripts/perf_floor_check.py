@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Per-cell throughput floor check for BENCH_slot_throughput.json.
+
+Reads the bench document written by `bench_slot_throughput --quick --json`
+and a checked-in floors file, and fails when any (nodes, load) cell's
+slots-per-second drops below floor * slack.  The floors are deliberately
+GENEROUS (slack defaults to 0.35, i.e. a cell may lose almost two thirds
+of its recorded throughput before the gate trips): shared CI runners are
+noisy, and this gate exists to catch an accidental return to the
+pre-fast-forward engine -- a 5-10x cliff -- not single-digit jitter.
+
+Floors file schema (bench/perf_floors.json):
+
+    {
+      "metric_suffix": "slots_per_sec",
+      "slack": 0.35,
+      "floors": {"nodes=4,load=0.3": 1.0e6, ...}
+    }
+
+Every floor key must be present in the bench document (a silently dropped
+cell would otherwise pass), and `hardware_threads` must be recorded so an
+investigator knows what host produced a failing number.
+
+Usage: perf_floor_check.py BENCH_JSON FLOORS_JSON
+Exit codes: 0 all floors met, 1 a floor missed or input malformed,
+2 usage error.
+"""
+import json
+import numbers
+import sys
+
+
+def fail(message):
+    print(f"perf_floor_check: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path, floors_path = argv[1], argv[2]
+    try:
+        with open(bench_path, encoding="utf-8") as handle:
+            bench = json.load(handle)
+        with open(floors_path, encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail(f"cannot load inputs: {exc}")
+
+    metrics = bench.get("metrics")
+    if not isinstance(metrics, dict):
+        return fail(f"{bench_path}: no `metrics` object")
+    if not isinstance(metrics.get("hardware_threads"), numbers.Real):
+        return fail(f"{bench_path}: missing numeric `hardware_threads`")
+
+    suffix = spec.get("metric_suffix", "slots_per_sec")
+    slack = spec.get("slack", 0.35)
+    floors = spec.get("floors")
+    if not isinstance(floors, dict) or not floors:
+        return fail(f"{floors_path}: `floors` must be a non-empty object")
+    if not isinstance(slack, numbers.Real) or not 0 < slack <= 1:
+        return fail(f"{floors_path}: `slack` must be in (0, 1]")
+
+    failures = 0
+    for cell, floor in sorted(floors.items()):
+        key = f"{cell},{suffix}"
+        measured = metrics.get(key)
+        if not isinstance(measured, numbers.Real):
+            fail(f"{bench_path}: cell `{key}` missing or non-numeric")
+            failures += 1
+            continue
+        bound = floor * slack
+        verdict = "ok" if measured >= bound else "BELOW FLOOR"
+        print(
+            f"perf_floor_check: {cell}: {measured:.3g} {suffix} "
+            f"(floor {floor:.3g} x slack {slack} = {bound:.3g}) {verdict}"
+        )
+        if measured < bound:
+            failures += 1
+    if failures:
+        return fail(
+            f"{failures} cell(s) below floor "
+            f"(hardware_threads={metrics['hardware_threads']:.0f})"
+        )
+    print("perf_floor_check: all floors met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

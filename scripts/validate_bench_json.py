@@ -33,6 +33,16 @@ def validate_metrics(path, metrics):
             isinstance(value, bool) or not isinstance(value, numbers.Real)
         ):
             return fail(path, f"metric `{key}` is not a number or null")
+    # A speedup number is meaningless without the host's core count: a
+    # 1.0x on a single-core container is expected, not a regression.  Any
+    # document reporting one must say what hardware produced it.
+    if any("speedup" in key for key in metrics) and not isinstance(
+        metrics.get("hardware_threads"), numbers.Real
+    ):
+        return fail(
+            path,
+            "reports a speedup metric without numeric `hardware_threads`",
+        )
     return True
 
 

@@ -29,6 +29,9 @@ class CcFprProtocol final : public net::MacProtocol {
 
   [[nodiscard]] const char* name() const override { return "CC-FPR"; }
 
+  // The base's requester-mask overload delegates here (CC-FPR's
+  // round-robin scan depends on position, not on who requests).
+  using net::MacProtocol::plan_next_slot;
   [[nodiscard]] net::SlotPlan plan_next_slot(
       const std::vector<core::Request>& requests, NodeId current_master,
       SlotIndex slot) override;

@@ -21,6 +21,9 @@ class TdmaProtocol final : public net::MacProtocol {
 
   [[nodiscard]] const char* name() const override { return "TDMA"; }
 
+  // The base's requester-mask overload delegates here (the TDMA owner
+  // is a pure function of the slot index).
+  using net::MacProtocol::plan_next_slot;
   [[nodiscard]] net::SlotPlan plan_next_slot(
       const std::vector<core::Request>& requests, NodeId current_master,
       SlotIndex slot) override;

@@ -1,6 +1,5 @@
 #include "core/arbitration.hpp"
 
-#include <algorithm>
 #include <array>
 
 #include "common/error.hpp"
@@ -9,6 +8,13 @@ namespace ccredf::core {
 
 ArbitrationResult Arbiter::arbitrate(const std::vector<Request>& requests,
                                      NodeId current_master) const {
+  return arbitrate(requests, current_master,
+                   NodeSet::first_n(static_cast<NodeId>(requests.size())));
+}
+
+ArbitrationResult Arbiter::arbitrate(const std::vector<Request>& requests,
+                                     NodeId current_master,
+                                     NodeSet candidates) const {
   CCREDF_EXPECT(requests.size() == topo_.nodes(),
                 "Arbiter: need exactly one request per node");
   CCREDF_EXPECT(current_master < topo_.nodes(),
@@ -17,17 +23,31 @@ ArbitrationResult Arbiter::arbitrate(const std::vector<Request>& requests,
   // Collect the actual requesters and sort them by (priority desc, index
   // asc).  Idle nodes (priority 0) sort after every requester anyway, so
   // skipping them up front is equivalent to the full sort that the master
-  // conceptually performs -- and keeps the work stack-only.
+  // conceptually performs -- and keeps the work stack-only.  NodeSet
+  // iterates in ascending node order, so restricting the scan to the
+  // caller's candidate superset visits the same requesters the full
+  // index loop would.
   std::array<NodeId, kMaxNodes> order;
   std::size_t requesters = 0;
-  for (NodeId i = 0; i < requests.size(); ++i) {
+  for (const NodeId i : candidates) {
     if (requests[i].wants_slot()) order[requesters++] = i;
   }
-  std::sort(order.begin(), order.begin() + requesters,
-            [&](NodeId a, NodeId b) {
-              return request_before(requests[a].priority, a,
-                                    requests[b].priority, b);
-            });
+  // Steady-state requester counts are tiny (a couple of nodes), where
+  // an insertion sort beats std::sort's dispatch; request_before is a
+  // total order (node index breaks every tie), so any correct sort
+  // produces the same permutation.
+  for (std::size_t k = 1; k < requesters; ++k) {
+    const NodeId v = order[k];
+    const Priority pv = requests[v].priority;
+    std::size_t j = k;
+    while (j > 0 &&
+           request_before(pv, v, requests[order[j - 1]].priority,
+                          order[j - 1])) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = v;
+  }
 
   ArbitrationResult result;
   if (requesters == 0) {

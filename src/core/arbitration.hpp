@@ -43,6 +43,16 @@ class Arbiter {
   [[nodiscard]] ArbitrationResult arbitrate(
       const std::vector<Request>& requests, NodeId current_master) const;
 
+  /// Hot-path variant: `candidates` is any superset of the requesting
+  /// nodes (every node outside it must be idle).  Scans only the set
+  /// members instead of all N request records -- the slot engine passes
+  /// its dirty-requester mask, which on a lightly loaded ring is a
+  /// couple of bits.  Identical result to the full scan: set iteration
+  /// is in ascending node order and idle members are skipped.
+  [[nodiscard]] ArbitrationResult arbitrate(
+      const std::vector<Request>& requests, NodeId current_master,
+      NodeSet candidates) const;
+
   /// The deterministic request ordering used by the master: higher
   /// priority first, lower node index breaking ties (paper §3).
   [[nodiscard]] static bool request_before(Priority pa, NodeId na,

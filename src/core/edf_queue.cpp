@@ -44,15 +44,9 @@ void EdfQueueSet::push(Message msg) {
   ++version_;
 }
 
-const Message* EdfQueueSet::first_eligible(const std::vector<Message>& q,
-                                           HeadCache& cache,
-                                           sim::TimePoint sample) const {
-  if (cache.version == version_ && sample >= cache.sample &&
-      sample < cache.min_skipped_arrival) {
-    // Unmutated, and nothing skipped last time has arrived by `sample`:
-    // the answer cannot have changed.
-    return cache.index == kNoHead ? nullptr : &q[cache.index];
-  }
+const Message* EdfQueueSet::first_eligible_scan(const std::vector<Message>& q,
+                                                HeadCache& cache,
+                                                sim::TimePoint sample) const {
   cache.version = version_;
   cache.sample = sample;
   cache.index = kNoHead;
@@ -65,15 +59,6 @@ const Message* EdfQueueSet::first_eligible(const std::vector<Message>& q,
     cache.min_skipped_arrival =
         std::min(cache.min_skipped_arrival, q[i].arrival);
   }
-  return nullptr;
-}
-
-const Message* EdfQueueSet::head(sim::TimePoint sample) const {
-  // Class precedence (paper §3): RT strictly before BE before NRT, even if
-  // a queued BE message has a tighter deadline.
-  if (const Message* m = first_eligible(rt_, rt_head_, sample)) return m;
-  if (const Message* m = first_eligible(be_, be_head_, sample)) return m;
-  if (const Message* m = first_eligible(nrt_, nrt_head_, sample)) return m;
   return nullptr;
 }
 
@@ -99,8 +84,6 @@ std::optional<Message> EdfQueueSet::consume_at(std::vector<Message>& q,
   ++version_;
   return done;
 }
-
-bool EdfQueueSet::contains(MessageId id) const { return index_.contains(id); }
 
 std::optional<Message> EdfQueueSet::consume_slot(MessageId id) {
   const IndexEntry* entry = index_.find(id);

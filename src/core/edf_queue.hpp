@@ -34,11 +34,22 @@ class EdfQueueSet {
   /// The message the node would request a slot for at time `sample`:
   /// the earliest-deadline *eligible* (arrival <= sample) message of the
   /// highest non-empty class.  Returns nullptr when nothing is eligible.
-  /// The pointer stays valid until the next mutating call.
-  [[nodiscard]] const Message* head(sim::TimePoint sample) const;
+  /// The pointer stays valid until the next mutating call.  Inline: the
+  /// collection phase calls this once per candidate per slot, and the
+  /// memoised answer (unchanged queue, monotone sample) is a few loads.
+  [[nodiscard]] const Message* head(sim::TimePoint sample) const {
+    // Class precedence (paper §3): RT strictly before BE before NRT,
+    // even if a queued BE message has a tighter deadline.
+    if (const Message* m = first_eligible(rt_, rt_head_, sample)) return m;
+    if (const Message* m = first_eligible(be_, be_head_, sample)) return m;
+    if (const Message* m = first_eligible(nrt_, nrt_head_, sample)) return m;
+    return nullptr;
+  }
 
   /// True iff message `id` is still queued.
-  [[nodiscard]] bool contains(MessageId id) const;
+  [[nodiscard]] bool contains(MessageId id) const {
+    return index_.contains(id);
+  }
 
   /// Marks one slot of message `id` as transmitted; removes the message
   /// when its last slot has been sent and returns the completed Message.
@@ -101,7 +112,18 @@ class EdfQueueSet {
   void insert_edf(std::vector<Message>& q, Message msg);
   [[nodiscard]] const Message* first_eligible(const std::vector<Message>& q,
                                               HeadCache& cache,
-                                              sim::TimePoint sample) const;
+                                              sim::TimePoint sample) const {
+    if (cache.version == version_ && sample >= cache.sample &&
+        sample < cache.min_skipped_arrival) {
+      // Unmutated, and nothing skipped last time has arrived by
+      // `sample`: the answer cannot have changed.
+      return cache.index == kNoHead ? nullptr : &q[cache.index];
+    }
+    return first_eligible_scan(q, cache, sample);
+  }
+  [[nodiscard]] const Message* first_eligible_scan(
+      const std::vector<Message>& q, HeadCache& cache,
+      sim::TimePoint sample) const;
   std::optional<Message> consume_at(std::vector<Message>& q,
                                     std::size_t pos);
   [[nodiscard]] std::size_t locate_sorted(const std::vector<Message>& q,

@@ -1,6 +1,8 @@
 #include "core/priority.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 namespace ccredf::core {
 
@@ -19,13 +21,12 @@ std::int64_t LogarithmicMapper::steps(std::int64_t laxity_slots) const {
   // floor(log2(1 + laxity)): 1+laxity in [2^k, 2^(k+1)) => k steps, so
   // laxity 0 => 0, 1..2 => 1, 3..6 => 2, 7..14 => 3, ... -- one level per
   // doubling, finest resolution near the deadline.
-  std::int64_t v = 1 + laxity_slots;
-  std::int64_t k = 0;
-  while (v > 1) {
-    v >>= 1;
-    ++k;
-  }
-  return k;
+  // bit_width(v) - 1 == floor(log2(v)); the callers clamp laxity >= 0,
+  // so 1 + laxity is always positive.  One instruction on the per-sample
+  // hot path instead of a shift loop.
+  return static_cast<std::int64_t>(
+             std::bit_width(static_cast<std::uint64_t>(1 + laxity_slots))) -
+         1;
 }
 
 }  // namespace ccredf::core

@@ -1,6 +1,8 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
+#include <array>
+#include <limits>
 #include <utility>
 
 #include "ring/segment.hpp"
@@ -131,6 +133,89 @@ void FaultInjector::set_babbling_node(NodeId id, double p) {
                 "FaultInjector: babble probability out of [0,1]");
   babbler_ = id;
   babble_p_ = p;
+}
+
+SlotIndex FaultInjector::first_idle_fault_slot(SlotIndex from,
+                                               SlotIndex limit) {
+  if (limit <= from) return from;
+  // Scheduled faults: the earliest entry at or after `from` caps the
+  // quiet range (entries before `from` can never fire again -- slot
+  // indices only grow).  Payload faults are exempt: an idle slot
+  // completes no transfer, so filter_data is never consulted, exactly
+  // as in slot-by-slot execution.
+  const auto first_targeted = [from](const std::vector<TargetedFault>& v) {
+    const auto it = std::lower_bound(
+        v.begin(), v.end(), from,
+        [](const TargetedFault& f, SlotIndex s) { return f.slot < s; });
+    return it == v.end() ? std::numeric_limits<SlotIndex>::max() : it->slot;
+  };
+  SlotIndex lim = limit;
+  {
+    const auto it = std::lower_bound(scheduled_losses_.begin(),
+                                     scheduled_losses_.end(), from);
+    if (it != scheduled_losses_.end()) lim = std::min(lim, *it);
+  }
+  lim = std::min(lim, first_targeted(collection_drops_));
+  lim = std::min(lim, first_targeted(collection_corruptions_));
+  lim = std::min(lim, first_targeted(distribution_corruptions_));
+  if (lim <= from) return from;
+
+  // Random axes: replay the keyed draws of each slot.  Exposure is
+  // constant across an idle stretch (master and failure set are frozen
+  // while the engine fast-forwards), so per-node path probabilities are
+  // computed once.
+  const bool ber_active = ber_.has_value() && ber_->enabled();
+  const bool babble_active = babble_p_ > 0.0 && babbler_ != kInvalidNode &&
+                             !net_.node(babbler_).failed();
+  if (!ber_active && !babble_active && random_loss_p_ <= 0.0) return lim;
+
+  const NodeId n = net_.nodes();
+  const NodeId master = net_.current_master();
+  std::array<double, kMaxNodes> collection_p{};
+  std::size_t live = 0;
+  std::array<NodeId, kMaxNodes> live_node{};
+  std::size_t request_bits = 0;
+  std::size_t distribution_bits = 0;
+  double distribution_p = 0.0;
+  if (ber_active) {
+    const core::FrameCodec& codec = net_.codec();
+    request_bits = static_cast<std::size_t>(codec.request_bits());
+    distribution_bits = static_cast<std::size_t>(codec.distribution_bits());
+    distribution_p = ber_->path_error_probability(master, n - 1);
+    for (NodeId h = 0; h < n; ++h) {
+      const NodeId j = net_.topology().downstream(master, h);
+      if (net_.node(j).failed()) continue;
+      // Mirror filter_request: node j's record rides N-h links back to
+      // the master (the master's own record rides the whole loop).
+      const NodeId hops = h == 0 ? n : n - h;
+      live_node[live] = j;
+      collection_p[live] = ber_->path_error_probability(j, hops);
+      ++live;
+    }
+  }
+
+  for (SlotIndex s = from; s < lim; ++s) {
+    if (random_loss_p_ > 0.0 &&
+        rng_at(s, kChanDrop).bernoulli(random_loss_p_)) {
+      return s;
+    }
+    if (babble_active &&
+        rng_at(s, kChanBabble + babbler_).bernoulli(babble_p_)) {
+      return s;
+    }
+    if (!ber_active) continue;
+    for (std::size_t i = 0; i < live; ++i) {
+      if (ber_->count_flips(s, kChanCollection + live_node[i],
+                            collection_p[i], request_bits) != 0) {
+        return s;
+      }
+    }
+    if (ber_->count_flips(s, kChanDistribution, distribution_p,
+                          distribution_bits) != 0) {
+      return s;
+    }
+  }
+  return lim;
 }
 
 bool FaultInjector::drop_distribution(SlotIndex slot) {

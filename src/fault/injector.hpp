@@ -103,6 +103,16 @@ class FaultInjector final : public net::FaultHook {
   }
 
   // net::FaultHook
+  /// Fast-forward probe: replays every keyed draw the fault path would
+  /// make on an all-idle slot (token-loss bernoulli, babble bernoulli,
+  /// control-BER flip counts per live node, distribution-BER flip count)
+  /// WITHOUT materialising frames or mutating counters, and returns the
+  /// first slot in [from, limit) where any of them fires.  Because all
+  /// randomness is keyed on (slot, channel), the probe and the full
+  /// fault path always agree -- the engine's batched geometric-skip
+  /// fallback rests on this.
+  [[nodiscard]] SlotIndex first_idle_fault_slot(SlotIndex from,
+                                                SlotIndex limit) override;
   bool drop_distribution(SlotIndex slot) override;
   RequestFault filter_request(SlotIndex slot, NodeId hop, NodeId node,
                               core::Request& rq) override;

@@ -26,6 +26,16 @@ class CcrEdfProtocol final : public MacProtocol {
     return SlotPlan{r.next_master, r.packet.granted};
   }
 
+  /// Arbitration only touches the requesting nodes, so the engine's
+  /// dirty-requester mask lets the arbiter skip the idle majority.
+  [[nodiscard]] SlotPlan plan_next_slot(
+      const std::vector<core::Request>& requests, NodeId current_master,
+      SlotIndex /*slot*/, NodeSet requesters) override {
+    const core::ArbitrationResult r =
+        arbiter_.arbitrate(requests, current_master, requesters);
+    return SlotPlan{r.next_master, r.packet.granted};
+  }
+
   [[nodiscard]] sim::Duration gap(NodeId from, NodeId to) const override {
     return handover_.gap(from, to);
   }
@@ -33,6 +43,10 @@ class CcrEdfProtocol final : public MacProtocol {
   [[nodiscard]] sim::Duration max_gap() const override {
     return handover_.max_gap();
   }
+
+  /// §3: with zero requesters arbitration returns the current master and
+  /// an empty grant set -- the idle slot is a fixed point.
+  [[nodiscard]] bool idle_keeps_master() const override { return true; }
 
   [[nodiscard]] const core::Arbiter& arbiter() const { return arbiter_; }
 

@@ -89,6 +89,14 @@ struct NetworkConfig {
   /// NetworkStats still see every delivery.
   bool record_inboxes = true;
 
+  /// Slot fast-forward: when the ring is provably idle (no queued
+  /// messages, no pending grants/acks, master keeps the clock) and no
+  /// event fires before a slot's end, the engine advances whole slots
+  /// arithmetically instead of simulating them.  Statistics are bitwise
+  /// identical either way (DESIGN.md §8); off only to benchmark the
+  /// slot-by-slot path or to debug the engine itself.
+  bool fast_forward = true;
+
   /// Per-node transmit-buffer capacity in messages; 0 = unlimited.
   /// When full, new best-effort / non-real-time messages are tail-dropped
   /// (counted in NetworkStats); real-time releases are never dropped --

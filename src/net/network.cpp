@@ -84,10 +84,28 @@ Network::Network(NetworkConfig cfg)
   }
   // Per-slot scratch: at most one request and one completed delivery per
   // node per slot, so this capacity is final.
-  rec_.requests.reserve(cfg_.nodes);
+  rec_.requests.assign(cfg_.nodes, core::Request{});
   rec_.deliveries.reserve(cfg_.nodes);
   rec_.corrupt_deliveries.reserve(cfg_.nodes);
   stats_.per_node_faults.resize(cfg_.nodes);
+  stats_.node_requests.assign(cfg_.nodes, 0);
+  stats_.node_grants.assign(cfg_.nodes, 0);
+
+  // Collection sampling offsets depend only on (master, node): precompute
+  // the full table once so the per-slot path never recomputes a path
+  // delay.  Offsets grow with hop count, so each master's furthest node
+  // (hop N-1) carries its last-sample offset.
+  sample_off_.resize(static_cast<std::size_t>(cfg_.nodes) * cfg_.nodes);
+  for (NodeId m = 0; m < cfg_.nodes; ++m) {
+    for (NodeId h = 0; h < cfg_.nodes; ++h) {
+      const NodeId j = topo_.downstream(m, h);
+      sample_off_[static_cast<std::size_t>(m) * cfg_.nodes + j] =
+          control_->sample_offset(m, h);
+    }
+    last_sample_off_[m] =
+        sample_off_[static_cast<std::size_t>(m) * cfg_.nodes +
+                    topo_.downstream(m, cfg_.nodes - 1)];
+  }
 }
 
 Node& Network::node(NodeId id) {
@@ -135,7 +153,12 @@ MessageId Network::enqueue(NodeId src, NodeSet dests, core::TrafficClass cls,
   m.release_index = release_index;
   m.payload_bytes = size_slots * timing_->payload_bytes();
   nodes_[src].queues().push(std::move(m));
+  soa_.queued.insert(src);
   return id;
+}
+
+void Network::refresh_queued_bit(NodeId src) {
+  if (nodes_[src].queues().empty()) soa_.queued.erase(src);
 }
 
 MessageId Network::send(NodeId src, NodeSet dests, core::TrafficClass cls,
@@ -198,7 +221,7 @@ void Network::release_message(ConnectionId id) {
       release_t + timing_->slot() * p.effective_deadline_slots();
   enqueue(p.source, p.dests, core::TrafficClass::kRealTime, p.size_slots,
           deadline, id, st.released);
-  ++stats_.per_connection[id].released;
+  ++conn_stats_slot(id).released;
   ++st.released;
   const sim::TimePoint next =
       st.base + timing_->slot() * (p.period_slots * st.released);
@@ -211,6 +234,7 @@ bool Network::close_connection(ConnectionId id) {
   it->second.open = false;
   sim_.cancel(it->second.next_event);
   nodes_[it->second.params.source].queues().drop_connection(id);
+  refresh_queued_bit(it->second.params.source);
   return admission_.release(id);
 }
 
@@ -218,12 +242,15 @@ void Network::fail_node(NodeId id) {
   Node& n = node(id);
   n.set_failed(true);
   n.queues().clear();
+  soa_.failed.insert(id);
+  soa_.queued.erase(id);
   trace_.emit(sim_.now(), sim::TraceCategory::kFault,
               [id] { return "node " + std::to_string(id) + " failed"; });
 }
 
 void Network::restore_node(NodeId id) {
   node(id).set_failed(false);
+  soa_.failed.erase(id);
   trace_.emit(sim_.now(), sim::TraceCategory::kFault,
               [id] { return "node " + std::to_string(id) + " restored"; });
 }
@@ -231,16 +258,18 @@ void Network::restore_node(NodeId id) {
 void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
   int executed = 0;
   for (const NodeId g : current_granted_) {
-    const auto& b = bindings_[g];
     Node& src = nodes_[g];
-    if (!b || src.failed() || !src.queues().contains(b->message)) {
+    if (!soa_.bound.contains(g) || src.failed() ||
+        !src.queues().contains(soa_.bind_msg[g])) {
       ++stats_.wasted_grants;
       continue;
     }
     ++executed;
     ++stats_.total_grants;
-    auto done = src.queues().consume_slot(b->message);
+    ++stats_.node_grants[g];
+    auto done = src.queues().consume_slot(soa_.bind_msg[g]);
     if (!done) continue;  // more slots of this message remain
+    refresh_queued_bit(g);  // the consumed message may have drained g
 
     core::Delivery d;
     d.id = done->id;
@@ -249,7 +278,7 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
     d.traffic_class = done->traffic_class;
     d.connection = done->connection;
     d.arrival = done->arrival;
-    d.completed = slot_end + phy_->path_delay(g, b->hops);
+    d.completed = slot_end + phy_->path_delay(g, soa_.bind_hops[g]);
     d.deadline = done->deadline;
     d.size_slots = done->size_slots;
 
@@ -261,7 +290,7 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
       if (cfg_.with_payload_crc) payload_bits += 32 * done->size_slots;
       using DataF = FaultHook::DataFault;
       const DataF fate =
-          fault_hook_->filter_data(slot_, g, b->hops, payload_bits);
+          fault_hook_->filter_data(slot_, g, soa_.bind_hops[g], payload_bits);
       if (fate != DataF::kNone) {
         ++stats_.faults.payload_corruptions;
         ++stats_.per_node_faults[g].payloads_corrupted;
@@ -281,7 +310,7 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
     }
     rec.deliveries.push_back(d);
 
-    for (const NodeId dst : b->dests) {
+    for (const NodeId dst : soa_.bind_dests[g]) {
       if (!nodes_[dst].failed()) nodes_[dst].deliver(d);
     }
     auto& cs = stats_.cls(done->traffic_class);
@@ -296,7 +325,7 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
     if (sched_miss) ++cs.scheduling_misses;
     if (user_miss) ++cs.user_misses;
     if (done->connection != kNoConnection) {
-      auto& conn = stats_.per_connection[done->connection];
+      auto& conn = conn_stats_slot(done->connection);
       ++conn.delivered;
       conn.latency.add(d.latency());
       if (sched_miss) ++conn.scheduling_misses;
@@ -310,24 +339,65 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
 }
 
 void Network::collect_requests(std::vector<core::Request>& reqs) {
-  reqs.assign(nodes(), core::Request{});
-  for (auto& b : bindings_) b.reset();
+  // SoA dirty tracking: only the entries the previous slot wrote need
+  // clearing (the reused vector keeps everything else idle already).
+  for (const NodeId j : requesters_) reqs[j] = core::Request{};
+  requesters_ = NodeSet{};
+  soa_.bound = NodeSet{};
+
+  const sim::Duration* off =
+      &sample_off_[static_cast<std::size_t>(master_) * nodes()];
+  const auto bind = [&](NodeId j, const core::Message& m,
+                        sim::TimePoint sample) {
+    if (soa_.bind_msg[j] != m.id) {
+      // New head at this node: compute its transmission geometry once.
+      // Message ids are never reused and dests are immutable, so a
+      // matching bind_msg means hops/links/dests are already right
+      // (heads typically persist several slots awaiting their grant).
+      const auto seg = ring::Segment::for_transmission(topo_, j, m.dests);
+      soa_.bind_msg[j] = m.id;
+      soa_.bind_hops[j] = seg.hops();
+      soa_.bind_links[j] = seg.links();
+      soa_.bind_dests[j] = m.dests;
+    }
+    reqs[j].priority = priority_of(m, sample);
+    reqs[j].links = soa_.bind_links[j];
+    reqs[j].dests = m.dests;
+    soa_.bound.insert(j);
+    requesters_.insert(j);
+    ++stats_.node_requests[j];
+  };
+
+  const sim::TimePoint last_sample = slot_start_ + last_sample_off_[master_];
+  if (fault_hook_ == nullptr && sim_.next_event_time() > last_sample) {
+    // Fast path: no event fires inside the sampling window (strict
+    // comparison -- an event AT a sample time must precede that sample)
+    // and no fault hook intercepts idle records, so only nodes with a
+    // queued message can produce a request.  Sampling order is
+    // irrelevant here: each node's sample depends only on its own
+    // offset, and no event interleaves.
+    const NodeSet candidates = soa_.queued & ~soa_.failed;
+    for (const NodeId j : candidates) {
+      const sim::TimePoint sample = slot_start_ + off[j];
+      const core::Message* m = nodes_[j].queues().head(sample);
+      if (m != nullptr) bind(j, *m, sample);
+    }
+    // Mirror the slow path's final run_until(sample of hop N-1).
+    sim_.advance_to(last_sample);
+    return;
+  }
+
   for (NodeId h = 0; h < nodes(); ++h) {
     const NodeId j = topo_.downstream(master_, h);
     // The collection packet reaches node j after propagating h hops and
     // being delayed in each intermediate node (t_node of Eq. 2).
-    const sim::TimePoint sample =
-        slot_start_ + control_->sample_offset(master_, h);
+    const sim::TimePoint sample = slot_start_ + off[j];
     sim_.run_until(sample);
     Node& nd = nodes_[j];
     if (nd.failed()) continue;
-    const core::Message* m = nd.queues().head(sample);
-    if (m != nullptr) {
-      const auto seg = ring::Segment::for_transmission(topo_, j, m->dests);
-      reqs[j].priority = priority_of(*m, sample);
-      reqs[j].links = seg.links();
-      reqs[j].dests = m->dests;
-      bindings_[j] = Binding{m->id, seg.hops(), m->dests};
+    if (soa_.queued.contains(j)) {
+      const core::Message* m = nd.queues().head(sample);
+      if (m != nullptr) bind(j, *m, sample);
     }
     if (fault_hook_ == nullptr) continue;
     using RF = FaultHook::RequestFault;
@@ -337,7 +407,8 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
       case RF::kDropped:
         // The record died on the wire: the master sees an idle node.
         reqs[j] = core::Request{};
-        bindings_[j].reset();
+        soa_.bound.erase(j);
+        requesters_.erase(j);
         ++stats_.faults.collection_drops;
         ++stats_.per_node_faults[j].requests_dropped;
         break;
@@ -346,7 +417,8 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
         // containment action is to treat the node as idle this round
         // (its message stays queued and re-requests next slot).
         reqs[j] = core::Request{};
-        bindings_[j].reset();
+        soa_.bound.erase(j);
+        requesters_.erase(j);
         ++stats_.faults.collection_corruptions;
         ++stats_.faults.collection_detected;
         ++stats_.per_node_faults[j].requests_corrupted;
@@ -356,6 +428,7 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
         // Corruption passed the guards: arbitration acts on the mutated
         // fields.  The binding stays -- if granted, the node transmits
         // its real message (only the master's view was lied to).
+        requesters_.insert(j);
         ++stats_.faults.collection_corruptions;
         ++stats_.faults.collection_silent;
         ++stats_.per_node_faults[j].requests_corrupted;
@@ -364,7 +437,8 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
         // Babbling node: a fabricated request with no message behind
         // it.  If granted, the grant is wasted (execute_grants counts
         // it) and the slot capacity is lost to the babbler.
-        bindings_[j].reset();
+        soa_.bound.erase(j);
+        requesters_.insert(j);
         ++stats_.faults.spurious_requests;
         ++stats_.per_node_faults[j].spurious_requests;
         break;
@@ -432,13 +506,15 @@ void Network::step_slot() {
   if (nodes_[master_].failed()) token_lost = true;
   SlotPlan plan;
   if (!token_lost) {
-    plan = protocol_->plan_next_slot(requests, master_, slot_);
+    plan = protocol_->plan_next_slot(requests, master_, slot_, requesters_);
     // Priority-inversion accounting: the globally most urgent requester
     // must be among the granted (always true for CCR-EDF; the simple
-    // clocking strategy of CC-FPR violates it -- paper §1).
+    // clocking strategy of CC-FPR violates it -- paper §1).  requesters_
+    // covers every non-idle entry (mask order = index order, so ties
+    // resolve exactly as the full scan did).
     NodeId hp = kInvalidNode;
     core::Priority best = 0;
-    for (NodeId i = 0; i < requests.size(); ++i) {
+    for (const NodeId i : requesters_) {
       if (requests[i].priority > best) {
         best = requests[i].priority;
         hp = i;
@@ -495,7 +571,7 @@ void Network::step_slot() {
           plan.granted = NodeSet{};
           rec.acks = NodeSet{};
           rec.nacks = NodeSet{};
-          for (auto& b : bindings_) b.reset();
+          soa_.bound = NodeSet{};
         } else if (collision) {
           // Undetectable: the extra node believes its request was
           // granted and transmits into links arbitration gave to
@@ -504,7 +580,7 @@ void Network::step_slot() {
           // shrink.
           ++stats_.faults.silent_misarbitrations;
           plan.granted = NodeSet{};
-          for (auto& b : bindings_) b.reset();
+          soa_.bound = NodeSet{};
         } else {
           // Only cleared bits: granted nodes stay silent, capacity is
           // lost but nothing collides -- harmless degradation.
@@ -560,7 +636,7 @@ void Network::step_slot() {
     // The acks and NACKs died with the distribution packet.
     rec.acks = NodeSet{};
     rec.nacks = NodeSet{};
-    for (auto& b : bindings_) b.reset();
+    soa_.bound = NodeSet{};
   } else {
     gap = protocol_->gap(master_, plan.next_master);
   }
@@ -572,7 +648,7 @@ void Network::step_slot() {
   stats_.time_in_gaps += gap;
   stats_.gap.add(gap);
   stats_.handover_hops.add(
-      static_cast<double>(topo_.hops(master_, plan.next_master)));
+      static_cast<std::int64_t>(topo_.hops(master_, plan.next_master)));
   ++stats_.slots;
 
   trace_.emit(slot_start_, sim::TraceCategory::kSlot, [&] {
@@ -591,13 +667,97 @@ void Network::step_slot() {
   for (const auto& obs : observers_) obs(rec);
 }
 
+std::int64_t Network::try_fast_forward(std::int64_t max_slots) {
+  if (!cfg_.fast_forward || max_slots <= 0) return 0;
+  // A slot is skippable only when it is provably the idle fixed point:
+  // nothing transmits (no live node has a queued message, no grants or
+  // ack/NACK bits are in flight), the protocol keeps the master on an
+  // all-idle slot, the master is alive (a dead master is the token-loss
+  // path), and nobody observes per-slot artefacts.
+  if (!protocol_->idle_keeps_master()) return 0;
+  if (!observers_.empty() || trace_.enabled(sim::TraceCategory::kSlot)) {
+    return 0;
+  }
+  if (!(soa_.queued & ~soa_.failed).empty()) return 0;
+  if (!current_granted_.empty()) return 0;
+  if (!pending_acks_.empty() || !pending_nacks_.empty()) return 0;
+  if (soa_.failed.contains(master_)) return 0;
+
+  const sim::Duration t_slot = timing_->slot();
+  const sim::Duration g = protocol_->gap(master_, master_);
+  const sim::Duration step = t_slot + g;
+
+  // Only slots ending STRICTLY before the next event are skippable: an
+  // event landing inside (or exactly at the end of) a slot could release
+  // a message a later collection sample of that slot would see, so that
+  // slot is simulated normally.
+  std::int64_t k = max_slots;
+  const sim::TimePoint t_next = sim_.next_event_time();
+  if (t_next < sim::TimePoint::infinity()) {
+    const sim::Duration avail = t_next - slot_start_ - t_slot;
+    if (avail <= sim::Duration::zero()) return 0;
+    // Count of i >= 0 with i*step < avail, i.e. ceil(avail / step).
+    const std::int64_t fit = (avail.ps() + step.ps() - 1) / step.ps();
+    k = std::min(k, fit);
+  }
+  if (fault_hook_ != nullptr) {
+    // With fault axes armed, fall back to batched keyed probes: the hook
+    // reports the first slot in range that could fire.  The draws stay
+    // keyed to (slot, channel), so probing preserves byte-determinism.
+    const SlotIndex quiet =
+        fault_hook_->first_idle_fault_slot(slot_, slot_ + k);
+    k = std::min<std::int64_t>(k, quiet - slot_);
+  }
+  if (k <= 0) return 0;
+
+  // Advance every aggregate arithmetically.  ExactStats::add_n is
+  // bitwise identical to k sequential adds, and per-node idle accounting
+  // is derived (slots grow, node_requests do not), so the fast-forward
+  // and slot-by-slot paths produce byte-identical statistics.
+  stats_.slots += k;
+  stats_.ff_slots_skipped += k;
+  ++stats_.ff_windows;
+  stats_.time_in_slots += t_slot * k;
+  stats_.time_in_gaps += g * k;
+  stats_.gap.add_n(g.ps(), k);
+  stats_.handover_hops.add_n(0, k);
+
+  const sim::TimePoint last_end = slot_start_ + step * (k - 1) + t_slot;
+  sim_.advance_to(last_end);  // no event precedes last_end, by the bound
+  slot_ += k;
+  slot_start_ = last_end + g;
+  return k;
+}
+
 void Network::run_slots(std::int64_t n) {
-  for (std::int64_t i = 0; i < n; ++i) step_slot();
+  std::int64_t done = 0;
+  while (done < n) {
+    done += try_fast_forward(n - done);
+    if (done >= n) break;
+    step_slot();
+    ++done;
+  }
 }
 
 void Network::run_for(sim::Duration d) {
   const sim::TimePoint horizon = sim_.now() + d;
-  while (slot_start_ < horizon) step_slot();
+  // gap(m, m) is only meaningful for protocols with the idle fixed point
+  // (CC-FPR asserts on non-adjacent hand-overs), so gate up front.
+  const bool can_ff = cfg_.fast_forward && protocol_->idle_keeps_master();
+  while (slot_start_ < horizon) {
+    if (can_ff) {
+      // Mirror the slot-by-slot loop: only slots STARTING before the
+      // horizon run, so bound the skip by the same condition.  The gap
+      // of an idle slot is fixed, so the bound is exact arithmetic.
+      const sim::Duration step =
+          timing_->slot() + protocol_->gap(master_, master_);
+      const sim::Duration room = horizon - slot_start_;
+      const std::int64_t starts =
+          (room.ps() + step.ps() - 1) / step.ps();  // ceil: starts < horizon
+      if (try_fast_forward(starts) > 0) continue;
+    }
+    step_slot();
+  }
 }
 
 }  // namespace ccredf::net

@@ -139,6 +139,20 @@ class FaultHook {
                                 std::int64_t /*payload_bits*/) {
     return DataFault::kNone;
   }
+
+  /// Fast-forward probe: the first slot in [from, limit) in which this
+  /// hook COULD fire a fault on an all-idle slot (no data transfers, no
+  /// requesters), or `limit` if the whole range is provably quiet.  The
+  /// engine only skips slots the probe clears, then simulates the flagged
+  /// slot normally -- so a conservative answer costs speed, never
+  /// correctness.  Because injector randomness is keyed per (slot,
+  /// channel), probing MUST NOT perturb any stream the fault path draws
+  /// from.  The default claims no slot is quiet, which disables
+  /// fast-forward for hooks that do not implement the probe.
+  [[nodiscard]] virtual SlotIndex first_idle_fault_slot(SlotIndex from,
+                                                        SlotIndex /*limit*/) {
+    return from;
+  }
 };
 
 class Network {
@@ -156,6 +170,7 @@ class Network {
   [[nodiscard]] const core::FrameCodec& codec() const { return *codec_; }
   [[nodiscard]] MacProtocol& protocol() { return *protocol_; }
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const sim::Simulator& sim() const { return sim_; }
   [[nodiscard]] sim::Trace& trace() { return trace_; }
   [[nodiscard]] core::AdmissionController& admission() { return admission_; }
   [[nodiscard]] const core::AdmissionController& admission() const {
@@ -223,11 +238,37 @@ class Network {
     return recovery_time_;
   }
 
+  /// Nodes whose transmit queues are non-empty right now (dirty-node
+  /// tracking; maintained incrementally at every queue mutation site).
+  [[nodiscard]] NodeSet queued_nodes() const { return soa_.queued; }
+  /// Nodes currently failed (mirror of the per-node flags as a mask).
+  [[nodiscard]] NodeSet failed_nodes() const { return soa_.failed; }
+
  private:
-  struct Binding {
-    MessageId message = 0;
-    NodeId hops = 0;       // to furthest destination
-    NodeSet dests;
+  /// Struct-of-arrays hot state: everything the per-slot pipeline reads
+  /// or writes for "which nodes matter this slot" lives in parallel flat
+  /// arrays indexed by node, guarded by bitmask sets -- so the steady
+  /// state touches O(active nodes), not O(N), and the fast-forward
+  /// predicate is a handful of mask tests.
+  struct SoaState {
+    /// Nodes with at least one queued message (candidates for the
+    /// collection phase; kept in sync at every queue mutation).
+    NodeSet queued;
+    /// Nodes in fail-silent state (mirror of Node::failed()).
+    NodeSet failed;
+    /// Nodes with a live request->message binding from the last
+    /// collection phase (replaces an array of optionals: clearing all
+    /// bindings is one mask store).
+    NodeSet bound;
+    // Parallel binding arrays, valid where `bound` has the bit set.
+    // bind_msg doubles as a geometry memo across slots: message ids are
+    // never reused and a message's destination set is immutable, so
+    // while a head message waits for its grant (bind_msg unchanged) the
+    // segment computation is skipped and hops/links/dests are reused.
+    std::array<MessageId, kMaxNodes> bind_msg{};
+    std::array<NodeId, kMaxNodes> bind_hops{};  // to furthest destination
+    std::array<LinkSet, kMaxNodes> bind_links{};
+    std::array<NodeSet, kMaxNodes> bind_dests{};
   };
   struct ReleaseState {
     core::ConnectionParams params;
@@ -240,12 +281,36 @@ class Network {
   void step_slot();
   void execute_grants(SlotRecord& rec, sim::TimePoint slot_end);
   void collect_requests(std::vector<core::Request>& reqs);
+  /// Skips up to `max_slots` provably idle slots in O(1) (plus O(live
+  /// nodes) of keyed fault probes per slot when a hook is armed);
+  /// returns the number skipped (0 = the next slot must be simulated).
+  std::int64_t try_fast_forward(std::int64_t max_slots);
+  /// Notifies the dirty-node tracking that `src`'s queue may have
+  /// drained (after a consume/drop/clear).
+  void refresh_queued_bit(NodeId src);
   void release_message(ConnectionId id);
   MessageId enqueue(NodeId src, NodeSet dests, core::TrafficClass cls,
                     std::int64_t size_slots, sim::TimePoint deadline,
                     ConnectionId conn, std::int64_t release_index);
   [[nodiscard]] core::Priority priority_of(const core::Message& m,
                                            sim::TimePoint sample) const;
+  /// Hot-path accessor for stats_.per_connection[id]: connection ids are
+  /// dense (admission hands them out sequentially from 1) and map nodes
+  /// are pointer-stable and never erased, so a flat pointer cache turns
+  /// the twice-per-message hash lookup into an array index.
+  [[nodiscard]] ConnectionStats& conn_stats_slot(ConnectionId id) {
+    if (id < conn_stats_cache_.size() && conn_stats_cache_[id] != nullptr) {
+      return *conn_stats_cache_[id];
+    }
+    ConnectionStats& slot = stats_.per_connection[id];
+    if (id < kMaxCachedConnections) {
+      if (id >= conn_stats_cache_.size()) {
+        conn_stats_cache_.resize(id + 1, nullptr);
+      }
+      conn_stats_cache_[id] = &slot;
+    }
+    return slot;
+  }
 
   NetworkConfig cfg_;
   std::unique_ptr<phy::RingPhy> phy_;
@@ -266,12 +331,24 @@ class Network {
   SlotIndex slot_ = 0;
   sim::TimePoint slot_start_;
   NodeId master_ = 0;
-  std::array<std::optional<Binding>, kMaxNodes> bindings_{};
+  SoaState soa_;
   NodeSet current_granted_;
+  /// Nodes whose entry in rec_.requests is live this slot; clearing the
+  /// reused request vector touches only these entries next slot.
+  NodeSet requesters_;
   /// Per-slot scratch, reused so steady-state slots stay allocation-free.
   SlotRecord rec_;
+  /// Precomputed collection sampling offsets, flat [master * N + node]
+  /// (kills the per-node path_delay recomputation the profile blamed for
+  /// ~15% of slot time), plus each master's last-sample offset.
+  std::vector<sim::Duration> sample_off_;
+  std::array<sim::Duration, kMaxNodes> last_sample_off_{};
 
   std::unordered_map<ConnectionId, ReleaseState> releases_;
+  /// Flat id -> &per_connection[id] cache (see conn_stats_slot); bounded
+  /// so a pathological id (never produced by admission) cannot balloon it.
+  static constexpr ConnectionId kMaxCachedConnections = 1u << 20;
+  std::vector<ConnectionStats*> conn_stats_cache_;
   /// Sources whose transfers completed last slot (ack bits for the next
   /// distribution packet when with_acks is enabled).
   NodeSet pending_acks_;

@@ -35,12 +35,32 @@ class MacProtocol {
       const std::vector<core::Request>& requests, NodeId current_master,
       SlotIndex slot) = 0;
 
+  /// Hot-path variant the slot engine calls: `requesters` is a superset
+  /// of the nodes whose request has wants_slot() set (every node outside
+  /// it is guaranteed idle).  Protocols that sort or scan requests may
+  /// restrict their work to the set; the default ignores the hint and
+  /// delegates, so the two overloads are interchangeable by contract.
+  [[nodiscard]] virtual SlotPlan plan_next_slot(
+      const std::vector<core::Request>& requests, NodeId current_master,
+      SlotIndex slot, NodeSet /*requesters*/) {
+    return plan_next_slot(requests, current_master, slot);
+  }
+
   /// Clock hand-over gap between a slot mastered by `from` and the next
   /// mastered by `to`.
   [[nodiscard]] virtual sim::Duration gap(NodeId from, NodeId to) const = 0;
 
   /// Worst-case gap (enters Eq. 4 and Eq. 6 for this protocol).
   [[nodiscard]] virtual sim::Duration max_gap() const = 0;
+
+  /// True iff an all-idle slot is a fixed point of this protocol:
+  /// plan_next_slot() on N idle requests grants nobody and keeps the
+  /// current master, for every slot index.  CCR-EDF qualifies (the
+  /// master keeps clocking when nobody requests, §3); CC-FPR and TDMA
+  /// rotate the clock every slot regardless of load, so they do not.
+  /// The engine only fast-forwards idle stretches when this holds --
+  /// otherwise the master (and with it every gap) changes slot to slot.
+  [[nodiscard]] virtual bool idle_keeps_master() const { return false; }
 };
 
 }  // namespace ccredf::net

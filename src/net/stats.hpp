@@ -142,12 +142,30 @@ struct NetworkStats {
   /// -- the priority-inversion pathology of the simple clocking strategy;
   /// always zero for CCR-EDF.
   std::int64_t priority_inversions = 0;
-  /// Clock hand-over hops distribution and gap durations.
-  sim::OnlineStats handover_hops;
-  sim::OnlineStats gap;  // ps
+  /// Clock hand-over hops distribution and gap durations.  Exact integer
+  /// moments: the fast-forward path batches k idle slots into one
+  /// add_n() call and must stay bitwise identical to k sequential adds
+  /// (see ExactStats).
+  sim::ExactStats handover_hops;
+  sim::ExactStats gap;  // ps
   /// Wall-clock accounting.
   sim::Duration time_in_slots = sim::Duration::zero();
   sim::Duration time_in_gaps = sim::Duration::zero();
+
+  /// Slots the engine fast-forwarded over (idle stretches computed
+  /// arithmetically instead of simulated; NetworkConfig::fast_forward).
+  /// Every skipped slot is also counted in `slots` -- the two paths
+  /// produce identical aggregate statistics.
+  std::int64_t ff_slots_skipped = 0;
+  /// Number of contiguous fast-forward windows taken.
+  std::int64_t ff_windows = 0;
+
+  /// Per-node activity, parallel flat arrays sized to the node count at
+  /// construction (SoA: a slot touches only the entries that changed).
+  /// node_requests[j]: slots whose collection phase sampled a live
+  /// request from node j; node_grants[j]: transmissions node j executed.
+  std::vector<std::int64_t> node_requests;
+  std::vector<std::int64_t> node_grants;
 
   std::array<ClassStats, 3> per_class;  // indexed by TrafficClass
   std::unordered_map<ConnectionId, ConnectionStats> per_connection;
@@ -162,6 +180,20 @@ struct NetworkStats {
   }
   [[nodiscard]] const ClassStats& cls(core::TrafficClass c) const {
     return per_class[static_cast<std::size_t>(c)];
+  }
+
+  /// Fraction of all slots the engine fast-forwarded over.
+  [[nodiscard]] double fast_forward_ratio() const {
+    return slots == 0 ? 0.0
+                      : static_cast<double>(ff_slots_skipped) /
+                            static_cast<double>(slots);
+  }
+
+  /// Slots in which node `j` had nothing sampled: the per-node idle
+  /// accounting the fast-forward path advances arithmetically (a skipped
+  /// slot increments `slots` and no node_requests entry).
+  [[nodiscard]] std::int64_t node_idle_slots(NodeId j) const {
+    return slots - node_requests[j];
   }
 
   /// Fraction of wall time spent inside slots (upper-bounds throughput;

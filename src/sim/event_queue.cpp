@@ -49,15 +49,6 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
-void EventQueue::drop_stale_heads() {
-  while (!heap_.empty() && stale(heap_.front())) heap_pop_top();
-}
-
-TimePoint EventQueue::next_time() {
-  drop_stale_heads();
-  return heap_.empty() ? TimePoint::infinity() : heap_.front().time;
-}
-
 EventQueue::Fired EventQueue::pop() {
   CCREDF_EXPECT(live_ > 0, "EventQueue::pop on empty queue");
   drop_stale_heads();

@@ -40,8 +40,13 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest pending event; infinity when empty.  Non-const
-  /// because it eagerly discards stale (cancelled) heap entries.
-  [[nodiscard]] TimePoint next_time();
+  /// because it eagerly discards stale (cancelled) heap entries.  Inline:
+  /// the slot engine polls this several times per slot and the common
+  /// case (fresh head, no event due) is two loads and a compare.
+  [[nodiscard]] TimePoint next_time() {
+    drop_stale_heads();
+    return heap_.empty() ? TimePoint::infinity() : heap_.front().time;
+  }
 
   /// Pops and returns the earliest event (time + callback).  Precondition:
   /// !empty().
@@ -95,7 +100,11 @@ class EventQueue {
   void sift_down(std::size_t i);
   void heap_push(HeapEntry e);
   void heap_pop_top();
-  void drop_stale_heads();
+  // Stale heads are rare (only cancellation creates them), so the loop
+  // body almost never runs -- worth inlining into next_time()/pop().
+  void drop_stale_heads() {
+    while (!heap_.empty() && stale(heap_.front())) heap_pop_top();
+  }
   void free_slot(std::uint32_t index);
 
   std::vector<Slot> slots_;

@@ -2,7 +2,7 @@
 
 namespace ccredf::sim {
 
-std::size_t Simulator::run_until(TimePoint horizon) {
+std::size_t Simulator::run_until_slow(TimePoint horizon) {
   std::size_t fired = 0;
   while (!queue_.empty() && queue_.next_time() <= horizon) {
     auto ev = queue_.pop();

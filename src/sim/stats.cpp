@@ -40,6 +40,27 @@ void OnlineStats::merge(const OnlineStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+double ExactStats::variance() const {
+  if (n_ <= 1) return 0.0;
+  // n*sumsq - sum^2 is exact in 128-bit arithmetic; one final division.
+  const int128 num =
+      static_cast<int128>(n_) * sumsq_ -
+      static_cast<int128>(sum_) * static_cast<int128>(sum_);
+  return static_cast<double>(num) /
+         (static_cast<double>(n_) * static_cast<double>(n_ - 1));
+}
+
+double ExactStats::stddev() const { return std::sqrt(variance()); }
+
+void ExactStats::merge(const ExactStats& other) {
+  if (other.n_ == 0) return;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  sumsq_ += other.sumsq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
   CCREDF_EXPECT(hi > lo, "Histogram: hi must exceed lo");

@@ -179,6 +179,7 @@ net::NetworkConfig make_network_config(const GridSpec& spec,
   if (spec.payload_crc) cfg.with_acks = true;
   // Long sweeps must stay allocation-free and memory-bounded.
   cfg.record_inboxes = false;
+  cfg.fast_forward = spec.fast_forward;
   switch (p.protocol) {
     case Protocol::kCcrEdf:
       break;  // default factory
@@ -391,6 +392,10 @@ bool parse_grid(const std::string& text, GridSpec& spec,
         bool b;
         if (!parse_flag(it, b)) return fail("bad payload_crc");
         out.payload_crc = b;
+      } else if (key == "fast_forward") {
+        bool b;
+        if (!parse_flag(it, b)) return fail("bad fast_forward");
+        out.fast_forward = b;
       } else if (key == "base_seed") {
         std::uint64_t s;
         if (!parse_u64(it, s)) return fail("bad base_seed");

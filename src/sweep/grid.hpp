@@ -102,6 +102,12 @@ struct GridSpec {
   /// on every point's network; implies the ack wire so the NACK bits have
   /// somewhere to ride.
   bool payload_crc = false;
+  /// Enable the engine's O(1) idle fast-forward (NetworkConfig::
+  /// fast_forward) on every point's network.  Deliberately a scalar, not
+  /// an axis, and EXCLUDED from workload_key: the engine guarantees
+  /// byte-identical statistics either way (DESIGN.md §8), so flipping it
+  /// must never move a shard's seed.
+  bool fast_forward = true;
   /// Root of every derived RNG stream in this sweep.
   std::uint64_t base_seed = 1;
 

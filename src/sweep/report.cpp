@@ -48,6 +48,10 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("spatial_reuse").value(spec.spatial_reuse);
   w.key("frame_crc").value(spec.frame_crc);
   w.key("payload_crc").value(spec.payload_crc);
+  // GridSpec::fast_forward is deliberately NOT serialized: the engine
+  // guarantees identical statistics either way, and `cmp` between a
+  // fast-forward and a --no-fast-forward report of the same grid is the
+  // regression gate that proves it (scripts/check.sh).
   w.key("base_seed").value(spec.base_seed);
   w.end_object();
 }

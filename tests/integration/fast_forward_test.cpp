@@ -1,0 +1,286 @@
+// Fast-forward equivalence: the engine's O(1) idle skip (DESIGN.md
+// section 8) must be INVISIBLE in every observable statistic.  Each case
+// runs the identical scenario twice -- NetworkConfig::fast_forward on
+// and off -- and compares a full fingerprint of the run: every counter,
+// every exact moment, every per-node / per-class / per-connection
+// series, the fault ledger and the discrete-event count.  Doubles are
+// printed as hexfloats, so a single flipped mantissa bit fails the test.
+//
+// Non-vacuousness is asserted too: the fast-forward run must actually
+// have skipped slots, otherwise the equivalence would hold trivially.
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+#include "net/network.hpp"
+#include "workload/multimedia.hpp"
+#include "workload/periodic.hpp"
+#include "workload/poisson.hpp"
+#include "workload/radar.hpp"
+
+namespace ccredf {
+namespace {
+
+using core::TrafficClass;
+
+void put(std::ostream& os, const char* key, double v) {
+  os << key << '=' << std::hexfloat << v << std::defaultfloat << '\n';
+}
+
+void put(std::ostream& os, const char* key, std::int64_t v) {
+  os << key << '=' << v << '\n';
+}
+
+void put_online(std::ostream& os, const char* key,
+                const sim::OnlineStats& st) {
+  os << key << ": ";
+  put(os, "count", st.count());
+  put(os, "mean", st.mean());
+  put(os, "variance", st.variance());
+  put(os, "sum", st.sum());
+  put(os, "min", st.min());
+  put(os, "max", st.max());
+}
+
+void put_exact(std::ostream& os, const char* key, const sim::ExactStats& st) {
+  os << key << ": ";
+  put(os, "count", st.count());
+  put(os, "sum_exact", st.sum_exact());
+  put(os, "mean", st.mean());
+  put(os, "variance", st.variance());
+  put(os, "min", st.min());
+  put(os, "max", st.max());
+}
+
+/// Serializes everything a run can observe about a network, EXCEPT the
+/// fast-forward telemetry itself (ff_slots_skipped / ff_windows differ
+/// between the two engines by design -- they count the skipping).
+std::string fingerprint(const net::Network& n) {
+  const auto& st = n.stats();
+  std::ostringstream os;
+  put(os, "slots", st.slots);
+  put(os, "busy_slots", st.busy_slots);
+  put(os, "total_grants", st.total_grants);
+  put(os, "reuse_slots", st.reuse_slots);
+  put(os, "wasted_grants", st.wasted_grants);
+  put(os, "buffer_drops", st.buffer_drops);
+  put(os, "priority_inversions", st.priority_inversions);
+  put_exact(os, "handover_hops", st.handover_hops);
+  put_exact(os, "gap", st.gap);
+  put(os, "time_in_slots_ps", st.time_in_slots.ps());
+  put(os, "time_in_gaps_ps", st.time_in_gaps.ps());
+  for (NodeId j = 0; j < n.nodes(); ++j) {
+    os << "node " << static_cast<int>(j) << ": ";
+    put(os, "requests", st.node_requests[j]);
+    put(os, "grants", st.node_grants[j]);
+    put(os, "idle", st.node_idle_slots(j));
+  }
+  for (const auto cls : {TrafficClass::kRealTime, TrafficClass::kBestEffort,
+                         TrafficClass::kNonRealTime}) {
+    const auto& c = st.cls(cls);
+    os << "class " << static_cast<int>(cls) << ": ";
+    put(os, "delivered", c.delivered);
+    put(os, "scheduling_misses", c.scheduling_misses);
+    put(os, "user_misses", c.user_misses);
+    put(os, "bytes", c.bytes);
+    put_online(os, "latency", c.latency);
+  }
+  std::vector<ConnectionId> ids;
+  ids.reserve(st.per_connection.size());
+  for (const auto& [id, cs] : st.per_connection) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const ConnectionId id : ids) {
+    const auto& cs = st.per_connection.at(id);
+    os << "connection " << id << ": ";
+    put(os, "released", cs.released);
+    put(os, "delivered", cs.delivered);
+    put(os, "scheduling_misses", cs.scheduling_misses);
+    put(os, "user_misses", cs.user_misses);
+    put_online(os, "latency", cs.latency);
+  }
+  const auto& f = st.faults;
+  put(os, "token_losses", f.token_losses);
+  put(os, "collection_drops", f.collection_drops);
+  put(os, "collection_corruptions", f.collection_corruptions);
+  put(os, "collection_detected", f.collection_detected);
+  put(os, "collection_silent", f.collection_silent);
+  put(os, "spurious_requests", f.spurious_requests);
+  put(os, "distribution_corruptions", f.distribution_corruptions);
+  put(os, "distribution_detected", f.distribution_detected);
+  put(os, "rearbitration_slots", f.rearbitration_slots);
+  put(os, "silent_misarbitrations", f.silent_misarbitrations);
+  put(os, "recoveries", f.recoveries);
+  put_online(os, "recovery_gap", f.recovery_gap);
+  put(os, "ring_dark", f.ring_dark);
+  put(os, "payload_corruptions", f.payload_corruptions);
+  put(os, "payload_detected", f.payload_detected);
+  put(os, "payload_undetected", f.payload_undetected);
+  put(os, "payload_nacks", f.payload_nacks);
+  for (NodeId j = 0; j < n.nodes(); ++j) {
+    const auto& nf = st.per_node_faults[j];
+    os << "node_faults " << static_cast<int>(j) << ": ";
+    put(os, "requests_dropped", nf.requests_dropped);
+    put(os, "requests_corrupted", nf.requests_corrupted);
+    put(os, "requests_rejected", nf.requests_rejected);
+    put(os, "spurious_requests", nf.spurious_requests);
+    put(os, "payloads_corrupted", nf.payloads_corrupted);
+  }
+  put(os, "events_fired", static_cast<std::int64_t>(n.sim().events_fired()));
+  put(os, "recoveries_engine", n.recoveries());
+  put(os, "recovery_time_ps", n.recovery_time().ps());
+  return os.str();
+}
+
+struct RunResult {
+  std::string fingerprint;
+  std::int64_t skipped = 0;
+};
+
+/// Runs a periodic workload at `load` x U_max on `nodes` nodes.
+RunResult run_periodic(NodeId nodes, double load, bool fast_forward,
+                       std::int64_t slots) {
+  net::NetworkConfig cfg;
+  cfg.nodes = nodes;
+  cfg.record_inboxes = false;
+  cfg.fast_forward = fast_forward;
+  net::Network n(cfg);
+  workload::PeriodicSetParams wp;
+  wp.nodes = nodes;
+  wp.connections = static_cast<int>(nodes);
+  wp.total_utilisation = load * n.timing().u_max();
+  wp.seed = 42;
+  for (const auto& c : workload::make_periodic_set(wp)) {
+    (void)n.open_connection(c);
+  }
+  n.run_slots(slots);
+  return {fingerprint(n), n.stats().ff_slots_skipped};
+}
+
+TEST(FastForward, PeriodicLoadsProduceIdenticalStatistics) {
+  for (const double load : {0.3, 0.6, 0.9}) {
+    SCOPED_TRACE(load);
+    const RunResult ff = run_periodic(16, load, true, 10'000);
+    const RunResult slow = run_periodic(16, load, false, 10'000);
+    EXPECT_EQ(ff.fingerprint, slow.fingerprint);
+    EXPECT_GT(ff.skipped, 0) << "fast-forward never engaged at this load";
+    EXPECT_EQ(slow.skipped, 0);
+  }
+}
+
+TEST(FastForward, RadarScenarioIsByteIdentical) {
+  auto run = [](bool fast_forward) {
+    const auto sc = workload::make_radar_scenario(workload::RadarParams{});
+    net::NetworkConfig cfg;
+    cfg.nodes = sc.nodes_required;
+    cfg.fast_forward = fast_forward;
+    net::Network n(cfg);
+    for (const auto& c : sc.connections) (void)n.open_connection(c);
+    n.run_slots(20'000);
+    return RunResult{fingerprint(n), n.stats().ff_slots_skipped};
+  };
+  const RunResult ff = run(true);
+  const RunResult slow = run(false);
+  EXPECT_EQ(ff.fingerprint, slow.fingerprint);
+  EXPECT_GT(ff.skipped, 0);
+  EXPECT_EQ(slow.skipped, 0);
+}
+
+TEST(FastForward, MultimediaWithBackgroundIsByteIdentical) {
+  auto run = [](bool fast_forward) {
+    workload::MultimediaParams mp;
+    const auto sc = workload::make_multimedia_scenario(mp);
+    net::NetworkConfig cfg;
+    cfg.nodes = mp.nodes;
+    cfg.fast_forward = fast_forward;
+    net::Network n(cfg);
+    for (const auto& c : sc.connections) (void)n.open_connection(c);
+    workload::PoissonParams pp = sc.background;
+    pp.seed = 99;
+    workload::PoissonGenerator gen(
+        n, pp, sim::TimePoint::origin() + n.timing().slot() * 15'000);
+    n.run_slots(20'000);
+    return fingerprint(n);
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+/// The hard case: every fault axis armed at once.  The skip decision
+/// must replay the keyed fault draws exactly -- a single missed or
+/// spuriously-taken idle fault desynchronises the ledger immediately.
+TEST(FastForward, ArmedFaultAxesStayByteIdentical) {
+  auto run = [](bool fast_forward) {
+    net::NetworkConfig cfg;
+    cfg.nodes = 16;
+    cfg.record_inboxes = false;
+    cfg.with_frame_crc = true;
+    cfg.with_payload_crc = true;
+    cfg.with_acks = true;
+    cfg.fast_forward = fast_forward;
+    net::Network n(cfg);
+    fault::FaultInjector inj(n, 7);
+    inj.set_control_ber(2e-6);
+    inj.set_data_ber(1e-7);
+    inj.set_random_token_loss(2e-4);
+    inj.set_babbling_node(3, 5e-4);
+    inj.schedule_token_loss(4'321);
+    inj.schedule_collection_drop(2'000, 5);
+    inj.schedule_distribution_corruption(6'500, 2);
+    inj.schedule_node_failure(11, sim::TimePoint::origin() +
+                                      n.timing().slot() * 3'000);
+    inj.schedule_node_restore(11, sim::TimePoint::origin() +
+                                      n.timing().slot() * 5'000);
+    workload::PeriodicSetParams wp;
+    wp.nodes = 16;
+    wp.connections = 16;
+    wp.total_utilisation = 0.3 * n.timing().u_max();
+    wp.seed = 42;
+    for (const auto& c : workload::make_periodic_set(wp)) {
+      (void)n.open_connection(c);
+    }
+    n.run_slots(12'000);
+    std::ostringstream os;
+    os << fingerprint(n);
+    os << "injected=" << inj.token_losses_injected() << '\n'
+       << "bits_flipped=" << inj.bits_flipped() << '\n'
+       << "data_bits_flipped=" << inj.data_bits_flipped() << '\n';
+    return RunResult{os.str(), n.stats().ff_slots_skipped};
+  };
+  const RunResult ff = run(true);
+  const RunResult slow = run(false);
+  EXPECT_EQ(ff.fingerprint, slow.fingerprint);
+  EXPECT_GT(ff.skipped, 0)
+      << "armed fault axes must not disable fast-forward outright";
+  EXPECT_EQ(slow.skipped, 0);
+}
+
+/// run_for (duration-bounded stepping) takes the same skips as
+/// run_slots and lands on the same final state.
+TEST(FastForward, RunForMatchesSlotBySlot) {
+  auto run = [](bool fast_forward) {
+    net::NetworkConfig cfg;
+    cfg.nodes = 8;
+    cfg.fast_forward = fast_forward;
+    net::Network n(cfg);
+    workload::PeriodicSetParams wp;
+    wp.nodes = 8;
+    wp.connections = 8;
+    wp.total_utilisation = 0.2 * n.timing().u_max();
+    wp.seed = 7;
+    for (const auto& c : workload::make_periodic_set(wp)) {
+      (void)n.open_connection(c);
+    }
+    n.run_for(sim::Duration::microseconds(5'000));
+    return RunResult{fingerprint(n), n.stats().ff_slots_skipped};
+  };
+  const RunResult ff = run(true);
+  const RunResult slow = run(false);
+  EXPECT_EQ(ff.fingerprint, slow.fingerprint);
+  EXPECT_GT(ff.skipped, 0);
+}
+
+}  // namespace
+}  // namespace ccredf

@@ -1,0 +1,154 @@
+// ExactStats: the integer-moment accumulator behind the slot engine's
+// O(1) fast-forward.  The load-bearing property is BITWISE equivalence:
+// add_n(x, k) must leave every derived statistic -- including the
+// floating-point views -- identical to k sequential add(x) calls, for
+// any interleaving with other samples.  DESIGN.md section 8 leans on
+// this to batch idle slots without perturbing golden statistics.
+#include "sim/stats.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ccredf::sim {
+namespace {
+
+// Bitwise double comparison: EXPECT_EQ would accept -0.0 == 0.0 and
+// reject NaN == NaN; the fast-forward contract is stricter than either.
+::testing::AssertionResult same_bits(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  if (ua == ub) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in their bit patterns";
+}
+
+void expect_identical(const ExactStats& a, const ExactStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum_exact(), b.sum_exact());
+  EXPECT_TRUE(same_bits(a.sum(), b.sum()));
+  EXPECT_TRUE(same_bits(a.mean(), b.mean()));
+  EXPECT_TRUE(same_bits(a.variance(), b.variance()));
+  EXPECT_TRUE(same_bits(a.stddev(), b.stddev()));
+  EXPECT_TRUE(same_bits(a.min(), b.min()));
+  EXPECT_TRUE(same_bits(a.max(), b.max()));
+}
+
+TEST(ExactStats, EmptyAccumulatorIsAllZero) {
+  const ExactStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.sum_exact(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean_duration(), Duration::zero());
+  EXPECT_EQ(s.min_duration(), Duration::zero());
+  EXPECT_EQ(s.max_duration(), Duration::zero());
+}
+
+TEST(ExactStats, MomentsMatchHandComputation) {
+  ExactStats s;
+  for (const std::int64_t x : {2, 4, 4, 4, 5, 5, 7, 9}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_EQ(s.sum_exact(), 40);
+  EXPECT_EQ(s.mean(), 5.0);
+  // Sample variance: sum((x - 5)^2) = 32, / (n - 1) = 32 / 7.
+  EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(ExactStats, AddNIsBitwiseKSequentialAdds) {
+  // Interleave batched and sequential insertion of the same sample
+  // stream, including negative values and k == 1 batches.
+  const struct {
+    std::int64_t x;
+    std::int64_t k;
+  } stream[] = {{116'100, 1},  {0, 250},    {-37, 3},
+                {5'812'500, 7}, {116'100, 41}, {1, 1}};
+  ExactStats batched;
+  ExactStats sequential;
+  for (const auto& [x, k] : stream) {
+    batched.add_n(x, k);
+    for (std::int64_t i = 0; i < k; ++i) sequential.add(x);
+  }
+  expect_identical(batched, sequential);
+}
+
+TEST(ExactStats, AddNIgnoresNonPositiveCounts) {
+  ExactStats s;
+  s.add_n(42, 0);
+  s.add_n(42, -3);
+  EXPECT_EQ(s.count(), 0);
+  s.add(7);
+  s.add_n(9, 0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.sum_exact(), 7);
+  EXPECT_EQ(s.max(), 7.0);  // the k <= 0 calls must not touch min/max
+  EXPECT_EQ(s.min(), 7.0);
+}
+
+TEST(ExactStats, DurationOverloadAccumulatesPicoseconds) {
+  ExactStats s;
+  s.add(Duration::picoseconds(1500));
+  s.add_n(Duration::picoseconds(1500).ps(), 2);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_EQ(s.sum_exact(), 4500);
+  EXPECT_EQ(s.mean_duration(), Duration::picoseconds(1500));
+  EXPECT_EQ(s.min_duration(), Duration::picoseconds(1500));
+  EXPECT_EQ(s.max_duration(), Duration::picoseconds(1500));
+}
+
+TEST(ExactStats, MergeMatchesSequentialInsertionBitwise) {
+  // Exactness makes the merge order invisible -- unlike OnlineStats,
+  // whose Welford fold is order-sensitive in the last ulps.
+  ExactStats left;
+  ExactStats right;
+  ExactStats all;
+  for (std::int64_t x = -100; x <= 100; x += 7) {
+    ((x < 0) ? left : right).add(x * x - 3 * x);
+    all.add(x * x - 3 * x);
+  }
+  ExactStats merged = left;
+  merged.merge(right);
+  expect_identical(merged, all);
+
+  // Merging in the opposite order is just as exact.
+  ExactStats flipped = right;
+  flipped.merge(left);
+  expect_identical(flipped, all);
+
+  // Merging an empty accumulator is the identity.
+  merged.merge(ExactStats{});
+  expect_identical(merged, all);
+}
+
+TEST(ExactStats, SingleSampleHasZeroVariance) {
+  ExactStats s;
+  s.add(123);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 123.0);
+  EXPECT_EQ(s.max(), 123.0);
+}
+
+TEST(ExactStats, LargeBatchStaysExact) {
+  // A slot engine soak: 10^8 gap samples of ~10^6 ps in one call.  The
+  // sum (10^14) and sum of squares (10^20, needs the 128-bit column)
+  // must stay exact; Welford would have drifted in the low bits.
+  ExactStats s;
+  s.add_n(1'000'000, 100'000'000);
+  EXPECT_EQ(s.count(), 100'000'000);
+  EXPECT_EQ(s.sum_exact(), 100'000'000'000'000);
+  EXPECT_EQ(s.mean(), 1'000'000.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace ccredf::sim

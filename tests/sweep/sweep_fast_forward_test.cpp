@@ -1,0 +1,91 @@
+// The sweep-level fast-forward contract: GridSpec::fast_forward selects
+// the engine's execution strategy, never its results.  The aggregated
+// JSON report must be byte-identical across {fast-forward, slot-by-slot}
+// x {1, 4, 8 worker threads} -- all six runs of a grid collapse to one
+// document.  scripts/check.sh enforces the same over the shipped grids
+// through `ccredf_sweep --no-fast-forward`.
+#include <gtest/gtest.h>
+
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
+
+namespace ccredf::sweep {
+namespace {
+
+GridSpec mixed_grid() {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf, Protocol::kCcFpr, Protocol::kTdma};
+  spec.node_counts = {4, 8};
+  spec.utilisations = {0.3, 0.6, 0.9};
+  spec.mixes = {WorkloadMix::kPeriodic, WorkloadMix::kMixed};
+  spec.set_seeds = {5};
+  spec.repetitions = 2;
+  spec.slots = 250;
+  spec.base_seed = 3;
+  return spec;
+}
+
+GridSpec fault_grid() {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {6};
+  spec.utilisations = {0.3, 0.8};
+  spec.bers = {0.0, 1e-3};
+  spec.data_bers = {0.0, 2e-4};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.set_seeds = {5};
+  spec.repetitions = 2;
+  spec.slots = 300;
+  spec.frame_crc = true;
+  spec.payload_crc = true;
+  spec.base_seed = 3;
+  return spec;
+}
+
+void expect_engine_invariant(GridSpec spec) {
+  spec.fast_forward = true;
+  const std::string reference = to_json(run_sweep(spec, {.threads = 1}));
+  for (const bool fast_forward : {true, false}) {
+    for (const int threads : {1, 4, 8}) {
+      if (fast_forward && threads == 1) continue;  // the reference run
+      spec.fast_forward = fast_forward;
+      EXPECT_EQ(reference, to_json(run_sweep(spec, {.threads = threads})))
+          << "report diverged at fast_forward="
+          << (fast_forward ? "on" : "off") << ", threads=" << threads;
+    }
+  }
+}
+
+TEST(SweepFastForward, ReportInvariantAcrossEngineAndThreads) {
+  expect_engine_invariant(mixed_grid());
+}
+
+TEST(SweepFastForward, FaultGridReportInvariantAcrossEngineAndThreads) {
+  expect_engine_invariant(fault_grid());
+}
+
+TEST(SweepFastForward, GridFileKeyParses) {
+  GridSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_grid("fast_forward = off\n", spec, error)) << error;
+  EXPECT_FALSE(spec.fast_forward);
+  ASSERT_TRUE(parse_grid("fast_forward = on\n", spec, error)) << error;
+  EXPECT_TRUE(spec.fast_forward);
+  EXPECT_FALSE(parse_grid("fast_forward = maybe\n", spec, error));
+  EXPECT_FALSE(parse_grid("fast_forward = on, off\n", spec, error))
+      << "fast_forward is a scalar, not an axis";
+}
+
+TEST(SweepFastForward, DefaultSpecFastForwards) {
+  // The default must match the engine default (NetworkConfig), so grids
+  // written before this key existed silently gain the fast engine with
+  // unchanged reports.
+  GridSpec spec;
+  EXPECT_TRUE(spec.fast_forward);
+  EXPECT_TRUE(make_network_config(spec, GridPoint{}).fast_forward);
+  spec.fast_forward = false;
+  EXPECT_FALSE(make_network_config(spec, GridPoint{}).fast_forward);
+}
+
+}  // namespace
+}  // namespace ccredf::sweep

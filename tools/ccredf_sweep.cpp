@@ -1,11 +1,17 @@
 // ccredf_sweep: run a declarative scenario grid in parallel.
 //
 //   ccredf_sweep GRID_FILE [--threads N] [--out FILE] [--table]
+//                [--no-fast-forward]
 //
 //   --threads N   worker threads (default 1; 0 = hardware concurrency)
 //   --out FILE    write the aggregated JSON report to FILE instead of
 //                 stdout
 //   --table       also print a human-readable summary table (stdout)
+//   --no-fast-forward
+//                 force slot-by-slot execution on every shard (overrides
+//                 the grid's `fast_forward` key).  The report must be
+//                 byte-identical either way -- this switch exists to
+//                 check exactly that (and to time the difference).
 //
 // The JSON report is byte-identical for any thread count (see
 // src/sweep/runner.hpp), so diffing two runs of the same grid file is a
@@ -27,7 +33,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " GRID_FILE [--threads N] [--out FILE] [--table]\n";
+            << " GRID_FILE [--threads N] [--out FILE] [--table]"
+               " [--no-fast-forward]\n";
   return 2;
 }
 
@@ -40,6 +47,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   int threads = 1;
   bool table = false;
+  bool no_fast_forward = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,6 +63,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--table") {
       table = true;
+    } else if (arg == "--no-fast-forward") {
+      no_fast_forward = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -76,6 +86,7 @@ int main(int argc, char** argv) {
     std::cerr << "ccredf_sweep: " << error << "\n";
     return 1;
   }
+  if (no_fast_forward) spec.fast_forward = false;
 
   sweep::RunOptions opts;
   opts.threads = threads;
