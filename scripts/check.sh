@@ -62,6 +62,12 @@ run_bench bench_slot_throughput ${QUICK}
 run_bench bench_sweep ${QUICK}
 run_bench bench_fault_recovery ${QUICK}
 run_bench bench_data_reliability ${QUICK}
+run_bench bench_cbs_fairness ${QUICK}
+
+# E21b's fairness floor, asserted through the same generic floor checker
+# as the throughput gate (bench/cbs_floors.json pins Jain >= 0.9).
+python3 scripts/perf_floor_check.py BENCH_cbs_fairness.json \
+  bench/cbs_floors.json
 
 # The sweep CLI's determinism contract: byte-identical reports at any
 # worker-thread count.  On a single-core host the 8-thread run exercises
@@ -113,5 +119,23 @@ cmp "${TMPDIR_SWEEP}/t1.json" "${TMPDIR_SWEEP}/t1_noff.json"
   --out "${TMPDIR_SWEEP}/f1_noff.json"
 cmp "${TMPDIR_SWEEP}/f1.json" "${TMPDIR_SWEEP}/f1_noff.json"
 echo "fast-forward and slot-by-slot reports byte-identical"
+
+# Same two gates over the service-class grid: the CBS slot-engine hooks
+# (budget charging, deadline postponement, re-keying) must be thread-
+# count deterministic AND invisible to the fast-forward contract.
+if [[ "${HW_THREADS}" -gt 1 ]]; then
+  echo "==== cbs-grid determinism (1 vs 8 threads) ===="
+else
+  echo "==== cbs-grid determinism (byte-equality gate) ===="
+fi
+"${SWEEP}" tools/grids/cbs_smoke.grid --threads 1 --out "${TMPDIR_SWEEP}/c1.json"
+"${SWEEP}" tools/grids/cbs_smoke.grid --threads 8 --out "${TMPDIR_SWEEP}/c8.json"
+cmp "${TMPDIR_SWEEP}/c1.json" "${TMPDIR_SWEEP}/c8.json"
+python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/c1.json"
+"${SWEEP}" tools/grids/cbs_smoke.grid --threads 1 --no-fast-forward \
+  --out "${TMPDIR_SWEEP}/c1_noff.json"
+cmp "${TMPDIR_SWEEP}/c1.json" "${TMPDIR_SWEEP}/c1_noff.json"
+echo "cbs-grid reports byte-identical across thread counts and" \
+     "fast-forward modes"
 
 echo "==== check.sh: all green ===="

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Line-coverage floor gate over the library sources.
+
+Walks every .gcda file produced by a CCREDF_COVERAGE build, asks gcov
+for JSON intermediate output (gcov >= 9), unions executed lines per
+source file across all test binaries, and compares the aggregate src/
+line coverage against the checked-in floor:
+
+    python3 scripts/coverage_check.py build-coverage
+    python3 scripts/coverage_check.py build-coverage --update-floor
+
+The floor file (scripts/coverage_floor.json) pins the minimum aggregate
+percentage; CI fails when coverage drops below it.  The floor is seeded
+at the measured baseline minus a 2-point slack, so it only trips on real
+regressions (a new untested subsystem), not on noise.  Raise it with
+--update-floor after landing tests that lift the baseline.
+"""
+import argparse
+import gzip
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+FLOOR_FILE = pathlib.Path(__file__).resolve().parent / "coverage_floor.json"
+SLACK_POINTS = 2.0
+
+
+def gcov_json(gcda: pathlib.Path, build_dir: pathlib.Path):
+    """Runs gcov on one .gcda and yields its per-file JSON records."""
+    # -t streams JSON to stdout (no .gcov.json.gz litter); each line of
+    # output is one JSON document per object file.
+    proc = subprocess.run(
+        ["gcov", "--json-format", "-t", str(gcda)],
+        cwd=build_dir,
+        capture_output=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(
+            f"warning: gcov failed on {gcda}: {proc.stderr.decode()}\n")
+        return
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            if line.startswith(b"\x1f\x8b"):  # some gcovs gzip even with -t
+                line = gzip.decompress(line)
+            yield json.loads(line)
+        except (json.JSONDecodeError, OSError) as e:
+            sys.stderr.write(f"warning: unparsable gcov output line: {e}\n")
+
+
+def source_key(path: str) -> str | None:
+    """Maps a gcov file path to a repo-relative src/ path, else None."""
+    p = pathlib.Path(path)
+    if not p.is_absolute():
+        p = (REPO / p).resolve()
+    try:
+        rel = p.resolve().relative_to(REPO)
+    except ValueError:
+        return None
+    return str(rel) if rel.parts and rel.parts[0] == "src" else None
+
+
+def collect(build_dir: pathlib.Path):
+    """Returns {src_file: (instrumented_lines, executed_lines)}."""
+    gcdas = sorted(build_dir.rglob("*.gcda"))
+    if not gcdas:
+        sys.exit(f"FAIL: no .gcda files under {build_dir} -- build with "
+                 "--preset coverage and run ctest first")
+    instrumented: dict[str, set[int]] = {}
+    executed: dict[str, set[int]] = {}
+    for gcda in gcdas:
+        for doc in gcov_json(gcda, build_dir):
+            for f in doc.get("files", []):
+                key = source_key(f.get("file", ""))
+                if key is None:
+                    continue
+                inst = instrumented.setdefault(key, set())
+                hit = executed.setdefault(key, set())
+                for ln in f.get("lines", []):
+                    n = ln.get("line_number")
+                    if n is None:
+                        continue
+                    inst.add(n)
+                    if ln.get("count", 0) > 0:
+                        hit.add(n)
+    return {k: (instrumented[k], executed[k]) for k in instrumented}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("build_dir", nargs="?", default="build-coverage")
+    ap.add_argument("--floor-file", default=str(FLOOR_FILE))
+    ap.add_argument("--update-floor", action="store_true",
+                    help="rewrite the floor to measured minus "
+                         f"{SLACK_POINTS} points")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print per-file coverage")
+    args = ap.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir)
+    if not build_dir.is_absolute():
+        build_dir = REPO / build_dir
+    per_file = collect(build_dir)
+
+    total_inst = sum(len(i) for i, _ in per_file.values())
+    total_hit = sum(len(h) for _, h in per_file.values())
+    if total_inst == 0:
+        sys.exit("FAIL: gcov reported no instrumented src/ lines")
+    pct = 100.0 * total_hit / total_inst
+
+    if args.verbose:
+        for key in sorted(per_file):
+            inst, hit = per_file[key]
+            print(f"  {key}: {100.0 * len(hit) / len(inst):6.2f}% "
+                  f"({len(hit)}/{len(inst)})")
+    print(f"line coverage over src/: {pct:.2f}% "
+          f"({total_hit}/{total_inst} lines, {len(per_file)} files)")
+
+    floor_path = pathlib.Path(args.floor_file)
+    if args.update_floor:
+        floor = round(pct - SLACK_POINTS, 2)
+        floor_path.write_text(json.dumps({
+            "_comment": "Minimum aggregate src/ line coverage (percent) "
+                        "for scripts/coverage_check.py; seeded at the "
+                        "measured baseline minus "
+                        f"{SLACK_POINTS} points.",
+            "line_coverage_floor": floor,
+        }, indent=2) + "\n")
+        print(f"floor updated: {floor:.2f}% -> {floor_path}")
+        return 0
+
+    try:
+        floor = json.loads(floor_path.read_text())["line_coverage_floor"]
+    except (OSError, KeyError, json.JSONDecodeError) as e:
+        sys.exit(f"FAIL: unreadable floor file {floor_path}: {e}")
+    if pct < floor:
+        print(f"FAIL: coverage {pct:.2f}% dropped below floor {floor:.2f}%")
+        return 1
+    print(f"OK: coverage {pct:.2f}% >= floor {floor:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

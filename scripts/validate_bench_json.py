@@ -89,6 +89,62 @@ def validate_data_reliability(path, metrics):
     return True
 
 
+def validate_cbs_fairness(path, metrics):
+    """E21 acceptance gates, re-checked at validation time.
+
+    Mirrors the data_reliability precedent: the bench exits non-zero on
+    its own, but a stale or hand-edited JSON must not green past CI.
+    The hard-RT per-connection digest must be byte-identical with the
+    CBS population saturating the ring, no RT deadline may be missed,
+    at least 8 best-effort flows must share with Jain >= 0.9, budget
+    postponements must actually have fired, and the services-axis sweep
+    must be thread-count deterministic.
+    """
+    required = (
+        "rt_digest_identical",
+        "rt_sched_misses_alone",
+        "rt_sched_misses_shared",
+        "rt_user_misses_alone",
+        "rt_user_misses_shared",
+        "be_flows",
+        "flows=8,jain_index",
+        "cbs_postponements",
+        "threads_json_identical",
+    )
+    for key in required:
+        value = metrics.get(key)
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            return fail(path, f"cbs_fairness needs numeric `{key}`")
+    if metrics["rt_digest_identical"] != 1:
+        return fail(
+            path,
+            "hard-RT digest changed when the CBS population saturated",
+        )
+    misses = (
+        metrics["rt_sched_misses_alone"],
+        metrics["rt_sched_misses_shared"],
+        metrics["rt_user_misses_alone"],
+        metrics["rt_user_misses_shared"],
+    )
+    if any(m != 0 for m in misses):
+        return fail(path, f"hard-RT set missed deadlines: {misses}")
+    if metrics["be_flows"] < 8:
+        return fail(
+            path, f"only {metrics['be_flows']:.0f} CBS flows admitted (< 8)"
+        )
+    if metrics["flows=8,jain_index"] < 0.9:
+        return fail(
+            path,
+            f"Jain index {metrics['flows=8,jain_index']} below the 0.9 "
+            "fairness floor",
+        )
+    if metrics["cbs_postponements"] <= 0:
+        return fail(path, "saturation run fired no budget postponements")
+    if metrics["threads_json_identical"] != 1:
+        return fail(path, "services-axis sweep not thread-count deterministic")
+    return True
+
+
 def validate_sweep_report(path, doc):
     for key, kind in (
         ("grid", dict),
@@ -130,6 +186,8 @@ def validate(path):
         return False
     if doc["bench"] == "data_reliability":
         return validate_data_reliability(path, doc["metrics"])
+    if doc["bench"] == "cbs_fairness":
+        return validate_cbs_fairness(path, doc["metrics"])
     return True
 
 

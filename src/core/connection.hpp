@@ -15,6 +15,26 @@
 
 namespace ccredf::core {
 
+/// Which of the paper's service classes a connection record represents.
+/// Hard-RT connections are the periodic guaranteed streams of §5-6; a
+/// constant-bandwidth record is the admission-side shadow of a CBS
+/// (core/cbs.hpp): size = budget Q, period = replenishment period T, so
+/// the Eq. 5 utilisation test covers servers and connections uniformly.
+enum class ServiceClass : std::uint8_t {
+  kHardRealTime = 0,
+  kConstantBandwidth = 1,
+};
+
+[[nodiscard]] constexpr const char* service_class_name(ServiceClass s) {
+  switch (s) {
+    case ServiceClass::kHardRealTime:
+      return "hard-rt";
+    case ServiceClass::kConstantBandwidth:
+      return "cbs";
+  }
+  return "?";
+}
+
 struct ConnectionParams {
   NodeId source = kInvalidNode;
   NodeSet dests;
@@ -27,6 +47,9 @@ struct ConnectionParams {
   std::int64_t deadline_slots = 0;  // 0 => equal to period
   /// Release offset of the first message, in slots.
   std::int64_t offset_slots = 0;
+  /// Service class of the record (admission treats both alike; only the
+  /// release machinery differs -- periodic vs server-paced).
+  ServiceClass service = ServiceClass::kHardRealTime;
 
   [[nodiscard]] std::int64_t effective_deadline_slots() const {
     return deadline_slots == 0 ? period_slots : deadline_slots;

@@ -126,6 +126,39 @@ std::size_t EdfQueueSet::drop_connection(ConnectionId id) {
   return dropped;
 }
 
+std::size_t EdfQueueSet::reschedule_in(std::vector<Message>& q,
+                                       ConnectionId id,
+                                       sim::TimePoint deadline) {
+  resched_scratch_.clear();
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < q.size(); ++read) {
+    if (q[read].connection == id && q[read].deadline != deadline) {
+      resched_scratch_.push_back(std::move(q[read]));
+    } else {
+      if (write != read) q[write] = std::move(q[read]);
+      ++write;
+    }
+  }
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(write), q.end());
+  for (Message& m : resched_scratch_) {
+    m.deadline = deadline;
+    index_.erase(m.id);
+    index_.insert(m.id, IndexEntry{m.traffic_class, m.deadline, m.arrival});
+    insert_edf(q, std::move(m));
+  }
+  return resched_scratch_.size();
+}
+
+std::size_t EdfQueueSet::reschedule_connection(ConnectionId id,
+                                               sim::TimePoint deadline) {
+  std::size_t moved = 0;
+  for (auto* q : {&rt_, &be_}) {  // NRT is FIFO: no EDF key to move
+    moved += reschedule_in(*q, id, deadline);
+  }
+  if (moved > 0) ++version_;
+  return moved;
+}
+
 std::size_t EdfQueueSet::clear() {
   const std::size_t n = size();
   rt_.clear();

@@ -59,6 +59,15 @@ class EdfQueueSet {
   /// many were dropped.
   std::size_t drop_connection(ConnectionId id);
 
+  /// Re-keys every queued message of connection `id` to a new absolute
+  /// deadline (CBS postponement: the server slid its deadline one period
+  /// and its whole backlog must follow).  Re-insertion goes through the
+  /// normal EDF ordering, so the (arrival, id) tie-break keeps the
+  /// server's jobs in FIFO order among themselves.  Returns how many
+  /// messages moved.
+  std::size_t reschedule_connection(ConnectionId id,
+                                    sim::TimePoint deadline);
+
   /// Removes all queued messages (node failure); returns how many.
   std::size_t clear();
 
@@ -130,8 +139,14 @@ class EdfQueueSet {
                                           const IndexEntry& entry,
                                           MessageId id) const;
   std::size_t drop_connection_in(std::vector<Message>& q, ConnectionId id);
+  std::size_t reschedule_in(std::vector<Message>& q, ConnectionId id,
+                            sim::TimePoint deadline);
 
   [[nodiscard]] std::vector<Message>& queue_of(TrafficClass c);
+
+  /// Scratch for reschedule_connection (postponements can fire once per
+  /// granted slot at budget 1; keep them off the allocator).
+  std::vector<Message> resched_scratch_;
 };
 
 }  // namespace ccredf::core

@@ -189,6 +189,8 @@ Network::OpenResult Network::open_connection(
   CCREDF_EXPECT(params.source < nodes_.size(), "connection: bad source");
   CCREDF_EXPECT(!params.dests.contains(params.source),
                 "connection: source cannot be a destination");
+  CCREDF_EXPECT(params.service == core::ServiceClass::kHardRealTime,
+                "connection: CBS records go through open_cbs_server");
   const auto decision = admission_.request(params, sim_.now());
   trace_.emit(sim_.now(), sim::TraceCategory::kAdmission, [&] {
     std::ostringstream os;
@@ -238,12 +240,93 @@ bool Network::close_connection(ConnectionId id) {
   return admission_.release(id);
 }
 
+Network::OpenResult Network::open_cbs_server(const core::CbsParams& params) {
+  params.validate();
+  CCREDF_EXPECT(params.source < nodes_.size(), "cbs: bad source");
+  const auto decision =
+      admission_.request(params.admission_params(), sim_.now());
+  trace_.emit(sim_.now(), sim::TraceCategory::kAdmission, [&] {
+    std::ostringstream os;
+    os << (decision.admitted ? "admitted" : "rejected") << " cbs server from "
+       << params.source << " Q=" << params.budget_slots
+       << " T=" << params.period_slots
+       << " total=" << decision.utilisation_after << "/" << admission_.u_max();
+    return os.str();
+  });
+  if (!decision.admitted) return OpenResult{false, kNoConnection};
+  cbs_.emplace(decision.id,
+               CbsState{core::CbsServer(params, timing_->slot())});
+  ++stats_.cbs.servers_opened;
+  return OpenResult{true, decision.id};
+}
+
+MessageId Network::cbs_send(ConnectionId id, std::int64_t size_slots) {
+  auto it = cbs_.find(id);
+  CCREDF_EXPECT(it != cbs_.end(), "cbs_send: unknown or closed server");
+  CbsState& st = it->second;
+  const core::CbsParams& p = st.server.params();
+  if (nodes_[p.source].failed() ||
+      (cfg_.max_queue_messages != 0 &&
+       nodes_[p.source].queues().size() >= cfg_.max_queue_messages)) {
+    // Mirror enqueue's drop rules up front: a job the queue will refuse
+    // must not recharge the budget or move the server deadline (the
+    // enqueue call still does the drop accounting and burns the id).
+    return enqueue(p.source, p.dests, core::TrafficClass::kBestEffort,
+                   size_slots, sim_.now(), id, st.sent);
+  }
+  const sim::TimePoint deadline =
+      st.server.on_arrival(sim_.now(), st.backlog > 0);
+  const MessageId mid =
+      enqueue(p.source, p.dests, core::TrafficClass::kBestEffort, size_slots,
+              deadline, id, st.sent);
+  ++st.backlog;
+  ++st.sent;
+  ++stats_.cbs.jobs;
+  ++conn_stats_slot(id).released;
+  return mid;
+}
+
+bool Network::close_cbs_server(ConnectionId id) {
+  auto it = cbs_.find(id);
+  if (it == cbs_.end()) return false;
+  const NodeId src = it->second.server.params().source;
+  nodes_[src].queues().drop_connection(id);
+  refresh_queued_bit(src);
+  cbs_.erase(it);
+  return admission_.release(id);
+}
+
+const core::CbsServer* Network::cbs_server(ConnectionId id) const {
+  const auto it = cbs_.find(id);
+  return it == cbs_.end() ? nullptr : &it->second.server;
+}
+
+void Network::charge_cbs(NodeId g, bool completed) {
+  const auto it = cbs_.find(soa_.bind_conn[g]);
+  if (it == cbs_.end()) return;
+  CbsState& st = it->second;
+  if (completed && st.backlog > 0) --st.backlog;
+  if (st.server.charge_slot()) {
+    // Budget exhausted exactly at this slot boundary: the server
+    // postponed (c = Q, d += T) and every job still queued behind it --
+    // including a partially transmitted one -- follows the deadline.
+    ++stats_.cbs.postponements;
+    nodes_[st.server.params().source].queues().reschedule_connection(
+        it->first, st.server.deadline());
+  }
+}
+
 void Network::fail_node(NodeId id) {
   Node& n = node(id);
   n.set_failed(true);
   n.queues().clear();
   soa_.failed.insert(id);
   soa_.queued.erase(id);
+  for (auto& [cid, st] : cbs_) {
+    // The failed source's queues were just cleared: its servers have no
+    // backlog any more (the next job after restore recharges afresh).
+    if (st.server.params().source == id) st.backlog = 0;
+  }
   trace_.emit(sim_.now(), sim::TraceCategory::kFault,
               [id] { return "node " + std::to_string(id) + " failed"; });
 }
@@ -268,6 +351,7 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
     ++stats_.total_grants;
     ++stats_.node_grants[g];
     auto done = src.queues().consume_slot(soa_.bind_msg[g]);
+    if (!cbs_.empty()) charge_cbs(g, done.has_value());
     if (!done) continue;  // more slots of this message remain
     refresh_queued_bit(g);  // the consumed message may have drained g
 
@@ -327,6 +411,7 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
     if (done->connection != kNoConnection) {
       auto& conn = conn_stats_slot(done->connection);
       ++conn.delivered;
+      conn.bytes += done->payload_bytes;
       conn.latency.add(d.latency());
       if (sched_miss) ++conn.scheduling_misses;
       if (user_miss) ++conn.user_misses;
@@ -359,6 +444,7 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
       soa_.bind_hops[j] = seg.hops();
       soa_.bind_links[j] = seg.links();
       soa_.bind_dests[j] = m.dests;
+      soa_.bind_conn[j] = m.connection;
     }
     reqs[j].priority = priority_of(m, sample);
     reqs[j].links = soa_.bind_links[j];

@@ -26,6 +26,7 @@
 #include "common/nodeset.hpp"
 #include "common/types.hpp"
 #include "core/admission.hpp"
+#include "core/cbs.hpp"
 #include "core/connection.hpp"
 #include "core/control_timing.hpp"
 #include "core/frames.hpp"
@@ -216,6 +217,22 @@ class Network {
   /// Stops releases and drops this connection's queued messages.
   bool close_connection(ConnectionId id);
 
+  // -- constant-bandwidth servers (soft real-time service class) ----------
+  /// Admits a CBS through the same Eq. 5-6 test as an RT connection
+  /// (utilisation Q/T; core/cbs.hpp).  Jobs submitted with cbs_send then
+  /// ride the best-effort priority band under the SERVER deadline, so
+  /// the hard-RT grant order is never perturbed.
+  OpenResult open_cbs_server(const core::CbsParams& params);
+  /// Submits one aperiodic job of `size_slots` to server `id`; the CBS
+  /// wake-up rule assigns its deadline.  Subject to the same source-
+  /// failed / full-buffer drop rules as any best-effort send (a dropped
+  /// job does not touch the server state).
+  MessageId cbs_send(ConnectionId id, std::int64_t size_slots);
+  /// Closes the server: drops its queued jobs, releases its bandwidth.
+  bool close_cbs_server(ConnectionId id);
+  /// The live server state machine, or nullptr when `id` is not open.
+  [[nodiscard]] const core::CbsServer* cbs_server(ConnectionId id) const;
+
   // -- execution -----------------------------------------------------------
   void run_slots(std::int64_t n);
   void run_for(sim::Duration d);
@@ -269,6 +286,10 @@ class Network {
     std::array<NodeId, kMaxNodes> bind_hops{};  // to furthest destination
     std::array<LinkSet, kMaxNodes> bind_links{};
     std::array<NodeSet, kMaxNodes> bind_dests{};
+    /// Connection of the bound message (kNoConnection for plain sends);
+    /// lets the grant path find the owning CBS server without a queue
+    /// lookup.
+    std::array<ConnectionId, kMaxNodes> bind_conn{};
   };
   struct ReleaseState {
     core::ConnectionParams params;
@@ -276,6 +297,13 @@ class Network {
     sim::EventId next_event = 0;
     std::int64_t released = 0;
     bool open = true;
+  };
+  /// A live CBS: the pure core::CbsServer plus the engine-side backlog
+  /// tracking that feeds the wake-up rule.
+  struct CbsState {
+    core::CbsServer server;
+    std::int64_t backlog = 0;  // jobs queued or in service at the source
+    std::int64_t sent = 0;     // accepted jobs (release_index numbering)
   };
 
   void step_slot();
@@ -289,6 +317,10 @@ class Network {
   /// drained (after a consume/drop/clear).
   void refresh_queued_bit(NodeId src);
   void release_message(ConnectionId id);
+  /// Charges one granted data slot to the CBS server owning the message
+  /// bound at node `g` (no-op for non-CBS traffic); on budget exhaustion
+  /// the server postpones and its queued backlog is re-keyed.
+  void charge_cbs(NodeId g, bool completed);
   MessageId enqueue(NodeId src, NodeSet dests, core::TrafficClass cls,
                     std::int64_t size_slots, sim::TimePoint deadline,
                     ConnectionId conn, std::int64_t release_index);
@@ -345,6 +377,9 @@ class Network {
   std::array<sim::Duration, kMaxNodes> last_sample_off_{};
 
   std::unordered_map<ConnectionId, ReleaseState> releases_;
+  /// Open constant-bandwidth servers (empty on RT-only runs: every CBS
+  /// hook in the slot path is gated on `!cbs_.empty()`).
+  std::unordered_map<ConnectionId, CbsState> cbs_;
   /// Flat id -> &per_connection[id] cache (see conn_stats_slot); bounded
   /// so a pathological id (never produced by admission) cannot balloon it.
   static constexpr ConnectionId kMaxCachedConnections = 1u << 20;

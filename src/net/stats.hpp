@@ -18,13 +18,25 @@
 
 namespace ccredf::net {
 
-/// Per-logical-real-time-connection accounting.
+/// Per-logical-connection accounting (hard-RT connections and CBS
+/// servers share the map; `bytes` is what the fairness index compares).
 struct ConnectionStats {
   std::int64_t released = 0;
   std::int64_t delivered = 0;
   std::int64_t scheduling_misses = 0;
   std::int64_t user_misses = 0;
+  std::int64_t bytes = 0;
   sim::OnlineStats latency;  // arrival -> completion, ps
+};
+
+/// Constant-Bandwidth-Server accounting (zero unless servers are open).
+struct CbsStats {
+  /// Servers admitted over the run (open_cbs_server successes).
+  std::int64_t servers_opened = 0;
+  /// Jobs accepted into server queues (cbs_send minus drops).
+  std::int64_t jobs = 0;
+  /// Budget-exhaustion postponements across all servers (c = Q, d += T).
+  std::int64_t postponements = 0;
 };
 
 struct ClassStats {
@@ -172,6 +184,8 @@ struct NetworkStats {
 
   /// Fault / detection / recovery accounting (zero on clean runs).
   FaultStats faults;
+  /// CBS accounting (zero when no servers are opened).
+  CbsStats cbs;
   /// Per-node fault counters, sized to the node count at construction.
   std::vector<NodeFaultCounters> per_node_faults;
 

@@ -1,0 +1,70 @@
+// Constant-Bandwidth-Server flow population + fairness accounting.
+//
+// The service-level face of the CBS subsystem (core/cbs.hpp holds the
+// per-server state machine, net::Network the slot-engine wiring): a
+// CbsFlowSet admits a population of identically provisioned servers
+// spread around the ring, forwards jobs to them, and computes the Jain
+// fairness index over per-flow delivered bytes -- the metric the
+// fairness gates of E21 check (J = (sum x)^2 / (n * sum x^2), 1 = all
+// flows got identical shares, 1/n = one flow got everything).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/cbs.hpp"
+#include "net/network.hpp"
+
+namespace ccredf::services {
+
+struct CbsFlowSetParams {
+  /// How many servers to request (admission may reject a tail of them).
+  int flows = 8;
+  /// Per-server budget Q in slots.
+  std::int64_t budget_slots = 2;
+  /// Per-server replenishment period T in slots.
+  std::int64_t period_slots = 50;
+  /// Sources are assigned round-robin starting here.
+  NodeId first_source = 0;
+  /// Each flow sends to the node this many hops downstream of its
+  /// source (wraps; clamped to the ring size).  Short hops maximise
+  /// spatial-reuse opportunity, ring-size-1 hops maximise contention.
+  NodeId dest_hops = 1;
+};
+
+class CbsFlowSet {
+ public:
+  /// Opens the servers immediately; `net` must outlive the set.  Flows
+  /// the admission controller rejects are simply absent from ids().
+  CbsFlowSet(net::Network& net, const CbsFlowSetParams& params);
+
+  /// Servers actually admitted (<= params.flows).
+  [[nodiscard]] int admitted() const {
+    return static_cast<int>(ids_.size());
+  }
+  /// How many open requests the admission test rejected.
+  [[nodiscard]] int rejected() const { return rejected_; }
+  [[nodiscard]] const std::vector<ConnectionId>& ids() const { return ids_; }
+
+  /// Submits one job of `size_slots` to admitted flow `flow`.
+  MessageId send(std::size_t flow, std::int64_t size_slots);
+
+  /// Jain index over per-flow delivered bytes right now (0 when nothing
+  /// was delivered yet).
+  [[nodiscard]] double jain_index() const;
+
+  /// Jain index of an arbitrary share vector (exposed for tests and for
+  /// sweeps that aggregate shares themselves).
+  [[nodiscard]] static double jain(const std::vector<double>& shares);
+
+  /// Closes every remaining server (idempotent).
+  void close_all();
+
+ private:
+  net::Network& net_;
+  std::vector<ConnectionId> ids_;
+  int rejected_ = 0;
+};
+
+}  // namespace ccredf::services

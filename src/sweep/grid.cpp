@@ -37,6 +37,18 @@ const char* mix_name(WorkloadMix m) {
   return "?";
 }
 
+const char* service_name(ServiceMix s) {
+  switch (s) {
+    case ServiceMix::kRtOnly:
+      return "rt-only";
+    case ServiceMix::kCbs:
+      return "cbs";
+    case ServiceMix::kCbsSaturated:
+      return "cbs-saturated";
+  }
+  return "?";
+}
+
 namespace {
 
 std::string lower(std::string s) {
@@ -76,9 +88,24 @@ bool parse_mix(const std::string& s, WorkloadMix& out) {
   return true;
 }
 
+bool parse_service(const std::string& s, ServiceMix& out) {
+  const std::string l = lower(s);
+  if (l == "rt-only" || l == "rtonly" || l == "rt") {
+    out = ServiceMix::kRtOnly;
+  } else if (l == "cbs") {
+    out = ServiceMix::kCbs;
+  } else if (l == "cbs-saturated" || l == "cbssaturated") {
+    out = ServiceMix::kCbsSaturated;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::size_t GridSpec::point_count() const {
   return protocols.size() * node_counts.size() * utilisations.size() *
-         bers.size() * data_bers.size() * mixes.size() * set_seeds.size();
+         bers.size() * data_bers.size() * mixes.size() * services.size() *
+         set_seeds.size();
 }
 
 std::vector<GridPoint> GridSpec::expand() const {
@@ -91,17 +118,20 @@ std::vector<GridPoint> GridSpec::expand() const {
         for (const double ber : bers) {
           for (const double data_ber : data_bers) {
             for (const WorkloadMix mix : mixes) {
-              for (const std::uint64_t seed : set_seeds) {
-                GridPoint p;
-                p.index = index++;
-                p.protocol = proto;
-                p.nodes = nodes;
-                p.utilisation = u;
-                p.ber = ber;
-                p.data_ber = data_ber;
-                p.mix = mix;
-                p.set_seed = seed;
-                points.push_back(p);
+              for (const ServiceMix service : services) {
+                for (const std::uint64_t seed : set_seeds) {
+                  GridPoint p;
+                  p.index = index++;
+                  p.protocol = proto;
+                  p.nodes = nodes;
+                  p.utilisation = u;
+                  p.ber = ber;
+                  p.data_ber = data_ber;
+                  p.mix = mix;
+                  p.service = service;
+                  p.set_seed = seed;
+                  points.push_back(p);
+                }
               }
             }
           }
@@ -143,6 +173,14 @@ std::string GridSpec::validate() const {
   }
   if (!(background_rate >= 0.0)) return "background_rate must be >= 0";
   if (!(saturation_rate > 0.0)) return "saturation_rate must be > 0";
+  if (services.empty()) return "services axis is empty";
+  if (cbs_flows < 1) return "cbs_flows must be >= 1";
+  if (cbs_budget_slots < 1 || cbs_period_slots < cbs_budget_slots) {
+    return "cbs budget/period must satisfy 1 <= Q <= T";
+  }
+  if (!(cbs_rate > 0.0)) return "cbs_rate must be > 0";
+  if (!(cbs_saturation_rate > 0.0)) return "cbs_saturation_rate must be > 0";
+  if (queue_cap < 0) return "queue_cap must be >= 0";
   if (!(link_length_m > 0.0)) return "link_length_m must be > 0";
   if (slot_payload_bytes < 0) return "payload_bytes must be >= 0";
   return "";
@@ -152,7 +190,10 @@ std::uint64_t workload_key(const GridPoint& p) {
   // Protocol intentionally excluded (paired comparisons across
   // protocols), and so are ber and data_ber: a BER sweep compares fault
   // levels on the SAME workload, and the injector's draws live in their
-  // own stream family keyed off the shard seed.
+  // own stream family keyed off the shard seed.  The service axis is
+  // excluded for the same reason: rt-only and cbs points must run the
+  // identical RT connection set (the E21 isolation gate), and the CBS
+  // arrival process draws from its own "cbs"-tagged stream family.
   std::uint64_t k = sim::Rng::stream_seed(p.set_seed, p.nodes,
                                           std::bit_cast<std::uint64_t>(
                                               p.utilisation));
@@ -179,6 +220,7 @@ net::NetworkConfig make_network_config(const GridSpec& spec,
   if (spec.payload_crc) cfg.with_acks = true;
   // Long sweeps must stay allocation-free and memory-bounded.
   cfg.record_inboxes = false;
+  cfg.max_queue_messages = static_cast<std::size_t>(spec.queue_cap);
   cfg.fast_forward = spec.fast_forward;
   switch (p.protocol) {
     case Protocol::kCcrEdf:
@@ -335,6 +377,15 @@ bool parse_grid(const std::string& text, GridSpec& spec,
         if (!parse_mix(it, m)) return fail("unknown mix `" + it + "`");
         out.mixes.push_back(m);
       }
+    } else if (key == "services" || key == "service_classes") {
+      out.services.clear();
+      for (const auto& it : items) {
+        ServiceMix s;
+        if (!parse_service(it, s)) {
+          return fail("unknown service class `" + it + "`");
+        }
+        out.services.push_back(s);
+      }
     } else if (key == "seeds") {
       out.set_seeds.clear();
       for (const auto& it : items) {
@@ -374,6 +425,24 @@ bool parse_grid(const std::string& text, GridSpec& spec,
       } else if (key == "saturation_rate") {
         if (!parse_f64(it, f)) return fail("bad saturation_rate");
         out.saturation_rate = f;
+      } else if (key == "cbs_flows") {
+        if (!parse_i64(it, i) || i < 1) return fail("bad cbs_flows");
+        out.cbs_flows = static_cast<int>(i);
+      } else if (key == "cbs_budget_slots") {
+        if (!parse_i64(it, i) || i < 1) return fail("bad cbs_budget_slots");
+        out.cbs_budget_slots = i;
+      } else if (key == "cbs_period_slots") {
+        if (!parse_i64(it, i) || i < 1) return fail("bad cbs_period_slots");
+        out.cbs_period_slots = i;
+      } else if (key == "cbs_rate") {
+        if (!parse_f64(it, f)) return fail("bad cbs_rate");
+        out.cbs_rate = f;
+      } else if (key == "cbs_saturation_rate") {
+        if (!parse_f64(it, f)) return fail("bad cbs_saturation_rate");
+        out.cbs_saturation_rate = f;
+      } else if (key == "queue_cap") {
+        if (!parse_i64(it, i) || i < 0) return fail("bad queue_cap");
+        out.queue_cap = i;
       } else if (key == "link_length_m") {
         if (!parse_f64(it, f)) return fail("bad link_length_m");
         out.link_length_m = f;

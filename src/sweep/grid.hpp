@@ -42,14 +42,32 @@ enum class WorkloadMix {
   kSaturation,
 };
 
+/// Service-class population run beside the RT set at a grid point
+/// (the `services` axis; default rt-only keeps legacy grids' point
+/// numbering and shard seeds untouched).
+enum class ServiceMix {
+  /// Hard-RT connections only (plus whatever WorkloadMix adds).
+  kRtOnly,
+  /// Plus GridSpec::cbs_flows CBS servers carrying aperiodic jobs at
+  /// GridSpec::cbs_rate per flow.
+  kCbs,
+  /// Same servers, arrivals at GridSpec::cbs_saturation_rate -- offered
+  /// load far above the reserved bandwidth, so every server runs
+  /// backlogged and postponing (the E21 saturation scenario).
+  kCbsSaturated,
+};
+
 [[nodiscard]] const char* protocol_name(Protocol p);
 [[nodiscard]] const char* mix_name(WorkloadMix m);
+[[nodiscard]] const char* service_name(ServiceMix s);
 
 /// Parses "ccr-edf" / "cc-fpr" / "tdma" (case-insensitive); returns false
 /// on unknown names.
 bool parse_protocol(const std::string& s, Protocol& out);
 /// Parses "periodic" / "mixed" / "saturation".
 bool parse_mix(const std::string& s, WorkloadMix& out);
+/// Parses "rt-only" / "cbs" / "cbs-saturated".
+bool parse_service(const std::string& s, ServiceMix& out);
 
 /// One cell of the expanded grid.
 struct GridPoint {
@@ -64,6 +82,8 @@ struct GridPoint {
   /// Data-channel (payload) bit-error rate per link; 0 disables.
   double data_ber = 0.0;
   WorkloadMix mix = WorkloadMix::kPeriodic;
+  /// Service-class population riding beside the RT set.
+  ServiceMix service = ServiceMix::kRtOnly;
   /// Workload-set seed axis (distinct sets at identical load).
   std::uint64_t set_seed = 1;
 };
@@ -78,6 +98,11 @@ struct GridSpec {
   /// Data-channel (payload) BER axis; same default-0 convention.
   std::vector<double> data_bers{0.0};
   std::vector<WorkloadMix> mixes{WorkloadMix::kPeriodic};
+  /// Service-class axis; the default single rt-only keeps legacy grids'
+  /// point numbering and shard seeds untouched.  EXCLUDED from
+  /// workload_key: rt-only vs cbs points run the identical RT set, so a
+  /// service sweep is a paired comparison (the E21 gate depends on it).
+  std::vector<ServiceMix> services{ServiceMix::kRtOnly};
   std::vector<std::uint64_t> set_seeds{1};
   /// Independent repetitions per point (distinct RNG streams).
   int repetitions = 1;
@@ -91,6 +116,23 @@ struct GridSpec {
   /// Poisson messages per slot-extent per node for kMixed / kSaturation.
   double background_rate = 0.2;
   double saturation_rate = 3.0;
+  // -- CBS population (services axis, ignored on rt-only points) ---------
+  /// Servers requested, sources round-robin from node 0.
+  int cbs_flows = 8;
+  /// Per-server budget Q / replenishment period T, in slots.
+  std::int64_t cbs_budget_slots = 2;
+  std::int64_t cbs_period_slots = 50;
+  /// Aperiodic jobs per slot-extent per flow for the `cbs` service mix.
+  double cbs_rate = 0.02;
+  /// ... and for `cbs-saturated` (choose >> Q/T / mean job size so the
+  /// servers run permanently backlogged).
+  double cbs_saturation_rate = 0.5;
+  /// Per-node transmit-buffer cap in messages (NetworkConfig::
+  /// max_queue_messages); 0 keeps the library default (unbounded).
+  /// Saturated long-horizon grids MUST set this: an unbounded
+  /// best-effort backlog grows without limit under sustained overload,
+  /// and with it the per-insert cost of the sorted EDF queues.
+  std::int64_t queue_cap = 0;
   double link_length_m = 10.0;
   std::int64_t slot_payload_bytes = 0;  // 0 => network default
   bool spatial_reuse = true;

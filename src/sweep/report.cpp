@@ -32,6 +32,9 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("mixes").begin_array();
   for (const WorkloadMix m : spec.mixes) w.value(mix_name(m));
   w.end_array();
+  w.key("services").begin_array();
+  for (const ServiceMix s : spec.services) w.value(service_name(s));
+  w.end_array();
   w.key("seeds").begin_array();
   for (const std::uint64_t s : spec.set_seeds) w.value(s);
   w.end_array();
@@ -43,6 +46,12 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("multicast_fraction").value(spec.multicast_fraction);
   w.key("background_rate").value(spec.background_rate);
   w.key("saturation_rate").value(spec.saturation_rate);
+  w.key("cbs_flows").value(spec.cbs_flows);
+  w.key("cbs_budget_slots").value(spec.cbs_budget_slots);
+  w.key("cbs_period_slots").value(spec.cbs_period_slots);
+  w.key("cbs_rate").value(spec.cbs_rate);
+  w.key("cbs_saturation_rate").value(spec.cbs_saturation_rate);
+  w.key("queue_cap").value(spec.queue_cap);
   w.key("link_length_m").value(spec.link_length_m);
   w.key("payload_bytes").value(spec.slot_payload_bytes);
   w.key("spatial_reuse").value(spec.spatial_reuse);
@@ -64,6 +73,7 @@ void write_point(analysis::JsonWriter& w, const PointResult& pr) {
   w.key("ber").value(pr.point.ber);
   w.key("data_ber").value(pr.point.data_ber);
   w.key("mix").value(mix_name(pr.point.mix));
+  w.key("service").value(service_name(pr.point.service));
   w.key("set_seed").value(pr.point.set_seed);
   w.key("failed_shards").value(pr.failed_shards);
   w.key("metrics").begin_object();
@@ -116,7 +126,7 @@ analysis::Table to_table(const SweepResult& result,
   analysis::Table t(title);
   std::vector<std::string> headers{"protocol", "nodes",    "u/U_max",
                                    "ber",      "data_ber", "mix",
-                                   "seed"};
+                                   "service",  "seed"};
   for (const Metric m : metrics) headers.emplace_back(metric_name(m));
   t.columns(std::move(headers));
   for (const PointResult& pr : result.points) {
@@ -127,6 +137,7 @@ analysis::Table to_table(const SweepResult& result,
         .cell(pr.point.ber, 6)
         .cell(pr.point.data_ber, 6)
         .cell(mix_name(pr.point.mix))
+        .cell(service_name(pr.point.service))
         .cell(static_cast<std::int64_t>(pr.point.set_seed));
     for (const Metric m : metrics) row.cell(pr.mean(m), 4);
   }

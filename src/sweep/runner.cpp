@@ -9,6 +9,8 @@
 #include "common/error.hpp"
 #include "fault/injector.hpp"
 #include "net/network.hpp"
+#include "services/cbs.hpp"
+#include "workload/aperiodic.hpp"
 #include "workload/periodic.hpp"
 #include "workload/poisson.hpp"
 
@@ -54,6 +56,14 @@ const char* metric_name(Metric m) {
       return "payload_undetected";
     case Metric::kPayloadNacks:
       return "payload_nacks";
+    case Metric::kCbsAdmittedFraction:
+      return "cbs_admitted_fraction";
+    case Metric::kCbsDelivered:
+      return "cbs_delivered";
+    case Metric::kCbsPostponements:
+      return "cbs_postponements";
+    case Metric::kCbsJain:
+      return "cbs_jain";
   }
   return "?";
 }
@@ -122,6 +132,27 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
                            n.timing().slot() * spec.slots);
   }
 
+  // Service axis: a CBS population beside the RT set.  The aperiodic
+  // arrivals draw from their own "cbs"-tagged stream family, so rt-only
+  // and cbs points run byte-identical RT workloads (workload_key).
+  std::optional<services::CbsFlowSet> cbs_flows;
+  std::optional<workload::AperiodicGenerator> cbs_gen;
+  if (point.service != ServiceMix::kRtOnly) {
+    services::CbsFlowSetParams cp;
+    cp.flows = spec.cbs_flows;
+    cp.budget_slots = spec.cbs_budget_slots;
+    cp.period_slots = spec.cbs_period_slots;
+    cbs_flows.emplace(n, cp);
+    workload::AperiodicParams ap;
+    ap.rate_per_flow = point.service == ServiceMix::kCbsSaturated
+                           ? spec.cbs_saturation_rate
+                           : spec.cbs_rate;
+    ap.seed = sim::Rng::stream_seed(seed, 0x636273ull /* "cbs" */, 0);
+    cbs_gen.emplace(n, cbs_flows->ids(), ap,
+                    sim::TimePoint::origin() +
+                        n.timing().slot() * spec.slots);
+  }
+
   n.run_slots(spec.slots);
 
   const auto& rt = n.stats().cls(core::TrafficClass::kRealTime);
@@ -154,6 +185,19 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
       static_cast<double>(n.stats().faults.payload_undetected);
   m[Metric::kPayloadNacks] =
       static_cast<double>(n.stats().faults.payload_nacks);
+  if (cbs_flows.has_value()) {
+    m[Metric::kCbsAdmittedFraction] =
+        static_cast<double>(cbs_flows->admitted()) /
+        static_cast<double>(cbs_flows->admitted() + cbs_flows->rejected());
+    std::int64_t jobs_delivered = 0;
+    for (const ConnectionId id : cbs_flows->ids()) {
+      jobs_delivered += n.connection_stats(id).delivered;
+    }
+    m[Metric::kCbsDelivered] = static_cast<double>(jobs_delivered);
+    m[Metric::kCbsPostponements] =
+        static_cast<double>(n.stats().cbs.postponements);
+    m[Metric::kCbsJain] = cbs_flows->jain_index();
+  }
   m.ok = true;
   return m;
 }

@@ -39,9 +39,13 @@ enum class Metric : std::size_t {
   kPayloadCorruptions,  // data packets hit on the data fibres
   kPayloadDetected,     // ... caught by the payload CRC-32
   kPayloadUndetected,   // ... delivered as garbage
-  kPayloadNacks         // NACK bits carried on distribution packets
+  kPayloadNacks,        // NACK bits carried on distribution packets
+  kCbsAdmittedFraction,  // admitted / requested CBS servers (services axis)
+  kCbsDelivered,         // jobs delivered across all CBS flows
+  kCbsPostponements,     // budget-exhaustion postponements (c = Q, d += T)
+  kCbsJain               // Jain fairness index over per-flow CBS bytes
 };
-inline constexpr std::size_t kMetricCount = 19;
+inline constexpr std::size_t kMetricCount = 23;
 
 [[nodiscard]] const char* metric_name(Metric m);
 

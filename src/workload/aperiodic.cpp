@@ -1,0 +1,89 @@
+#include "workload/aperiodic.hpp"
+
+#include "common/error.hpp"
+
+namespace ccredf::workload {
+
+void AperiodicParams::validate() const {
+  CCREDF_EXPECT(rate_per_flow > 0.0,
+                "AperiodicGenerator: rate must be positive");
+  CCREDF_EXPECT(min_size_slots >= 1 && max_size_slots >= min_size_slots,
+                "AperiodicGenerator: bad size range");
+  CCREDF_EXPECT((mean_idle_slots == 0.0) == (mean_burst_slots == 0.0),
+                "AperiodicGenerator: burst modulation needs both dwells");
+  CCREDF_EXPECT(mean_idle_slots >= 0.0 && mean_burst_slots >= 0.0,
+                "AperiodicGenerator: negative dwell");
+}
+
+AperiodicGenerator::AperiodicGenerator(net::Network& net,
+                                       std::vector<ConnectionId> servers,
+                                       AperiodicParams params,
+                                       sim::TimePoint until)
+    : net_(net), params_(params), until_(until) {
+  params_.validate();
+  flows_.reserve(servers.size());
+  for (std::size_t f = 0; f < servers.size(); ++f) {
+    Flow flow{servers[f], sim::Rng::stream(params_.seed, f, 0), true,
+              sim::TimePoint::origin()};
+    if (params_.mean_burst_slots > 0.0) {
+      // Start each flow in a burst of a fresh random dwell.
+      const sim::Duration burst_mean = sim::Duration::picoseconds(
+          static_cast<std::int64_t>(params_.mean_burst_slots *
+                                    static_cast<double>(extent().ps())));
+      flow.phase_end = net_.sim().now() + flow.rng.exponential(burst_mean);
+    }
+    flows_.push_back(flow);
+    schedule_next(f);
+  }
+}
+
+sim::Duration AperiodicGenerator::extent() const {
+  return net_.timing().slot_plus_max_gap();
+}
+
+void AperiodicGenerator::schedule_next(std::size_t f) {
+  Flow& flow = flows_[f];
+  const sim::Duration mean_gap = sim::Duration::picoseconds(
+      static_cast<std::int64_t>(static_cast<double>(extent().ps()) /
+                                params_.rate_per_flow));
+  sim::TimePoint at = net_.sim().now() + flow.rng.exponential(mean_gap);
+  if (params_.mean_burst_slots > 0.0) {
+    // Walk the on/off phase machine forward until `at` lands inside a
+    // burst; time spent in idle phases just pushes the arrival out.
+    const sim::Duration burst_mean = sim::Duration::picoseconds(
+        static_cast<std::int64_t>(params_.mean_burst_slots *
+                                  static_cast<double>(extent().ps())));
+    const sim::Duration idle_mean = sim::Duration::picoseconds(
+        static_cast<std::int64_t>(params_.mean_idle_slots *
+                                  static_cast<double>(extent().ps())));
+    while (true) {
+      if (flow.bursting) {
+        if (at < flow.phase_end) break;  // arrival lands in this burst
+        // Burst ended first: pause the arrival clock over the idle
+        // dwell and resume in the next burst.
+        const sim::Duration idle = flow.rng.exponential(idle_mean);
+        at = at + idle;
+        flow.bursting = false;
+        flow.phase_end = flow.phase_end + idle;
+      } else {
+        flow.bursting = true;
+        flow.phase_end = flow.phase_end + flow.rng.exponential(burst_mean);
+      }
+    }
+  }
+  if (at >= until_) return;
+  net_.sim().schedule_at(at, [this, f] {
+    emit(f);
+    schedule_next(f);
+  });
+}
+
+void AperiodicGenerator::emit(std::size_t f) {
+  Flow& flow = flows_[f];
+  const std::int64_t size =
+      flow.rng.uniform_int(params_.min_size_slots, params_.max_size_slots);
+  net_.cbs_send(flow.server, size);
+  ++generated_;
+}
+
+}  // namespace ccredf::workload

@@ -1,0 +1,177 @@
+// End-to-end CBS behaviour inside the slot engine: hard-RT precedence
+// over equal-deadline server jobs, server churn under an active fault
+// injector, and the fail-silent drop rule (a dropped job never touches
+// server state).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/cbs.hpp"
+#include "fault/injector.hpp"
+#include "net/network.hpp"
+#include "services/cbs.hpp"
+#include "workload/aperiodic.hpp"
+
+namespace ccredf {
+namespace {
+
+net::NetworkConfig cfg(NodeId nodes) {
+  net::NetworkConfig c;
+  c.nodes = nodes;
+  c.max_queue_messages = 256;
+  return c;
+}
+
+TEST(CbsIntegration, RtBandBeatsEqualDeadlineServerJob) {
+  net::Network n(cfg(4));
+  // Both streams source at node 0 towards node 1 with the SAME relative
+  // deadline (10 slots): a hard-RT periodic connection and a CBS job
+  // whose server deadline lands on the identical instant.  The RT band
+  // must win the tie every time -- equal-deadline BE traffic never
+  // displaces a guaranteed message.
+  core::ConnectionParams rt;
+  rt.source = 0;
+  rt.dests = NodeSet::single(1);
+  rt.size_slots = 1;
+  rt.period_slots = 10;
+  const net::Network::OpenResult rt_open = n.open_connection(rt);
+  ASSERT_TRUE(rt_open.admitted);
+
+  core::CbsParams cbs;
+  cbs.source = 0;
+  cbs.dests = NodeSet::single(1);
+  cbs.budget_slots = 1;
+  cbs.period_slots = 10;
+  const net::Network::OpenResult cbs_open = n.open_cbs_server(cbs);
+  ASSERT_TRUE(cbs_open.admitted);
+  // First arrival recharges: server deadline = now + 10 slots, equal to
+  // the RT message released at origin.
+  n.cbs_send(cbs_open.id, 1);
+  ASSERT_EQ(n.stats().cbs.jobs, 1);
+
+  n.run_slots(40);
+
+  const net::ConnectionStats& rt_stats = n.connection_stats(rt_open.id);
+  const net::ConnectionStats& cbs_stats = n.connection_stats(cbs_open.id);
+  EXPECT_GE(rt_stats.delivered, 3);
+  EXPECT_EQ(rt_stats.scheduling_misses, 0);
+  EXPECT_EQ(rt_stats.user_misses, 0);
+  ASSERT_EQ(cbs_stats.delivered, 1);
+  // The tie went to the RT band: its first message completed strictly
+  // before the equal-deadline server job.
+  EXPECT_LT(rt_stats.latency.min(), cbs_stats.latency.min());
+}
+
+TEST(CbsIntegration, PostponedServerNeverPerturbsRtDigest) {
+  // The isolation gate in miniature: the RT connection's accounting over
+  // a WALL horizon must be byte-identical whether or not a saturating
+  // CBS flow (budget exhausting over and over) shares the ring.
+  std::string digests[2];
+  for (int with_cbs = 0; with_cbs < 2; ++with_cbs) {
+    net::Network n(cfg(4));
+    core::ConnectionParams rt;
+    rt.source = 1;
+    rt.dests = NodeSet::single(2);
+    rt.size_slots = 2;
+    rt.period_slots = 12;
+    const net::Network::OpenResult rt_open = n.open_connection(rt);
+    ASSERT_TRUE(rt_open.admitted);
+    if (with_cbs == 1) {
+      core::CbsParams cbs;
+      cbs.source = 0;
+      cbs.dests = NodeSet::single(1);
+      cbs.budget_slots = 2;
+      cbs.period_slots = 40;
+      const net::Network::OpenResult s = n.open_cbs_server(cbs);
+      ASSERT_TRUE(s.admitted);
+      for (int j = 0; j < 50; ++j) n.cbs_send(s.id, 3);
+      n.run_for(n.timing().slot_plus_max_gap() * 600);
+      EXPECT_GT(n.stats().cbs.postponements, 0);
+    } else {
+      n.run_for(n.timing().slot_plus_max_gap() * 600);
+    }
+    const net::ConnectionStats& s = n.connection_stats(rt_open.id);
+    std::ostringstream os;
+    os << s.released << '/' << s.scheduling_misses << '/' << s.user_misses;
+    digests[with_cbs] = os.str();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(CbsIntegration, ServerChurnSurvivesActiveFaultInjector) {
+  net::Network n(cfg(8));
+  fault::FaultInjector inj(n, /*seed=*/5);
+  inj.set_control_ber(1e-4);
+  inj.set_data_ber(5e-5);
+
+  // A hard-RT connection rides through the whole churn as a canary.
+  core::ConnectionParams rt;
+  rt.source = 4;
+  rt.dests = NodeSet::single(6);
+  rt.size_slots = 1;
+  rt.period_slots = 25;
+  const net::Network::OpenResult canary = n.open_connection(rt);
+  ASSERT_TRUE(canary.admitted);
+
+  for (int round = 0; round < 6; ++round) {
+    services::CbsFlowSetParams p;
+    p.flows = 4;
+    p.budget_slots = 2;
+    p.period_slots = 40;
+    p.first_source = static_cast<NodeId>(round % 4);
+    services::CbsFlowSet flows(n, p);
+    ASSERT_EQ(flows.admitted(), 4);
+    workload::AperiodicParams ap;
+    ap.rate_per_flow = 0.5;
+    ap.seed = 100 + static_cast<std::uint64_t>(round);
+    workload::AperiodicGenerator gen(
+        n, flows.ids(), ap,
+        n.sim().now() + n.timing().slot_plus_max_gap() * 300);
+    n.run_slots(300);
+    EXPECT_GT(gen.generated(), 0);
+    flows.close_all();
+  }
+  // All server bandwidth was handed back; only the canary remains.
+  EXPECT_NEAR(n.admission().utilisation(), rt.utilisation(), 1e-12);
+  EXPECT_EQ(n.stats().cbs.servers_opened, 24);
+  EXPECT_GT(n.connection_stats(canary.id).delivered, 0);
+}
+
+TEST(CbsIntegration, FailedSourceDropsJobWithoutChargingServer) {
+  net::Network n(cfg(4));
+  core::CbsParams cbs;
+  cbs.source = 2;
+  cbs.dests = NodeSet::single(3);
+  cbs.budget_slots = 2;
+  cbs.period_slots = 20;
+  const net::Network::OpenResult s = n.open_cbs_server(cbs);
+  ASSERT_TRUE(s.admitted);
+  n.cbs_send(s.id, 1);
+  ASSERT_EQ(n.stats().cbs.jobs, 1);
+  n.run_slots(5);
+
+  const core::CbsServer* srv = n.cbs_server(s.id);
+  ASSERT_NE(srv, nullptr);
+  const std::int64_t budget_before = srv->budget_remaining();
+  const std::int64_t recharges_before = srv->recharges();
+  const std::int64_t jobs_before = n.stats().cbs.jobs;
+
+  n.fail_node(2);
+  // The send must drop at the fail-silent source WITHOUT consulting the
+  // wake-up rule -- a phantom recharge here would inflate the server's
+  // bandwidth once the node comes back.
+  n.cbs_send(s.id, 1);
+  EXPECT_EQ(srv->budget_remaining(), budget_before);
+  EXPECT_EQ(srv->recharges(), recharges_before);
+  EXPECT_EQ(n.stats().cbs.jobs, jobs_before);
+
+  n.restore_node(2);
+  n.cbs_send(s.id, 1);
+  EXPECT_EQ(n.stats().cbs.jobs, jobs_before + 1);
+  n.run_slots(40);
+  EXPECT_GT(n.connection_stats(s.id).delivered, 0);
+}
+
+}  // namespace
+}  // namespace ccredf

@@ -1,0 +1,113 @@
+#include "services/cbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace ccredf::services {
+namespace {
+
+net::NetworkConfig cfg8() {
+  net::NetworkConfig cfg;
+  cfg.nodes = 8;
+  return cfg;
+}
+
+TEST(Jain, ClosedFormValues) {
+  EXPECT_DOUBLE_EQ(CbsFlowSet::jain({}), 0.0);
+  EXPECT_DOUBLE_EQ(CbsFlowSet::jain({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(CbsFlowSet::jain({5.0, 5.0, 5.0, 5.0}), 1.0);
+  // One flow took everything: J = 1/n.
+  EXPECT_DOUBLE_EQ(CbsFlowSet::jain({1.0, 0.0, 0.0, 0.0}), 0.25);
+  // Two equal of four: J = (2x)^2 / (4 * 2x^2) = 0.5.
+  EXPECT_DOUBLE_EQ(CbsFlowSet::jain({3.0, 3.0, 0.0, 0.0}), 0.5);
+}
+
+TEST(CbsFlowSet, AdmitsIdenticallyProvisionedPopulation) {
+  net::Network n(cfg8());
+  CbsFlowSetParams p;
+  p.flows = 8;
+  p.budget_slots = 2;
+  p.period_slots = 100;
+  CbsFlowSet flows(n, p);
+  EXPECT_EQ(flows.admitted(), 8);
+  EXPECT_EQ(flows.rejected(), 0);
+  EXPECT_EQ(n.stats().cbs.servers_opened, 8);
+  // Each server weighs Q/T in the admission set.
+  EXPECT_NEAR(n.admission().utilisation(), 8 * 0.02, 1e-12);
+  for (const ConnectionId id : flows.ids()) {
+    ASSERT_NE(n.cbs_server(id), nullptr);
+  }
+}
+
+TEST(CbsFlowSet, AdmissionRejectsBeyondEffectiveUMax) {
+  net::Network n(cfg8());
+  // Each server asks for half the ring: at most one fits under U_max
+  // (< 1), the rest must be rejected by the same Eq. 5 test an RT
+  // connection faces.
+  CbsFlowSetParams p;
+  p.flows = 8;
+  p.budget_slots = 30;
+  p.period_slots = 60;
+  CbsFlowSet flows(n, p);
+  EXPECT_GE(flows.admitted(), 1);
+  EXPECT_LT(flows.admitted(), 8);
+  EXPECT_EQ(flows.admitted() + flows.rejected(), 8);
+  EXPECT_LE(n.admission().utilisation(),
+            n.admission().effective_u_max() + 1e-12);
+}
+
+TEST(CbsFlowSet, DeratedCapacityShrinksThePopulation) {
+  net::Network full(cfg8());
+  net::Network derated(cfg8());
+  // Graceful degradation: halving the capacity factor must shrink how
+  // many identical servers fit.
+  derated.admission().set_capacity_factor(0.05);
+  CbsFlowSetParams p;
+  p.flows = 8;
+  p.budget_slots = 2;
+  p.period_slots = 100;  // 0.02 each; 8 fit at full capacity
+  CbsFlowSet a(full, p);
+  CbsFlowSet b(derated, p);
+  EXPECT_EQ(a.admitted(), 8);
+  EXPECT_LT(b.admitted(), 8);
+  EXPECT_GT(b.rejected(), 0);
+}
+
+TEST(CbsFlowSet, DeliversAndAccountsBytes) {
+  net::Network n(cfg8());
+  CbsFlowSetParams p;
+  p.flows = 4;
+  p.budget_slots = 2;
+  p.period_slots = 20;
+  CbsFlowSet flows(n, p);
+  ASSERT_EQ(flows.admitted(), 4);
+  for (std::size_t f = 0; f < 4; ++f) flows.send(f, 1);
+  n.run_slots(200);
+  std::int64_t delivered = 0;
+  for (const ConnectionId id : flows.ids()) {
+    delivered += n.connection_stats(id).delivered;
+    EXPECT_GT(n.connection_stats(id).bytes, 0);
+  }
+  EXPECT_EQ(delivered, 4);
+  // Equal single-job flows: perfectly fair shares.
+  EXPECT_DOUBLE_EQ(flows.jain_index(), 1.0);
+}
+
+TEST(CbsFlowSet, CloseAllReleasesAdmission) {
+  net::Network n(cfg8());
+  CbsFlowSetParams p;
+  p.flows = 6;
+  CbsFlowSet flows(n, p);
+  ASSERT_EQ(flows.admitted(), 6);
+  const std::vector<ConnectionId> ids = flows.ids();
+  flows.close_all();
+  EXPECT_NEAR(n.admission().utilisation(), 0.0, 1e-12);
+  for (const ConnectionId id : ids) {
+    EXPECT_EQ(n.cbs_server(id), nullptr);
+  }
+  flows.close_all();  // idempotent
+}
+
+}  // namespace
+}  // namespace ccredf::services

@@ -1,0 +1,156 @@
+// The service-class sweep axis: grid parsing, point expansion, metric
+// population on CBS points, and the determinism contract (thread count
+// and engine strategy never change the report) extended to grids that
+// carry a CBS population.
+#include <gtest/gtest.h>
+
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
+
+namespace ccredf::sweep {
+namespace {
+
+GridSpec service_grid() {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {6};
+  spec.utilisations = {0.4};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.services = {ServiceMix::kRtOnly, ServiceMix::kCbs,
+                   ServiceMix::kCbsSaturated};
+  spec.cbs_flows = 6;
+  spec.cbs_budget_slots = 2;
+  spec.cbs_period_slots = 80;
+  spec.queue_cap = 256;
+  spec.set_seeds = {5};
+  spec.repetitions = 2;
+  spec.slots = 300;
+  spec.base_seed = 3;
+  return spec;
+}
+
+TEST(CbsSweep, ParsesServiceAxisAndCbsScalars) {
+  GridSpec spec;
+  std::string error;
+  const std::string text = R"(
+services = rt-only, cbs, cbs-saturated
+cbs_flows = 6
+cbs_budget_slots = 3
+cbs_period_slots = 90
+cbs_rate = 0.05
+cbs_saturation_rate = 0.4
+queue_cap = 128
+)";
+  ASSERT_TRUE(parse_grid(text, spec, error)) << error;
+  ASSERT_EQ(spec.services.size(), 3u);
+  EXPECT_EQ(spec.services[0], ServiceMix::kRtOnly);
+  EXPECT_EQ(spec.services[1], ServiceMix::kCbs);
+  EXPECT_EQ(spec.services[2], ServiceMix::kCbsSaturated);
+  EXPECT_EQ(spec.cbs_flows, 6);
+  EXPECT_EQ(spec.cbs_budget_slots, 3);
+  EXPECT_EQ(spec.cbs_period_slots, 90);
+  EXPECT_DOUBLE_EQ(spec.cbs_rate, 0.05);
+  EXPECT_DOUBLE_EQ(spec.cbs_saturation_rate, 0.4);
+  EXPECT_EQ(spec.queue_cap, 128);
+  EXPECT_FALSE(parse_grid("services = premium\n", spec, error));
+  EXPECT_FALSE(parse_grid("queue_cap = -1\n", spec, error));
+  EXPECT_FALSE(parse_grid("cbs_flows = 0\n", spec, error));
+}
+
+TEST(CbsSweep, ServiceAxisMultipliesPointCount) {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf, Protocol::kTdma};
+  spec.node_counts = {4};
+  EXPECT_EQ(spec.point_count(), 2u);  // default single rt-only mix
+  spec.services = {ServiceMix::kRtOnly, ServiceMix::kCbsSaturated};
+  EXPECT_EQ(spec.point_count(), 4u);
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].service, ServiceMix::kRtOnly);
+  EXPECT_EQ(points[1].service, ServiceMix::kCbsSaturated);
+}
+
+TEST(CbsSweep, WorkloadKeyIgnoresServiceMix) {
+  // Paired comparison along the service axis: rt-only and cbs points of
+  // the same scenario must run the identical RT connection set.
+  GridPoint a;
+  a.service = ServiceMix::kRtOnly;
+  GridPoint b = a;
+  b.service = ServiceMix::kCbsSaturated;
+  EXPECT_EQ(workload_key(a), workload_key(b));
+}
+
+TEST(CbsSweep, QueueCapReachesTheNetworkConfig) {
+  GridSpec spec;
+  GridPoint point;
+  point.protocol = Protocol::kCcrEdf;
+  point.nodes = 6;
+  // Default 0 preserves the library default (unbounded) -- every grid
+  // written before the key existed keeps its byte-identical report.
+  EXPECT_EQ(make_network_config(spec, point).max_queue_messages,
+            net::NetworkConfig{}.max_queue_messages);
+  spec.queue_cap = 256;
+  EXPECT_EQ(make_network_config(spec, point).max_queue_messages, 256u);
+}
+
+TEST(CbsSweep, CbsMetricsPopulatedOnlyOnCbsPoints) {
+  const GridSpec spec = service_grid();
+  const SweepResult res = run_sweep(spec, {.threads = 2});
+  ASSERT_EQ(res.failed_shards, 0);
+  ASSERT_EQ(res.points.size(), 3u);
+  for (const PointResult& pr : res.points) {
+    if (pr.point.service == ServiceMix::kRtOnly) {
+      EXPECT_EQ(pr.mean(Metric::kCbsAdmittedFraction), 0.0);
+      EXPECT_EQ(pr.mean(Metric::kCbsDelivered), 0.0);
+      EXPECT_EQ(pr.mean(Metric::kCbsPostponements), 0.0);
+      EXPECT_EQ(pr.mean(Metric::kCbsJain), 0.0);
+    } else {
+      EXPECT_GT(pr.mean(Metric::kCbsAdmittedFraction), 0.0);
+      EXPECT_GT(pr.mean(Metric::kCbsDelivered), 0.0);
+      EXPECT_GT(pr.mean(Metric::kCbsJain), 0.0);
+      EXPECT_LE(pr.mean(Metric::kCbsJain), 1.0);
+    }
+    if (pr.point.service == ServiceMix::kCbsSaturated) {
+      EXPECT_GT(pr.mean(Metric::kCbsPostponements), 0.0);
+    }
+  }
+}
+
+TEST(CbsSweep, ShardRerunsBitIdentical) {
+  const GridSpec spec = service_grid();
+  const auto points = spec.expand();
+  // The saturated point is the stress case: backlogged servers, drops at
+  // the queue cap, postponement rescheduling -- rerun it bit-exactly.
+  const GridPoint& saturated = points.back();
+  ASSERT_EQ(saturated.service, ServiceMix::kCbsSaturated);
+  const ShardMetrics a = run_shard(spec, saturated, 0);
+  const ShardMetrics b = run_shard(spec, saturated, 0);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    EXPECT_EQ(a.values[i], b.values[i])
+        << "metric " << metric_name(static_cast<Metric>(i));
+  }
+}
+
+TEST(CbsSweep, ReportInvariantAcrossEngineAndThreads) {
+  // The grid-level determinism contract survives the CBS population:
+  // byte-identical JSON across {fast-forward, slot-by-slot} x {1, 4, 8
+  // threads}.  A CBS replenishment is an event-queue bound, so the
+  // fast-forward engine stays exact (DESIGN.md).
+  GridSpec spec = service_grid();
+  spec.fast_forward = true;
+  const std::string reference = to_json(run_sweep(spec, {.threads = 1}));
+  for (const bool fast_forward : {true, false}) {
+    for (const int threads : {1, 4, 8}) {
+      if (fast_forward && threads == 1) continue;  // the reference run
+      spec.fast_forward = fast_forward;
+      EXPECT_EQ(reference, to_json(run_sweep(spec, {.threads = threads})))
+          << "report diverged at fast_forward="
+          << (fast_forward ? "on" : "off") << ", threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccredf::sweep
