@@ -63,6 +63,7 @@ run_bench bench_sweep ${QUICK}
 run_bench bench_fault_recovery ${QUICK}
 run_bench bench_data_reliability ${QUICK}
 run_bench bench_cbs_fairness ${QUICK}
+run_bench bench_fault_churn ${QUICK}
 
 # E21b's fairness floor, asserted through the same generic floor checker
 # as the throughput gate (bench/cbs_floors.json pins Jain >= 0.9).
@@ -136,6 +137,26 @@ python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/c1.json"
   --out "${TMPDIR_SWEEP}/c1_noff.json"
 cmp "${TMPDIR_SWEEP}/c1.json" "${TMPDIR_SWEEP}/c1_noff.json"
 echo "cbs-grid reports byte-identical across thread counts and" \
+     "fast-forward modes"
+
+# Same two gates over the churn grid: the resilience loop (failure
+# detection, quarantine, staged re-admission) runs inside the slot
+# engine, so it must be thread-count deterministic AND invisible to the
+# fast-forward contract -- next_deadline_slot bounds every idle skip at
+# the first monitor transition.
+if [[ "${HW_THREADS}" -gt 1 ]]; then
+  echo "==== churn-grid determinism (1 vs 8 threads) ===="
+else
+  echo "==== churn-grid determinism (byte-equality gate) ===="
+fi
+"${SWEEP}" tools/grids/churn_smoke.grid --threads 1 --out "${TMPDIR_SWEEP}/n1.json"
+"${SWEEP}" tools/grids/churn_smoke.grid --threads 8 --out "${TMPDIR_SWEEP}/n8.json"
+cmp "${TMPDIR_SWEEP}/n1.json" "${TMPDIR_SWEEP}/n8.json"
+python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/n1.json"
+"${SWEEP}" tools/grids/churn_smoke.grid --threads 1 --no-fast-forward \
+  --out "${TMPDIR_SWEEP}/n1_noff.json"
+cmp "${TMPDIR_SWEEP}/n1.json" "${TMPDIR_SWEEP}/n1_noff.json"
+echo "churn-grid reports byte-identical across thread counts and" \
      "fast-forward modes"
 
 echo "==== check.sh: all green ===="

@@ -145,6 +145,71 @@ def validate_cbs_fairness(path, metrics):
     return True
 
 
+def validate_fault_churn(path, metrics):
+    """E22 acceptance gates, re-checked at validation time.
+
+    Same rationale as the data_reliability/cbs_fairness validators: the
+    bench exits non-zero on a failed gate, but a stale or hand-edited
+    JSON must not green past CI.  The containment invariant (connections
+    disjoint from every churned node miss nothing), the detection bound
+    (latency <= window + 1), reclamation exactness, a loop that actually
+    cycled, exact recovery-gap quantile ordering, and both determinism
+    gates are re-asserted here.
+    """
+    required = (
+        "disjoint_connections",
+        "disjoint_user_misses",
+        "downs",
+        "readmissions",
+        "detection_window_slots",
+        "detection_latency_max_slots",
+        "reclaim_error",
+        "recoveries",
+        "recovery_gap_p50_us",
+        "recovery_gap_p99_us",
+        "threads_json_identical",
+        "ff_json_identical",
+    )
+    for key in required:
+        value = metrics.get(key)
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            return fail(path, f"fault_churn needs numeric `{key}`")
+    if metrics["disjoint_connections"] <= 0:
+        return fail(path, "no churn-disjoint connections: gate tested nothing")
+    if metrics["disjoint_user_misses"] != 0:
+        return fail(
+            path,
+            f"{metrics['disjoint_user_misses']:.0f} user misses on "
+            "connections disjoint from every churned node",
+        )
+    if metrics["downs"] <= 0 or metrics["readmissions"] <= 0:
+        return fail(path, "the churn loop never cycled")
+    if (
+        metrics["detection_latency_max_slots"]
+        > metrics["detection_window_slots"] + 1
+    ):
+        return fail(
+            path,
+            f"detection latency {metrics['detection_latency_max_slots']} "
+            "slots exceeds the configured window + 1",
+        )
+    if metrics["reclaim_error"] > 1e-9:
+        return fail(
+            path,
+            "quarantine released weight diverges from the utilisation "
+            f"drop by {metrics['reclaim_error']}",
+        )
+    if metrics["recovery_gap_p50_us"] > metrics["recovery_gap_p99_us"]:
+        return fail(path, "recovery-gap p50 exceeds p99")
+    if metrics["recoveries"] > 0 and metrics["recovery_gap_p50_us"] <= 0:
+        return fail(path, "recoveries happened but the gap distribution is empty")
+    if metrics["threads_json_identical"] != 1:
+        return fail(path, "churn-axis sweep not thread-count deterministic")
+    if metrics["ff_json_identical"] != 1:
+        return fail(path, "churn-axis sweep not fast-forward invariant")
+    return True
+
+
 def validate_sweep_report(path, doc):
     for key, kind in (
         ("grid", dict),
@@ -165,6 +230,19 @@ def validate_sweep_report(path, doc):
             expected = {"count", "mean", "stddev", "min", "max"}
             if not isinstance(stat, dict) or set(stat) != expected:
                 return fail(path, f"point {i} metric `{name}` malformed")
+        # Recovery-gap quantiles are exact nearest-rank sample values, so
+        # p50 <= p99 must hold per point, not just on average.
+        gaps = point["metrics"]
+        p50 = gaps.get("recovery_gap_p50_us")
+        p99 = gaps.get("recovery_gap_p99_us")
+        if p50 is not None and p99 is not None:
+            for field in ("mean", "min", "max"):
+                if p50[field] > p99[field]:
+                    return fail(
+                        path,
+                        f"point {i}: recovery_gap p50 {field} "
+                        f"({p50[field]}) exceeds p99 ({p99[field]})",
+                    )
     return True
 
 
@@ -188,6 +266,8 @@ def validate(path):
         return validate_data_reliability(path, doc["metrics"])
     if doc["bench"] == "cbs_fairness":
         return validate_cbs_fairness(path, doc["metrics"])
+    if doc["bench"] == "fault_churn":
+        return validate_fault_churn(path, doc["metrics"])
     return True
 
 

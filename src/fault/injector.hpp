@@ -58,9 +58,21 @@ class FaultInjector final : public net::FaultHook {
   void set_random_token_loss(double p);
 
   // -- fail-silent nodes --------------------------------------------------
-  /// Fail node `id` at simulated time `at`.
+  //
+  // Idempotence contract: fail/restore events carry NO precondition.
+  // `Network::fail_node` on an already-failed node and
+  // `Network::restore_node` on a healthy node are no-ops (no queue
+  // clearing, no CBS backlog reset, no trace, no state change) -- so
+  // double-fail, double-restore and restore-of-healthy sequences, which
+  // overlapping churn schedules produce naturally, are safe in any
+  // order.  Events scheduled at the SAME timestamp fire in scheduling
+  // order (the event queue breaks time ties by sequence number), so the
+  // LAST action scheduled for a timestamp decides the node's state
+  // after it.  tests/fault/injector_idempotence_test.cpp pins the
+  // matrix.
+  /// Fail node `id` at simulated time `at` (no-op if already failed).
   void schedule_node_failure(NodeId id, sim::TimePoint at);
-  /// Restore node `id` at simulated time `at`.
+  /// Restore node `id` at simulated time `at` (no-op if healthy).
   void schedule_node_restore(NodeId id, sim::TimePoint at);
 
   // -- control-channel bit errors -----------------------------------------

@@ -316,8 +316,12 @@ void Network::charge_cbs(NodeId g, bool completed) {
   }
 }
 
-void Network::fail_node(NodeId id) {
+bool Network::fail_node(NodeId id) {
   Node& n = node(id);
+  // Idempotence contract (fault/injector.hpp): a double-fail -- which
+  // overlapping churn schedules produce naturally -- must not re-clear
+  // queues, re-zero CBS backlogs or emit a second transition trace.
+  if (n.failed()) return false;
   n.set_failed(true);
   n.queues().clear();
   soa_.failed.insert(id);
@@ -329,13 +333,46 @@ void Network::fail_node(NodeId id) {
   }
   trace_.emit(sim_.now(), sim::TraceCategory::kFault,
               [id] { return "node " + std::to_string(id) + " failed"; });
+  return true;
 }
 
-void Network::restore_node(NodeId id) {
-  node(id).set_failed(false);
+bool Network::restore_node(NodeId id) {
+  Node& n = node(id);
+  if (!n.failed()) return false;  // restore-of-healthy: no-op
+  n.set_failed(false);
   soa_.failed.erase(id);
   trace_.emit(sim_.now(), sim::TraceCategory::kFault,
               [id] { return "node " + std::to_string(id) + " restored"; });
+  return true;
+}
+
+std::vector<Network::OpenConnectionInfo> Network::connections_of(
+    NodeId src) const {
+  std::vector<OpenConnectionInfo> out;
+  for (const auto& [id, st] : releases_) {
+    if (st.open && st.params.source == src) {
+      out.push_back(OpenConnectionInfo{id, st.params});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpenConnectionInfo& a, const OpenConnectionInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<Network::OpenCbsInfo> Network::cbs_servers_of(NodeId src) const {
+  std::vector<OpenCbsInfo> out;
+  for (const auto& [id, st] : cbs_) {
+    if (st.server.params().source == src) {
+      out.push_back(OpenCbsInfo{id, st.server.params()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpenCbsInfo& a, const OpenCbsInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
 }
 
 void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
@@ -461,7 +498,11 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
     // and no fault hook intercepts idle records, so only nodes with a
     // queued message can produce a request.  Sampling order is
     // irrelevant here: each node's sample depends only on its own
-    // offset, and no event interleaves.
+    // offset, and no event interleaves.  Every live node's record --
+    // request or idle -- reaches the master untouched: the failed set
+    // cannot change mid-window (no event), so the heard evidence is one
+    // mask expression.
+    rec_.heard = topo_.all_nodes() & ~soa_.failed;
     const NodeSet candidates = soa_.queued & ~soa_.failed;
     for (const NodeId j : candidates) {
       const sim::TimePoint sample = slot_start_ + off[j];
@@ -481,6 +522,10 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
     sim_.run_until(sample);
     Node& nd = nodes_[j];
     if (nd.failed()) continue;
+    // The node was live at its sampling instant: it wrote a (possibly
+    // idle) record into the passing collection packet.  Faults below may
+    // still destroy it in transit.
+    rec_.heard.insert(j);
     if (soa_.queued.contains(j)) {
       const core::Message* m = nd.queues().head(sample);
       if (m != nullptr) bind(j, *m, sample);
@@ -495,6 +540,7 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
         reqs[j] = core::Request{};
         soa_.bound.erase(j);
         requesters_.erase(j);
+        rec_.heard.erase(j);  // no valid record arrived: unheard
         ++stats_.faults.collection_drops;
         ++stats_.per_node_faults[j].requests_dropped;
         break;
@@ -505,6 +551,7 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
         reqs[j] = core::Request{};
         soa_.bound.erase(j);
         requesters_.erase(j);
+        rec_.heard.erase(j);  // guards rejected the record: unheard
         ++stats_.faults.collection_corruptions;
         ++stats_.faults.collection_detected;
         ++stats_.per_node_faults[j].requests_corrupted;
@@ -552,6 +599,7 @@ void Network::step_slot() {
   rec.acks = NodeSet{};
   rec.nacks = NodeSet{};
   rec.token_lost = false;
+  rec.heard = NodeSet{};
 
   // Phase 1: the data of this slot (granted during slot k-1).
   execute_grants(rec, slot_end);
@@ -589,7 +637,14 @@ void Network::step_slot() {
     token_lost = true;
     ++stats_.faults.token_losses;
   }
-  if (nodes_[master_].failed()) token_lost = true;
+  if (nodes_[master_].failed()) {
+    token_lost = true;
+    // The heartbeat evidence lived in the collection packet the master
+    // was accumulating; a dead master takes it down with the slot.  (A
+    // distribution-packet loss above does NOT clear it: the master
+    // heard everyone before the outbound packet died.)
+    rec.heard = NodeSet{};
+  }
   SlotPlan plan;
   if (!token_lost) {
     plan = protocol_->plan_next_slot(requests, master_, slot_, requesters_);
@@ -716,6 +771,7 @@ void Network::step_slot() {
       ++stats_.faults.recoveries;
       recovery_time_ += gap;
       stats_.faults.recovery_gap.add(gap);
+      stats_.faults.recovery_gap_quantiles.add(gap.ps());
       plan.next_master = restarter;
     }
     plan.granted = NodeSet{};
@@ -751,6 +807,10 @@ void Network::step_slot() {
   ++slot_;
 
   for (const auto& obs : observers_) obs(rec);
+  // The resilience hook runs LAST: it may mutate the network (quarantine
+  // closes, staged re-opens), and the observers above must see the slot
+  // as it actually ran.
+  if (resilience_ != nullptr) resilience_->on_slot_end(rec);
 }
 
 std::int64_t Network::try_fast_forward(std::int64_t max_slots) {
@@ -794,6 +854,14 @@ std::int64_t Network::try_fast_forward(std::int64_t max_slots) {
         fault_hook_->first_idle_fault_slot(slot_, slot_ + k);
     k = std::min<std::int64_t>(k, quiet - slot_);
   }
+  if (resilience_ != nullptr) {
+    // The resilience hook bounds the skip by its own deadlines (a
+    // detection window expiring, a reappearance to witness, an eligible
+    // re-admission): the bounding slot itself is always simulated, so no
+    // monitor transition can fall inside a skipped window.
+    const SlotIndex safe = resilience_->next_deadline_slot(slot_, slot_ + k);
+    k = std::min<std::int64_t>(k, safe - slot_);
+  }
   if (k <= 0) return 0;
 
   // Advance every aggregate arithmetically.  ExactStats::add_n is
@@ -810,8 +878,14 @@ std::int64_t Network::try_fast_forward(std::int64_t max_slots) {
 
   const sim::TimePoint last_end = slot_start_ + step * (k - 1) + t_slot;
   sim_.advance_to(last_end);  // no event precedes last_end, by the bound
+  const SlotIndex first = slot_;
   slot_ += k;
   slot_start_ = last_end + g;
+  if (resilience_ != nullptr) {
+    // Batch heartbeat advance: every skipped slot evidenced the same
+    // live set (no event could change it inside the window).
+    resilience_->on_fast_forward(first, k, topo_.all_nodes() & ~soa_.failed);
+  }
   return k;
 }
 

@@ -79,6 +79,16 @@ struct SlotRecord {
   NodeSet nacks;
   /// True when this slot boundary suffered a token loss (fault runs).
   bool token_lost = false;
+  /// On-wire heartbeat evidence: nodes whose request record -- a live
+  /// request OR the idle record every healthy node writes as the
+  /// collection packet passes (the start bit alone proves the writer) --
+  /// validly reached the master this slot.  A record destroyed in
+  /// transit or rejected by the integrity guards removes its node;
+  /// fail-silent nodes never appear; and when the MASTER is failed at
+  /// slot end the whole set is empty (the evidence died with its
+  /// collector).  services::ResilienceMonitor's failure detection reads
+  /// exactly this set -- no wire change.
+  NodeSet heard;
 };
 
 /// Run-time fault injection hooks (see src/fault/ for implementations).
@@ -154,6 +164,33 @@ class FaultHook {
                                                         SlotIndex /*limit*/) {
     return from;
   }
+};
+
+/// Protocol-level resilience hook (services::ResilienceMonitor).
+///
+/// Unlike a SlotObserver -- whose mere presence disables the idle
+/// fast-forward -- a ResilienceHook is a first-class engine citizen: it
+/// receives per-slot heartbeat evidence, is consulted for the first slot
+/// it MUST see simulated (detection deadlines, re-admission drains), and
+/// is batch-notified about skipped idle windows so its bookkeeping stays
+/// byte-identical between the fast-forward and slot-by-slot engines.
+class ResilienceHook {
+ public:
+  virtual ~ResilienceHook() = default;
+  /// End-of-slot notification (after the observers).  `rec.heard`
+  /// carries the heartbeat evidence; the hook may mutate the network
+  /// (quarantine closes, staged re-opens) -- the slot is already over.
+  virtual void on_slot_end(const SlotRecord& rec) = 0;
+  /// `k` idle slots [first, first + k) were skipped; `heard` is the
+  /// constant live set every one of them evidenced (fast-forward
+  /// guarantees no event, fault or master death inside the window).
+  virtual void on_fast_forward(SlotIndex first, std::int64_t k,
+                               NodeSet heard) = 0;
+  /// First slot in [from, limit] this hook must observe simulated, or
+  /// `limit` when the whole range needs nothing.  The engine never
+  /// fast-forwards across the returned slot.
+  [[nodiscard]] virtual SlotIndex next_deadline_slot(SlotIndex from,
+                                                     SlotIndex limit) = 0;
 };
 
 class Network {
@@ -243,10 +280,36 @@ class Network {
     observers_.push_back(std::move(obs));
   }
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  /// Attaches the resilience hook (one at a time; nullptr detaches).
+  void set_resilience_hook(ResilienceHook* hook) { resilience_ = hook; }
+  [[nodiscard]] ResilienceHook* resilience_hook() const {
+    return resilience_;
+  }
 
   /// Fail-silent node (fault experiments); queued messages are dropped.
-  void fail_node(NodeId id);
-  void restore_node(NodeId id);
+  /// Idempotent: failing an already-failed node is a no-op (no queue
+  /// clearing, no trace, no CBS backlog reset) and returns false.
+  bool fail_node(NodeId id);
+  /// Idempotent: restoring a healthy node is a no-op, returns false.
+  bool restore_node(NodeId id);
+
+  /// Open hard-RT connections sourced at `src`, sorted by id.  The
+  /// sorted order matters: quarantine (services::ResilienceMonitor)
+  /// enumerates these to close them, and every downstream admission id
+  /// depends on the order -- unordered_map iteration would leak
+  /// nondeterminism into the byte-identical sweep reports.
+  struct OpenConnectionInfo {
+    ConnectionId id = kNoConnection;
+    core::ConnectionParams params;
+  };
+  [[nodiscard]] std::vector<OpenConnectionInfo> connections_of(
+      NodeId src) const;
+  /// Open CBS servers sourced at `src`, sorted by id (same contract).
+  struct OpenCbsInfo {
+    ConnectionId id = kNoConnection;
+    core::CbsParams params;
+  };
+  [[nodiscard]] std::vector<OpenCbsInfo> cbs_servers_of(NodeId src) const;
 
   /// Count of token-loss recoveries performed.
   [[nodiscard]] std::int64_t recoveries() const { return recoveries_; }
@@ -358,6 +421,7 @@ class Network {
   std::vector<Node> nodes_;
   std::vector<SlotObserver> observers_;
   FaultHook* fault_hook_ = nullptr;
+  ResilienceHook* resilience_ = nullptr;
 
   // Slot-engine state.
   SlotIndex slot_ = 0;

@@ -104,6 +104,12 @@ struct FaultStats {
   std::int64_t recoveries = 0;
   /// Distribution of the recovery timeout gaps, ps.
   sim::OnlineStats recovery_gap;
+  /// Exact per-value counts of the same gaps: the gap is a deterministic
+  /// function of the configuration, so distinct values stay few and the
+  /// p50/p99 sweep metrics (kRecoveryGapP50Us/P99Us) come out as exact
+  /// sample values -- deterministic to the last bit, as the sweep's
+  /// byte-equality gates require.
+  sim::ExactQuantiles recovery_gap_quantiles;
   /// Token-loss windows during which EVERY node was failed: no live
   /// restarter exists, so the ring stays dark until a node is restored
   /// (no phantom recovery is counted for these).

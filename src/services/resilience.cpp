@@ -1,0 +1,201 @@
+#include "services/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ccredf::services {
+
+ResilienceMonitor::ResilienceMonitor(net::Network& net,
+                                     ResilienceParams params)
+    : net_(net), params_(params) {
+  params_.validate();
+  suspect_window_ = params_.suspect_window_slots > 0
+                        ? params_.suspect_window_slots
+                        : params_.detection_window_slots / 2;
+  CCREDF_EXPECT(net_.resilience_hook() == nullptr,
+                "resilience: a hook is already attached");
+  const SlotIndex s = net_.current_slot();
+  for (NodeId j = 0; j < net_.nodes(); ++j) {
+    tracked_[j].last_heard = s - 1;  // zero miss at attachment
+  }
+  anchor_ = s;
+  tokens_ = params_.readmit_burst;
+  net_.set_resilience_hook(this);
+}
+
+ResilienceMonitor::~ResilienceMonitor() {
+  if (net_.resilience_hook() == this) net_.set_resilience_hook(nullptr);
+}
+
+ConnectionId ResilienceMonitor::current_incarnation(ConnectionId id) const {
+  ConnectionId cur = id;
+  auto it = incarnation_.find(cur);
+  while (it != incarnation_.end()) {
+    cur = it->second;
+    if (cur == kNoConnection) return kNoConnection;  // still queued
+    it = incarnation_.find(cur);
+  }
+  return cur;
+}
+
+void ResilienceMonitor::on_slot_end(const net::SlotRecord& rec) {
+  const SlotIndex s = rec.index;
+  for (NodeId j : rec.heard) heard_node(j, s);
+  const NodeSet unheard = net_.topology().all_nodes() & ~rec.heard;
+  for (NodeId j : unheard) {
+    Tracked& t = tracked_[j];
+    if (t.state == NodeState::kDown) continue;
+    const SlotIndex miss = s - t.last_heard;
+    if (miss > params_.detection_window_slots) {
+      declare_down(j, s);
+    } else if (t.state == NodeState::kUp && miss > suspect_window_) {
+      t.state = NodeState::kSuspect;
+      ++stats_.suspects;
+    }
+  }
+  if (!queue_.empty()) drain_readmissions(s);
+}
+
+void ResilienceMonitor::on_fast_forward(SlotIndex first, std::int64_t k,
+                                        NodeSet heard) {
+  // Every skipped slot evidenced exactly `heard`; unheard nodes cannot
+  // cross a detection deadline inside the window (next_deadline_slot
+  // bounded the skip), and no DOWN node can sit in `heard` (a live down
+  // node forbids skipping entirely), so batching is exact.
+  const SlotIndex last = first + k - 1;
+  for (NodeId j : heard) {
+    Tracked& t = tracked_[j];
+    CCREDF_EXPECT(t.state != NodeState::kDown,
+                  "resilience: reappearance hidden in a fast-forward");
+    t.state = NodeState::kUp;
+    t.last_heard = last;
+  }
+}
+
+SlotIndex ResilienceMonitor::next_deadline_slot(SlotIndex from,
+                                                SlotIndex limit) {
+  SlotIndex bound = limit;
+  const NodeSet failed = net_.failed_nodes();
+  for (NodeId j = 0; j < net_.nodes(); ++j) {
+    const Tracked& t = tracked_[j];
+    if (t.state == NodeState::kDown) {
+      // A live down node is about to be heard again -- the reappearance
+      // (and the queue eligibility it flips) must be simulated.
+      if (!failed.contains(j)) return from;
+      continue;  // still dead: stays down, nothing to observe
+    }
+    if (!failed.contains(j)) continue;  // heard every skipped slot
+    // Failed but not yet declared: a detection deadline lies ahead.
+    const std::int64_t win = t.state == NodeState::kUp
+                                 ? suspect_window_
+                                 : params_.detection_window_slots;
+    bound = std::min(bound, std::max(from, t.last_heard + win + 1));
+  }
+  if (!queue_.empty()) {
+    // A drainable entry means token-bucket pacing and admission re-runs
+    // happen on upcoming slots; simulate them (the queue empties in
+    // bounded time, so this cannot pin the engine permanently).
+    for (const PendingReadmit& p : queue_) {
+      if (tracked_[p.node].state != NodeState::kDown) return from;
+    }
+  }
+  return bound;
+}
+
+void ResilienceMonitor::heard_node(NodeId j, SlotIndex s) {
+  Tracked& t = tracked_[j];
+  if (t.state == NodeState::kDown) ++stats_.reappearances;
+  t.state = NodeState::kUp;
+  t.last_heard = s;
+}
+
+void ResilienceMonitor::declare_down(NodeId j, SlotIndex s) {
+  Tracked& t = tracked_[j];
+  t.state = NodeState::kDown;
+  ++stats_.downs;
+  stats_.detection_latency_slots.add(s - t.last_heard);
+
+  // Quarantine: close everything the node sources through the normal
+  // teardown paths and verify the released Eq. 5/6 weight matches the
+  // utilisation drop exactly (the reclamation invariant E22 gates).
+  const double u_before = net_.admission().utilisation();
+  double released = 0.0;
+  for (const auto& c : net_.connections_of(j)) {
+    released += net_.admission().weight(c.params);
+    net_.close_connection(c.id);
+    ++stats_.connections_quarantined;
+    incarnation_[c.id] = kNoConnection;
+    PendingReadmit p;
+    p.node = j;
+    p.is_cbs = false;
+    p.rt = c.params;
+    p.former_id = c.id;
+    p.eligible = s;
+    queue_.push_back(std::move(p));
+  }
+  for (const auto& srv : net_.cbs_servers_of(j)) {
+    released += net_.admission().weight(srv.params.admission_params());
+    net_.close_cbs_server(srv.id);
+    ++stats_.servers_quarantined;
+    incarnation_[srv.id] = kNoConnection;
+    PendingReadmit p;
+    p.node = j;
+    p.is_cbs = true;
+    p.cbs = srv.params;
+    p.former_id = srv.id;
+    p.eligible = s;
+    queue_.push_back(std::move(p));
+  }
+  stats_.weight_reclaimed += released;
+  const double err =
+      std::abs((u_before - net_.admission().utilisation()) - released);
+  if (err > stats_.reclaim_error) stats_.reclaim_error = err;
+}
+
+std::int64_t ResilienceMonitor::tokens_at(SlotIndex s) const {
+  const std::int64_t refills = (s - anchor_) / params_.readmit_interval_slots;
+  return std::min<std::int64_t>(params_.readmit_burst, tokens_ + refills);
+}
+
+void ResilienceMonitor::drain_readmissions(SlotIndex s) {
+  std::int64_t avail = tokens_at(s);
+  if (avail <= 0) return;
+  bool spent = false;
+  for (auto it = queue_.begin(); it != queue_.end() && avail > 0;) {
+    PendingReadmit& p = *it;
+    // Entries stay parked while their node is down or backing off; the
+    // queue is scanned front-to-back so the oldest eligible entry wins
+    // the token (FIFO fairness within the staging).
+    if (tracked_[p.node].state == NodeState::kDown || s < p.eligible) {
+      ++it;
+      continue;
+    }
+    --avail;
+    spent = true;
+    ++stats_.readmit_attempts;
+    const net::Network::OpenResult r =
+        p.is_cbs ? net_.open_cbs_server(p.cbs) : net_.open_connection(p.rt);
+    if (r.admitted) {
+      ++stats_.readmissions;
+      stats_.weight_readmitted +=
+          p.is_cbs ? net_.admission().weight(p.cbs.admission_params())
+                   : net_.admission().weight(p.rt);
+      incarnation_[p.former_id] = r.id;
+      it = queue_.erase(it);
+    } else {
+      ++stats_.readmit_rejections;
+      const std::int64_t shift = std::min<std::int64_t>(p.rejections, 30);
+      p.eligible = s + std::min(params_.backoff_slots << shift,
+                                params_.max_backoff_slots);
+      ++p.rejections;
+      ++it;
+    }
+  }
+  if (spent) {
+    tokens_ = avail;
+    anchor_ = s;
+  }
+}
+
+}  // namespace ccredf::services

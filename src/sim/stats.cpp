@@ -61,6 +61,40 @@ void ExactStats::merge(const ExactStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void ExactQuantiles::add(std::int64_t v, std::int64_t count) {
+  if (count <= 0) return;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), v,
+      [](const std::pair<std::int64_t, std::int64_t>& e, std::int64_t x) {
+        return e.first < x;
+      });
+  if (it != entries_.end() && it->first == v) {
+    it->second += count;
+  } else {
+    entries_.insert(it, {v, count});
+  }
+  total_ += count;
+}
+
+std::int64_t ExactQuantiles::quantile(double q) const {
+  CCREDF_EXPECT(q >= 0.0 && q <= 1.0, "ExactQuantiles: q out of [0, 1]");
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  auto rank = static_cast<std::int64_t>(target);
+  if (static_cast<double>(rank) < target) ++rank;  // ceil
+  if (rank < 1) rank = 1;
+  std::int64_t cum = 0;
+  for (const auto& [v, c] : entries_) {
+    cum += c;
+    if (cum >= rank) return v;
+  }
+  return entries_.back().first;
+}
+
+void ExactQuantiles::merge(const ExactQuantiles& other) {
+  for (const auto& [v, c] : other.entries_) add(v, c);
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
   CCREDF_EXPECT(hi > lo, "Histogram: hi must exceed lo");

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -125,6 +126,34 @@ class ExactStats {
   int128 sumsq_ = 0;
   std::int64_t min_ = std::numeric_limits<std::int64_t>::max();
   std::int64_t max_ = std::numeric_limits<std::int64_t>::min();
+};
+
+/// Exact quantiles over integer-valued samples with FEW distinct values
+/// (recovery gaps: each gap is a deterministic function of the network
+/// configuration, so even a soak of millions of token losses produces a
+/// handful of distinct values).  Keeps a sorted (value, count) vector --
+/// integer arithmetic only, so every quantile is an exact sample value
+/// and a pure function of the sample multiset: no accumulation-order or
+/// float-rounding sensitivity, which the sweep's byte-determinism gates
+/// rely on when p50/p99 are exported as per-point metrics.
+class ExactQuantiles {
+ public:
+  void add(std::int64_t v, std::int64_t count = 1);
+  void add(Duration d) { add(d.ps()); }
+
+  [[nodiscard]] std::int64_t count() const { return total_; }
+  [[nodiscard]] std::size_t distinct() const { return entries_.size(); }
+  /// Nearest-rank quantile (the smallest sample value whose cumulative
+  /// count reaches ceil(q * count)); q in [0, 1]; 0 when empty.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  /// Merges another accumulator (parallel reduction); exact, so the
+  /// merge order cannot change any quantile.
+  void merge(const ExactQuantiles& other);
+
+ private:
+  std::vector<std::pair<std::int64_t, std::int64_t>> entries_;  // sorted
+  std::int64_t total_ = 0;
 };
 
 class Histogram {

@@ -104,8 +104,8 @@ bool parse_service(const std::string& s, ServiceMix& out) {
 
 std::size_t GridSpec::point_count() const {
   return protocols.size() * node_counts.size() * utilisations.size() *
-         bers.size() * data_bers.size() * mixes.size() * services.size() *
-         set_seeds.size();
+         bers.size() * data_bers.size() * churns.size() * mixes.size() *
+         services.size() * set_seeds.size();
 }
 
 std::vector<GridPoint> GridSpec::expand() const {
@@ -117,20 +117,23 @@ std::vector<GridPoint> GridSpec::expand() const {
       for (const double u : utilisations) {
         for (const double ber : bers) {
           for (const double data_ber : data_bers) {
-            for (const WorkloadMix mix : mixes) {
-              for (const ServiceMix service : services) {
-                for (const std::uint64_t seed : set_seeds) {
-                  GridPoint p;
-                  p.index = index++;
-                  p.protocol = proto;
-                  p.nodes = nodes;
-                  p.utilisation = u;
-                  p.ber = ber;
-                  p.data_ber = data_ber;
-                  p.mix = mix;
-                  p.service = service;
-                  p.set_seed = seed;
-                  points.push_back(p);
+            for (const double churn : churns) {
+              for (const WorkloadMix mix : mixes) {
+                for (const ServiceMix service : services) {
+                  for (const std::uint64_t seed : set_seeds) {
+                    GridPoint p;
+                    p.index = index++;
+                    p.protocol = proto;
+                    p.nodes = nodes;
+                    p.utilisation = u;
+                    p.ber = ber;
+                    p.data_ber = data_ber;
+                    p.churn = churn;
+                    p.mix = mix;
+                    p.service = service;
+                    p.set_seed = seed;
+                    points.push_back(p);
+                  }
                 }
               }
             }
@@ -162,6 +165,13 @@ std::string GridSpec::validate() const {
   for (const double b : data_bers) {
     if (!(b >= 0.0) || b >= 1.0) return "data_ber out of [0, 1)";
   }
+  if (churns.empty()) return "churns axis is empty";
+  for (const double c : churns) {
+    if (!(c >= 0.0)) return "churn mean up-dwell must be >= 0";
+  }
+  if (churn_nodes < 1) return "churn_nodes must be >= 1";
+  if (!(churn_down_slots > 0.0)) return "churn_down_slots must be > 0";
+  if (churn_detect_slots < 2) return "churn_detect_slots must be >= 2";
   if (repetitions < 1) return "repetitions must be >= 1";
   if (slots < 1) return "slots must be >= 1";
   if (connections_per_node < 1) return "connections_per_node must be >= 1";
@@ -194,6 +204,10 @@ std::uint64_t workload_key(const GridPoint& p) {
   // excluded for the same reason: rt-only and cbs points must run the
   // identical RT connection set (the E21 isolation gate), and the CBS
   // arrival process draws from its own "cbs"-tagged stream family.
+  // The churn axis is excluded likewise: churned and churn-free points
+  // run the identical workload (the E22 containment gate compares
+  // disjoint connections across churn levels), with dwells drawn from
+  // the "churn"-tagged stream family.
   std::uint64_t k = sim::Rng::stream_seed(p.set_seed, p.nodes,
                                           std::bit_cast<std::uint64_t>(
                                               p.utilisation));
@@ -370,6 +384,15 @@ bool parse_grid(const std::string& text, GridSpec& spec,
         }
         out.data_bers.push_back(b);
       }
+    } else if (key == "churns") {
+      out.churns.clear();
+      for (const auto& it : items) {
+        double c;
+        if (!parse_f64(it, c) || !(c >= 0.0)) {
+          return fail("bad churn `" + it + "`");
+        }
+        out.churns.push_back(c);
+      }
     } else if (key == "mixes") {
       out.mixes.clear();
       for (const auto& it : items) {
@@ -440,6 +463,17 @@ bool parse_grid(const std::string& text, GridSpec& spec,
       } else if (key == "cbs_saturation_rate") {
         if (!parse_f64(it, f)) return fail("bad cbs_saturation_rate");
         out.cbs_saturation_rate = f;
+      } else if (key == "churn_nodes") {
+        if (!parse_i64(it, i) || i < 1) return fail("bad churn_nodes");
+        out.churn_nodes = static_cast<int>(i);
+      } else if (key == "churn_down_slots") {
+        if (!parse_f64(it, f) || !(f > 0.0)) {
+          return fail("bad churn_down_slots");
+        }
+        out.churn_down_slots = f;
+      } else if (key == "churn_detect_slots") {
+        if (!parse_i64(it, i) || i < 2) return fail("bad churn_detect_slots");
+        out.churn_detect_slots = i;
       } else if (key == "queue_cap") {
         if (!parse_i64(it, i) || i < 0) return fail("bad queue_cap");
         out.queue_cap = i;

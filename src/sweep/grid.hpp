@@ -81,6 +81,11 @@ struct GridPoint {
   double ber = 0.0;
   /// Data-channel (payload) bit-error rate per link; 0 disables.
   double data_ber = 0.0;
+  /// Node-churn axis: mean up-dwell between repairs and the next
+  /// failure, in slot extents (workload::ChurnParams::mean_up_slots);
+  /// 0 disables churn entirely.  The churned node set, repair time and
+  /// detection window are per-run scalars (GridSpec).
+  double churn = 0.0;
   WorkloadMix mix = WorkloadMix::kPeriodic;
   /// Service-class population riding beside the RT set.
   ServiceMix service = ServiceMix::kRtOnly;
@@ -97,6 +102,12 @@ struct GridSpec {
   std::vector<double> bers{0.0};
   /// Data-channel (payload) BER axis; same default-0 convention.
   std::vector<double> data_bers{0.0};
+  /// Node-churn axis (mean up-dwell in slot extents; 0 = no churn).
+  /// Default single 0 keeps legacy grids' numbering untouched, and the
+  /// axis is EXCLUDED from workload_key like the fault axes: a churn
+  /// sweep compares failure pressure on the SAME workload, and churn
+  /// dwells draw from their own "churn"-tagged stream family.
+  std::vector<double> churns{0.0};
   std::vector<WorkloadMix> mixes{WorkloadMix::kPeriodic};
   /// Service-class axis; the default single rt-only keeps legacy grids'
   /// point numbering and shard seeds untouched.  EXCLUDED from
@@ -127,6 +138,16 @@ struct GridSpec {
   /// ... and for `cbs-saturated` (choose >> Q/T / mean job size so the
   /// servers run permanently backlogged).
   double cbs_saturation_rate = 0.5;
+  // -- churn scenario (ignored on churn == 0 points) ---------------------
+  /// Nodes subject to churn: the HIGHEST-numbered min(churn_nodes,
+  /// nodes - 1) nodes of each point.  Node 0 (designated restarter and
+  /// default admission node) never churns.
+  int churn_nodes = 2;
+  /// Mean repair time, in slot extents.
+  double churn_down_slots = 500.0;
+  /// services::ResilienceParams::detection_window_slots for the monitor
+  /// attached to churned points.
+  std::int64_t churn_detect_slots = 16;
   /// Per-node transmit-buffer cap in messages (NetworkConfig::
   /// max_queue_messages); 0 keeps the library default (unbounded).
   /// Saturated long-horizon grids MUST set this: an unbounded
@@ -187,6 +208,7 @@ struct GridSpec {
 //   utilisations  = 0.3, 0.5, 0.7, 0.85
 //   bers          = 0, 1e-4, 1e-3
 //   data_bers     = 0, 1e-5
+//   churns        = 0, 25000
 //   mixes         = periodic
 //   seeds         = 1, 2
 //   repetitions   = 3

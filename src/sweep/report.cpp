@@ -29,6 +29,9 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("data_bers").begin_array();
   for (const double b : spec.data_bers) w.value(b);
   w.end_array();
+  w.key("churns").begin_array();
+  for (const double c : spec.churns) w.value(c);
+  w.end_array();
   w.key("mixes").begin_array();
   for (const WorkloadMix m : spec.mixes) w.value(mix_name(m));
   w.end_array();
@@ -51,6 +54,9 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("cbs_period_slots").value(spec.cbs_period_slots);
   w.key("cbs_rate").value(spec.cbs_rate);
   w.key("cbs_saturation_rate").value(spec.cbs_saturation_rate);
+  w.key("churn_nodes").value(spec.churn_nodes);
+  w.key("churn_down_slots").value(spec.churn_down_slots);
+  w.key("churn_detect_slots").value(spec.churn_detect_slots);
   w.key("queue_cap").value(spec.queue_cap);
   w.key("link_length_m").value(spec.link_length_m);
   w.key("payload_bytes").value(spec.slot_payload_bytes);
@@ -72,6 +78,7 @@ void write_point(analysis::JsonWriter& w, const PointResult& pr) {
   w.key("utilisation").value(pr.point.utilisation);
   w.key("ber").value(pr.point.ber);
   w.key("data_ber").value(pr.point.data_ber);
+  w.key("churn").value(pr.point.churn);
   w.key("mix").value(mix_name(pr.point.mix));
   w.key("service").value(service_name(pr.point.service));
   w.key("set_seed").value(pr.point.set_seed);
@@ -125,8 +132,8 @@ analysis::Table to_table(const SweepResult& result,
                          const std::string& title) {
   analysis::Table t(title);
   std::vector<std::string> headers{"protocol", "nodes",    "u/U_max",
-                                   "ber",      "data_ber", "mix",
-                                   "service",  "seed"};
+                                   "ber",      "data_ber", "churn",
+                                   "mix",      "service",  "seed"};
   for (const Metric m : metrics) headers.emplace_back(metric_name(m));
   t.columns(std::move(headers));
   for (const PointResult& pr : result.points) {
@@ -136,6 +143,7 @@ analysis::Table to_table(const SweepResult& result,
         .cell(pr.point.utilisation, 2)
         .cell(pr.point.ber, 6)
         .cell(pr.point.data_ber, 6)
+        .cell(pr.point.churn, 0)
         .cell(mix_name(pr.point.mix))
         .cell(service_name(pr.point.service))
         .cell(static_cast<std::int64_t>(pr.point.set_seed));

@@ -1,16 +1,20 @@
 #include "sweep/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "services/cbs.hpp"
+#include "services/resilience.hpp"
 #include "workload/aperiodic.hpp"
+#include "workload/churn.hpp"
 #include "workload/periodic.hpp"
 #include "workload/poisson.hpp"
 
@@ -64,6 +68,20 @@ const char* metric_name(Metric m) {
       return "cbs_postponements";
     case Metric::kCbsJain:
       return "cbs_jain";
+    case Metric::kRecoveryGapP50Us:
+      return "recovery_gap_p50_us";
+    case Metric::kRecoveryGapP99Us:
+      return "recovery_gap_p99_us";
+    case Metric::kChurnDowns:
+      return "churn_downs";
+    case Metric::kChurnDetectLatency:
+      return "churn_detect_latency_slots";
+    case Metric::kChurnReclaimedU:
+      return "churn_reclaimed_u";
+    case Metric::kChurnReadmitFraction:
+      return "churn_readmit_fraction";
+    case Metric::kChurnDisjointMisses:
+      return "churn_disjoint_misses";
   }
   return "?";
 }
@@ -89,14 +107,35 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
   // Fault axis: the injector derives its own stream family from the
   // shard seed, so the workload below is byte-identical at every BER.
   std::optional<fault::FaultInjector> injector;
-  if (point.ber > 0.0 || point.data_ber > 0.0) {
+  if (point.ber > 0.0 || point.data_ber > 0.0 || point.churn > 0.0) {
     injector.emplace(n, seed);
     if (point.ber > 0.0) injector->set_control_ber(point.ber);
     if (point.data_ber > 0.0) injector->set_data_ber(point.data_ber);
   }
 
+  // Churn axis: the HIGHEST-numbered nodes churn -- node 0 (designated
+  // restarter and admission node) must survive -- and the resilience
+  // monitor closes the detection -> reclamation -> re-admission loop.
+  NodeSet churned;
+  std::optional<services::ResilienceMonitor> monitor;
+  if (point.churn > 0.0) {
+    const int cnt = std::min<int>(spec.churn_nodes,
+                                  static_cast<int>(point.nodes) - 1);
+    for (int j = static_cast<int>(point.nodes) - cnt;
+         j < static_cast<int>(point.nodes); ++j) {
+      churned.insert(static_cast<NodeId>(j));
+    }
+    services::ResilienceParams rp;
+    rp.detection_window_slots = spec.churn_detect_slots;
+    monitor.emplace(n, rp);
+  }
+
   int requested = 0;
   int admitted = 0;
+  // Connections touching NO churned node (neither source nor any
+  // destination): the E22 containment gate demands zero user misses on
+  // exactly these.
+  std::vector<ConnectionId> disjoint;
   if (point.mix != WorkloadMix::kSaturation) {
     workload::PeriodicSetParams wp;
     wp.nodes = point.nodes;
@@ -110,7 +149,13 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
     workload::make_periodic_set(wp, scratch.periodic, scratch.set);
     requested = static_cast<int>(scratch.set.size());
     for (const auto& c : scratch.set) {
-      if (n.open_connection(c).admitted) ++admitted;
+      const net::Network::OpenResult r = n.open_connection(c);
+      if (!r.admitted) continue;
+      ++admitted;
+      if (point.churn > 0.0 && !churned.contains(c.source) &&
+          !c.dests.intersects(churned)) {
+        disjoint.push_back(r.id);
+      }
     }
   }
 
@@ -151,6 +196,20 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
     cbs_gen.emplace(n, cbs_flows->ids(), ap,
                     sim::TimePoint::origin() +
                         n.timing().slot() * spec.slots);
+  }
+
+  // The churn schedule itself: pre-computed fail/restore renewals on the
+  // "churn"-tagged stream family, independent of every other axis.
+  std::optional<workload::ChurnProcess> churn_proc;
+  if (point.churn > 0.0) {
+    workload::ChurnParams chp;
+    chp.nodes = churned;
+    chp.mean_up_slots = point.churn;
+    chp.mean_down_slots = spec.churn_down_slots;
+    chp.seed = sim::Rng::stream_seed(seed, 0x636875726Eull /* "churn" */, 0);
+    churn_proc.emplace(n, *injector, chp,
+                       sim::TimePoint::origin() +
+                           n.timing().slot() * spec.slots);
   }
 
   n.run_slots(spec.slots);
@@ -197,6 +256,31 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
     m[Metric::kCbsPostponements] =
         static_cast<double>(n.stats().cbs.postponements);
     m[Metric::kCbsJain] = cbs_flows->jain_index();
+  }
+  // Exact nearest-rank quantiles (ps -> us); 0 when no recovery happened.
+  m[Metric::kRecoveryGapP50Us] =
+      static_cast<double>(
+          n.stats().faults.recovery_gap_quantiles.quantile(0.5)) /
+      1e6;
+  m[Metric::kRecoveryGapP99Us] =
+      static_cast<double>(
+          n.stats().faults.recovery_gap_quantiles.quantile(0.99)) /
+      1e6;
+  if (monitor.has_value()) {
+    const services::ResilienceStats& rs = monitor->stats();
+    m[Metric::kChurnDowns] = static_cast<double>(rs.downs);
+    m[Metric::kChurnDetectLatency] = rs.detection_latency_slots.mean();
+    m[Metric::kChurnReclaimedU] = rs.weight_reclaimed;
+    m[Metric::kChurnReadmitFraction] =
+        rs.readmit_attempts == 0
+            ? 0.0
+            : static_cast<double>(rs.readmissions) /
+                  static_cast<double>(rs.readmit_attempts);
+    std::int64_t disjoint_misses = 0;
+    for (const ConnectionId id : disjoint) {
+      disjoint_misses += n.connection_stats(id).user_misses;
+    }
+    m[Metric::kChurnDisjointMisses] = static_cast<double>(disjoint_misses);
   }
   m.ok = true;
   return m;

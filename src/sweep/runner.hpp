@@ -43,9 +43,17 @@ enum class Metric : std::size_t {
   kCbsAdmittedFraction,  // admitted / requested CBS servers (services axis)
   kCbsDelivered,         // jobs delivered across all CBS flows
   kCbsPostponements,     // budget-exhaustion postponements (c = Q, d += T)
-  kCbsJain               // Jain fairness index over per-flow CBS bytes
+  kCbsJain,              // Jain fairness index over per-flow CBS bytes
+  kRecoveryGapP50Us,     // median token-loss recovery gap, microseconds
+  kRecoveryGapP99Us,     // p99 token-loss recovery gap, microseconds
+  kChurnDowns,           // nodes declared down by the monitor (churn axis)
+  kChurnDetectLatency,   // mean detection latency, slots
+  kChurnReclaimedU,      // Eq. 5/6 weight reclaimed by quarantines
+  kChurnReadmitFraction,  // re-admission attempts that succeeded
+  kChurnDisjointMisses    // user misses on connections disjoint from
+                          // every churned node (containment gate: 0)
 };
-inline constexpr std::size_t kMetricCount = 23;
+inline constexpr std::size_t kMetricCount = 30;
 
 [[nodiscard]] const char* metric_name(Metric m);
 

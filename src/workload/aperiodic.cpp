@@ -80,8 +80,14 @@ void AperiodicGenerator::schedule_next(std::size_t f) {
 
 void AperiodicGenerator::emit(std::size_t f) {
   Flow& flow = flows_[f];
+  // The size draw happens unconditionally so the per-flow RNG sequence
+  // does not depend on whether the server is currently quarantined.
   const std::int64_t size =
       flow.rng.uniform_int(params_.min_size_slots, params_.max_size_slots);
+  if (net_.cbs_server(flow.server) == nullptr) {
+    ++orphaned_;  // server closed (resilience quarantine); drop the job
+    return;
+  }
   net_.cbs_send(flow.server, size);
   ++generated_;
 }

@@ -48,6 +48,12 @@ class AperiodicGenerator {
 
   /// Jobs submitted so far (accepted or dropped at the buffer).
   [[nodiscard]] std::int64_t generated() const { return generated_; }
+  /// Jobs discarded because their server was no longer open at emit
+  /// time (quarantined by services::ResilienceMonitor after its source
+  /// failed).  The arrival clock keeps running -- the RNG draw sequence
+  /// is identical with and without quarantines, which the churn sweep's
+  /// paired-seed comparisons rely on.
+  [[nodiscard]] std::int64_t orphaned() const { return orphaned_; }
 
  private:
   struct Flow {
@@ -67,6 +73,7 @@ class AperiodicGenerator {
   sim::TimePoint until_;
   std::vector<Flow> flows_;
   std::int64_t generated_ = 0;
+  std::int64_t orphaned_ = 0;
 };
 
 }  // namespace ccredf::workload

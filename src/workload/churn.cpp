@@ -1,0 +1,52 @@
+#include "workload/churn.hpp"
+
+#include "common/error.hpp"
+#include "sim/rng.hpp"
+
+namespace ccredf::workload {
+namespace {
+
+// "churn" in ASCII -- the stream tag keeping churn dwells independent of
+// the background ("back") and CBS ("cbs") workload streams.
+constexpr std::uint64_t kChurnTag = 0x636875726E;
+
+}  // namespace
+
+void ChurnParams::validate() const {
+  CCREDF_EXPECT(!nodes.empty(), "ChurnProcess: no nodes to churn");
+  CCREDF_EXPECT(mean_up_slots > 0.0, "ChurnProcess: mean up-dwell <= 0");
+  CCREDF_EXPECT(mean_down_slots > 0.0, "ChurnProcess: mean down-dwell <= 0");
+}
+
+ChurnProcess::ChurnProcess(net::Network& net, fault::FaultInjector& injector,
+                           ChurnParams params, sim::TimePoint until) {
+  params.validate();
+  const sim::Duration extent = net.timing().slot_plus_max_gap();
+  const sim::Duration up_mean = sim::Duration::picoseconds(
+      static_cast<std::int64_t>(params.mean_up_slots *
+                                static_cast<double>(extent.ps())));
+  const sim::Duration down_mean = sim::Duration::picoseconds(
+      static_cast<std::int64_t>(params.mean_down_slots *
+                                static_cast<double>(extent.ps())));
+  for (NodeId j : params.nodes) {
+    sim::Rng rng =
+        sim::Rng::stream(sim::Rng::stream_seed(params.seed, kChurnTag, 0),
+                         j, 0);
+    sim::TimePoint t = net.sim().now();
+    bool up = true;  // every churned node starts healthy
+    while (true) {
+      t = t + rng.exponential(up ? up_mean : down_mean);
+      if (t >= until) break;
+      if (up) {
+        injector.schedule_node_failure(j, t);
+        ++failures_;
+      } else {
+        injector.schedule_node_restore(j, t);
+        ++restores_;
+      }
+      up = !up;
+    }
+  }
+}
+
+}  // namespace ccredf::workload

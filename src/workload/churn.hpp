@@ -1,0 +1,63 @@
+// Continuous node churn: per-node alternating up/down renewal process.
+//
+// Each churned node lives an exponentially distributed up-dwell, fails
+// (fail-silent, through fault::FaultInjector so the engine's idempotence
+// and trace paths apply), stays down an exponentially distributed
+// repair-dwell, is restored, and repeats -- independently per node until
+// the horizon.  This is the workload that drives the resilience loop
+// (services::ResilienceMonitor): detection, quarantine, reclamation and
+// staged re-admission all happen continuously, not as a one-shot fault.
+//
+// Determinism: every node draws its dwells from its own stream forked
+// off one seed via Rng::stream_seed (tag "churn"), so a node's fail and
+// restore times are independent of how many other nodes churn, of every
+// workload stream and of sweep sharding.  The whole schedule is computed
+// and queued up-front in the constructor (~horizon / (mean_up +
+// mean_down) events per node), so no generator state survives into the
+// run and the event sequence is a pure function of (seed, nodes,
+// horizon).
+#pragma once
+
+#include <cstdint>
+
+#include "common/nodeset.hpp"
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::workload {
+
+struct ChurnParams {
+  /// Nodes subject to churn.  Keep the designated restarter (node 0)
+  /// out of this set when the experiment must survive master loss.
+  NodeSet nodes;
+  /// Mean up-dwell between repairs and the next failure, in slot
+  /// extents (slot + max gap, the sweep's time unit).
+  double mean_up_slots = 20000.0;
+  /// Mean repair time, in slot extents.
+  double mean_down_slots = 500.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+class ChurnProcess {
+ public:
+  /// Pre-schedules the full fail/restore schedule for every churned
+  /// node from now until `until` through `injector`.  `net` and
+  /// `injector` must outlive the scheduled events (i.e. the run).
+  ChurnProcess(net::Network& net, fault::FaultInjector& injector,
+               ChurnParams params, sim::TimePoint until);
+
+  /// Failures scheduled (not necessarily distinct detections: a dwell
+  /// shorter than the detection window can escape the monitor).
+  [[nodiscard]] std::int64_t failures_scheduled() const { return failures_; }
+  [[nodiscard]] std::int64_t restores_scheduled() const { return restores_; }
+
+ private:
+  std::int64_t failures_ = 0;
+  std::int64_t restores_ = 0;
+};
+
+}  // namespace ccredf::workload

@@ -150,5 +150,87 @@ TEST(ExactStats, LargeBatchStaysExact) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+
+// -- ExactQuantiles: nearest-rank quantiles for sweep p50/p99 exports --
+
+TEST(ExactQuantiles, EmptyReturnsZero) {
+  ExactQuantiles q;
+  EXPECT_EQ(q.count(), 0);
+  EXPECT_EQ(q.quantile(0.5), 0);
+  EXPECT_EQ(q.quantile(0.99), 0);
+}
+
+TEST(ExactQuantiles, NearestRankIsAlwaysASampleValue) {
+  // Nearest-rank: the smallest value whose cumulative count reaches
+  // ceil(q * n).  For {10, 20, 30, 40}: p25 -> 10, p50 -> 20,
+  // p75 -> 30, p100 -> 40; p0 clamps to rank 1.
+  ExactQuantiles q;
+  for (std::int64_t v : {40, 10, 30, 20}) q.add(v);
+  EXPECT_EQ(q.count(), 4);
+  EXPECT_EQ(q.distinct(), 4u);
+  EXPECT_EQ(q.quantile(0.0), 10);
+  EXPECT_EQ(q.quantile(0.25), 10);
+  EXPECT_EQ(q.quantile(0.5), 20);
+  EXPECT_EQ(q.quantile(0.75), 30);
+  EXPECT_EQ(q.quantile(0.99), 40);
+  EXPECT_EQ(q.quantile(1.0), 40);
+}
+
+TEST(ExactQuantiles, DuplicatesCollapseIntoCounts) {
+  ExactQuantiles q;
+  q.add(7, 99);
+  q.add(5, 1);
+  EXPECT_EQ(q.count(), 100);
+  EXPECT_EQ(q.distinct(), 2u);
+  EXPECT_EQ(q.quantile(0.01), 5);  // rank 1 = the lone 5
+  EXPECT_EQ(q.quantile(0.02), 7);
+  EXPECT_EQ(q.quantile(0.5), 7);
+  EXPECT_EQ(q.quantile(0.99), 7);
+}
+
+TEST(ExactQuantiles, OrderInsensitive) {
+  // A pure function of the sample multiset: insertion order cannot move
+  // any quantile (the property the sweep's byte-determinism rests on).
+  ExactQuantiles a;
+  ExactQuantiles b;
+  const std::vector<std::int64_t> samples = {5, 3, 9, 3, 7, 1, 9, 9, 2, 5};
+  for (std::int64_t v : samples) a.add(v);
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) b.add(*it);
+  for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.quantile(p), b.quantile(p)) << "p = " << p;
+  }
+}
+
+TEST(ExactQuantiles, MergeMatchesSequentialAddition) {
+  // Parallel reduction: shard-and-merge must equal one flat accumulator
+  // for every quantile, regardless of the merge order.
+  ExactQuantiles flat;
+  ExactQuantiles s1;
+  ExactQuantiles s2;
+  ExactQuantiles s3;
+  for (std::int64_t v = 0; v < 300; ++v) {
+    const std::int64_t x = (v * 37) % 50;  // repeating values across shards
+    flat.add(x);
+    (v % 3 == 0 ? s1 : v % 3 == 1 ? s2 : s3).add(x);
+  }
+  ExactQuantiles merged;
+  merged.merge(s3);  // deliberately out of shard order
+  merged.merge(s1);
+  merged.merge(s2);
+  EXPECT_EQ(merged.count(), flat.count());
+  EXPECT_EQ(merged.distinct(), flat.distinct());
+  for (double p : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_EQ(merged.quantile(p), flat.quantile(p)) << "p = " << p;
+  }
+}
+
+TEST(ExactQuantiles, DurationOverloadUsesPicoseconds) {
+  ExactQuantiles q;
+  q.add(Duration::microseconds(3));
+  q.add(Duration::microseconds(1));
+  q.add(Duration::microseconds(2));
+  EXPECT_EQ(q.quantile(0.5), Duration::microseconds(2).ps());
+}
+
 }  // namespace
 }  // namespace ccredf::sim

@@ -1,0 +1,183 @@
+// workload::ChurnProcess: schedule determinism (per-node streams, node
+// independence), horizon bounds, and end-to-end interaction with the
+// resilience monitor under a real run.
+#include "workload/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/injector.hpp"
+#include "net/network.hpp"
+#include "services/resilience.hpp"
+#include "sim/time.hpp"
+
+namespace ccredf::workload {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+net::NetworkConfig cfg(NodeId nodes = 6) {
+  net::NetworkConfig c;
+  c.nodes = nodes;
+  return c;
+}
+
+ChurnParams quick_params(NodeSet nodes, std::uint64_t seed = 9) {
+  ChurnParams p;
+  p.nodes = nodes;
+  p.mean_up_slots = 400.0;
+  p.mean_down_slots = 100.0;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Churn, ParamsValidate) {
+  ChurnParams p = quick_params(NodeSet::single(3));
+  EXPECT_NO_THROW(p.validate());
+  p.nodes = NodeSet{};
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = quick_params(NodeSet::single(3));
+  p.mean_up_slots = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = quick_params(NodeSet::single(3));
+  p.mean_down_slots = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Churn, SchedulesAlternatingFailRestorePairs) {
+  net::Network n(cfg());
+  fault::FaultInjector inj(n);
+  const TimePoint until =
+      TimePoint::origin() + n.timing().slot_plus_max_gap() * 5000;
+  ChurnProcess churn(n, inj, quick_params(NodeSet::single(4)), until);
+  // Alternation starts with a failure: restores never outnumber
+  // failures, and can lag by at most one per node.
+  EXPECT_GE(churn.failures_scheduled(), 1);
+  EXPECT_LE(churn.restores_scheduled(), churn.failures_scheduled());
+  EXPECT_GE(churn.restores_scheduled(), churn.failures_scheduled() - 1);
+}
+
+TEST(Churn, ScheduleIsAPureFunctionOfSeed) {
+  // Two identical networks, same seed: identical event counts AND
+  // identical observable failure trajectory (failed-set sampled per
+  // slot).  A different seed must produce a different trajectory.
+  const TimePoint until = TimePoint::origin() +
+                          net::Network(cfg()).timing().slot_plus_max_gap() *
+                              2000;
+  auto trajectory = [&](std::uint64_t seed) {
+    net::Network n(cfg());
+    fault::FaultInjector inj(n);
+    NodeSet set;
+    set.insert(3);
+    set.insert(5);
+    ChurnProcess churn(n, inj, quick_params(set, seed), until);
+    std::vector<std::uint64_t> masks;
+    n.add_slot_observer([&](const net::SlotRecord&) {
+      masks.push_back(n.failed_nodes().mask());
+    });
+    n.run_slots(2000);
+    return masks;
+  };
+  const auto a = trajectory(9);
+  const auto b = trajectory(9);
+  const auto c = trajectory(10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Churn, NodeScheduleIndependentOfOtherChurnedNodes) {
+  // Node 4's fail/restore instants come from its OWN stream: churning
+  // node 2 alongside must not move a single one of node 4's events.
+  const TimePoint until = TimePoint::origin() +
+                          net::Network(cfg()).timing().slot_plus_max_gap() *
+                              3000;
+  auto node4_trajectory = [&](NodeSet set) {
+    net::Network n(cfg());
+    fault::FaultInjector inj(n);
+    ChurnProcess churn(n, inj, quick_params(set), until);
+    std::vector<bool> down4;
+    n.add_slot_observer([&](const net::SlotRecord&) {
+      down4.push_back(n.failed_nodes().contains(4));
+    });
+    n.run_slots(3000);
+    return down4;
+  };
+  NodeSet solo = NodeSet::single(4);
+  NodeSet pair = NodeSet::single(4);
+  pair.insert(2);
+  EXPECT_EQ(node4_trajectory(solo), node4_trajectory(pair));
+}
+
+TEST(Churn, NoEventsScheduledPastHorizon) {
+  net::Network n(cfg());
+  fault::FaultInjector inj(n);
+  ChurnParams p = quick_params(NodeSet::single(3));
+  p.mean_up_slots = 50.0;
+  p.mean_down_slots = 20.0;
+  const TimePoint until =
+      TimePoint::origin() + n.timing().slot_plus_max_gap() * 1000;
+  ChurnProcess churn(n, inj, p, until);
+  ASSERT_GE(churn.failures_scheduled(), 2);
+  // Run far past the horizon: the failed set must freeze once the last
+  // pre-horizon event fires, and the frozen state must match the event
+  // parity (equal counts => the node came back up; one extra failure =>
+  // it stays down).
+  std::vector<std::uint64_t> masks;
+  n.add_slot_observer([&](const net::SlotRecord&) {
+    masks.push_back(n.failed_nodes().mask());
+  });
+  n.run_slots(4000);
+  ASSERT_EQ(masks.size(), 4000u);
+  // Slot 3000 is safely past the 1000-extent horizon even though a
+  // slot's wall time can undershoot the extent (gap <= max gap).
+  for (std::size_t s = 3000; s < masks.size(); ++s) {
+    ASSERT_EQ(masks[s], masks[3000 - 1]) << "event fired past horizon";
+  }
+  const bool down_at_end =
+      churn.failures_scheduled() == churn.restores_scheduled() + 1;
+  EXPECT_EQ(n.failed_nodes().contains(3), down_at_end);
+}
+
+TEST(Churn, DrivesResilienceLoopEndToEnd) {
+  // Churn + monitor integration: a long-dwell churned node is detected,
+  // quarantined and re-admitted repeatedly; counts stay consistent.
+  net::Network n(cfg(8));
+  fault::FaultInjector inj(n, /*seed=*/5);
+  services::ResilienceParams rp;
+  rp.detection_window_slots = 8;
+  rp.readmit_interval_slots = 2;
+  services::ResilienceMonitor monitor(n, rp);
+  core::ConnectionParams cp;
+  cp.source = 7;
+  cp.dests = NodeSet::single(1);
+  cp.size_slots = 1;
+  cp.period_slots = 40;
+  ASSERT_TRUE(n.open_connection(cp).admitted);
+
+  ChurnParams p;
+  p.nodes = NodeSet::single(7);
+  p.mean_up_slots = 300.0;
+  p.mean_down_slots = 150.0;  // far above the 8-slot detection window
+  p.seed = 3;
+  const TimePoint until =
+      TimePoint::origin() + n.timing().slot_plus_max_gap() * 6000;
+  ChurnProcess churn(n, inj, p, until);
+  n.run_slots(8000);
+
+  const auto& st = monitor.stats();
+  EXPECT_GE(st.downs, 2);
+  EXPECT_LE(st.downs, churn.failures_scheduled());
+  EXPECT_GE(st.reappearances, st.downs - 1);  // last down may outlive run
+  EXPECT_EQ(st.readmissions, st.connections_quarantined -
+                                 static_cast<std::int64_t>(
+                                     monitor.readmit_queue_depth()));
+  EXPECT_LE(monitor.stats().detection_latency_slots.max(),
+            static_cast<double>(rp.detection_window_slots + 1));
+}
+
+}  // namespace
+}  // namespace ccredf::workload
