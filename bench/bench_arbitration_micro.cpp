@@ -10,8 +10,10 @@
 #include "core/arbitration.hpp"
 #include "core/edf_queue.hpp"
 #include "core/frames.hpp"
+#include "core/hypercycle.hpp"
 #include "core/priority.hpp"
 #include "net/network.hpp"
+#include "phy/ring_phy.hpp"
 #include "ring/segment.hpp"
 #include "sim/rng.hpp"
 
@@ -97,6 +99,57 @@ void BM_EdfQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * depth);
 }
 BENCHMARK(BM_EdfQueuePushPop)->Arg(8)->Arg(64)->Arg(512);
+
+// A planner over `n` nodes carrying one harmonic stream per node
+// (periods n, 2n, 4n slots round-robin), built once.
+core::HypercyclePlanner harmonic_planner(const phy::RingPhy& phy, NodeId n) {
+  core::HypercyclePlanner pl(&phy, ring::RingTopology(n),
+                             sim::Duration::microseconds(2),
+                             core::HypercyclePlanner::Config{});
+  for (NodeId s = 0; s < n; ++s) {
+    core::ConnectionParams c;
+    c.source = s;
+    c.dests = NodeSet::single(static_cast<NodeId>((s + 1) % n));
+    c.size_slots = 1;
+    c.period_slots = static_cast<std::int64_t>(n) << (s % 3);
+    c.offset_slots = s % n;
+    pl.add(s, c, c.offset_slots);
+  }
+  return pl;
+}
+
+void BM_PlannerBuild(benchmark::State& state) {
+  // Full layout + steady-state extraction + feasibility certificate;
+  // this runs at every open/close, so it bounds admission latency.
+  const auto n = static_cast<NodeId>(state.range(0));
+  const phy::RingPhy phy(phy::optobus(), n, 10.0);
+  auto pl = harmonic_planner(phy, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pl.build(sim::TimePoint::origin(), 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlannerBuild)->Arg(8)->Arg(32);
+
+void BM_PlannerLookup(benchmark::State& state) {
+  // The O(1) nominal-grid lookup the planned collection phase rides:
+  // one table read per slot, in place of sort-and-arbitrate.
+  const auto n = static_cast<NodeId>(state.range(0));
+  const phy::RingPhy phy(phy::optobus(), n, 10.0);
+  auto pl = harmonic_planner(phy, n);
+  if (!pl.build(sim::TimePoint::origin(), 0)) {
+    state.SkipWithError("harmonic set did not build");
+    return;
+  }
+  const std::int64_t h = pl.hyperperiod_slots();
+  std::int64_t s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pl.plan_for_slot(s));
+    if (++s == h) s = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlannerLookup)->Arg(8)->Arg(32);
 
 void BM_LaxityMapping(benchmark::State& state) {
   const core::LogarithmicMapper mapper;

@@ -64,6 +64,7 @@ run_bench bench_fault_recovery ${QUICK}
 run_bench bench_data_reliability ${QUICK}
 run_bench bench_cbs_fairness ${QUICK}
 run_bench bench_fault_churn ${QUICK}
+run_bench bench_hypercycle ${QUICK}
 
 # E21b's fairness floor, asserted through the same generic floor checker
 # as the throughput gate (bench/cbs_floors.json pins Jain >= 0.9).
@@ -157,6 +158,26 @@ python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/n1.json"
   --out "${TMPDIR_SWEEP}/n1_noff.json"
 cmp "${TMPDIR_SWEEP}/n1.json" "${TMPDIR_SWEEP}/n1_noff.json"
 echo "churn-grid reports byte-identical across thread counts and" \
+     "fast-forward modes"
+
+# Same two gates over the planner grid: the plan-driven collection
+# phase, the batched planned fast-forward and the release-table cursor
+# replace whole engine layers on planner-on cells, so they must be
+# thread-count deterministic AND byte-invisible to the fast-forward
+# contract (planned wait batches and the idle fast-forward compose).
+if [[ "${HW_THREADS}" -gt 1 ]]; then
+  echo "==== planner-grid determinism (1 vs 8 threads) ===="
+else
+  echo "==== planner-grid determinism (byte-equality gate) ===="
+fi
+"${SWEEP}" tools/grids/planner_smoke.grid --threads 1 --out "${TMPDIR_SWEEP}/p1.json"
+"${SWEEP}" tools/grids/planner_smoke.grid --threads 8 --out "${TMPDIR_SWEEP}/p8.json"
+cmp "${TMPDIR_SWEEP}/p1.json" "${TMPDIR_SWEEP}/p8.json"
+python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/p1.json"
+"${SWEEP}" tools/grids/planner_smoke.grid --threads 1 --no-fast-forward \
+  --out "${TMPDIR_SWEEP}/p1_noff.json"
+cmp "${TMPDIR_SWEEP}/p1.json" "${TMPDIR_SWEEP}/p1_noff.json"
+echo "planner-grid reports byte-identical across thread counts and" \
      "fast-forward modes"
 
 echo "==== check.sh: all green ===="

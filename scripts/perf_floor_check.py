@@ -14,8 +14,15 @@ Floors file schema (bench/perf_floors.json):
     {
       "metric_suffix": "slots_per_sec",
       "slack": 0.35,
-      "floors": {"nodes=4,load=0.3": 1.0e6, ...}
+      "floors": {"nodes=4,load=0.3": 1.0e6, ...},
+      "benches": {"hypercycle": {"metric_suffix": ..., "slack": ...,
+                                 "floors": {...}}}
     }
+
+The top-level section applies to any bench document without an entry in
+the optional `benches` object; a document whose `bench` name matches an
+entry there is checked against that entry instead, so one floors file
+covers several benchmarks without perturbing the original schema.
 
 Every floor key must be present in the bench document (a silently dropped
 cell would otherwise pass), and `hardware_threads` must be recorded so an
@@ -53,6 +60,13 @@ def main(argv):
         return fail(f"{bench_path}: no `metrics` object")
     if not isinstance(metrics.get("hardware_threads"), numbers.Real):
         return fail(f"{bench_path}: missing numeric `hardware_threads`")
+
+    # A bench-specific section overrides the top-level floors wholesale.
+    benches = spec.get("benches")
+    if isinstance(benches, dict) and bench.get("bench") in benches:
+        spec = benches[bench["bench"]]
+        if not isinstance(spec, dict):
+            return fail(f"{floors_path}: `benches` entry must be an object")
 
     suffix = spec.get("metric_suffix", "slots_per_sec")
     slack = spec.get("slack", 0.35)

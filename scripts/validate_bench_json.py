@@ -210,6 +210,80 @@ def validate_fault_churn(path, metrics):
     return True
 
 
+def validate_hypercycle(path, metrics):
+    """E23 acceptance gates, re-checked at validation time.
+
+    Same rationale as the other per-bench validators: the bench exits
+    non-zero on a failed gate, but a stale or hand-edited JSON must not
+    green past CI.  Re-asserted: the planner admits a utilisation
+    strictly past the Eq. 6 bound with zero misses (the paper artefact),
+    the per-slot baselines stay at or below that bound, the plan-driven
+    engine clears the 2x throughput gate on the busy cell, and all three
+    determinism gates (thread count, fast-forward, planner no-op on
+    fault cells) held.
+    """
+    required = (
+        "u_max",
+        "planner,admitted_u",
+        "planner,sched_miss_ratio",
+        "planner,user_miss_ratio",
+        "planner,plan_driven_fraction",
+        "planner,plan_divergences",
+        "tcma,admitted_u",
+        "ccfpr,admitted_u",
+        "engine_speedup",
+        "planner32,planned_slot_fraction",
+        "threads_json_identical",
+        "ff_json_identical",
+        "planner_noop_identical",
+    )
+    for key in required:
+        value = metrics.get(key)
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            return fail(path, f"hypercycle needs numeric `{key}`")
+    u_max = metrics["u_max"]
+    if metrics["planner,admitted_u"] <= u_max:
+        return fail(
+            path,
+            f"planner admitted_u {metrics['planner,admitted_u']} not past "
+            f"the Eq. 6 bound U_max={u_max}: the paper artefact is gone",
+        )
+    if metrics["planner,sched_miss_ratio"] != 0:
+        return fail(path, "planner admission past U_max missed deadlines")
+    if metrics["planner,user_miss_ratio"] != 0:
+        return fail(path, "planner admission past U_max missed user deadlines")
+    for engine in ("tcma", "ccfpr"):
+        if metrics[f"{engine},admitted_u"] > u_max:
+            return fail(
+                path,
+                f"{engine} admitted_u {metrics[f'{engine},admitted_u']} "
+                f"above U_max={u_max}: Eq. 5/6 admission broke",
+            )
+    if metrics["planner,plan_driven_fraction"] < 0.95:
+        return fail(
+            path,
+            f"plan drove only {metrics['planner,plan_driven_fraction']} "
+            "of slots on a fully periodic cell (< 0.95)",
+        )
+    if metrics["planner,plan_divergences"] != 0:
+        return fail(path, "plan diverged on a fully periodic cell")
+    if metrics["engine_speedup"] < 2.0:
+        return fail(
+            path,
+            f"plan-driven engine speedup {metrics['engine_speedup']} "
+            "below the 2x gate on the busy cell",
+        )
+    if metrics["threads_json_identical"] != 1:
+        return fail(path, "planner-axis sweep not thread-count deterministic")
+    if metrics["ff_json_identical"] != 1:
+        return fail(path, "planner-axis sweep not fast-forward invariant")
+    if metrics["planner_noop_identical"] != 1:
+        return fail(
+            path, "enabling the planner changed a cell it cannot plan"
+        )
+    return True
+
+
 def validate_sweep_report(path, doc):
     for key, kind in (
         ("grid", dict),
@@ -268,6 +342,8 @@ def validate(path):
         return validate_cbs_fairness(path, doc["metrics"])
     if doc["bench"] == "fault_churn":
         return validate_fault_churn(path, doc["metrics"])
+    if doc["bench"] == "hypercycle":
+        return validate_hypercycle(path, doc["metrics"])
     return True
 
 

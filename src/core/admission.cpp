@@ -52,6 +52,23 @@ AdmissionController::Decision AdmissionController::request(
   return d;
 }
 
+AdmissionController::Decision AdmissionController::admit_unchecked(
+    const ConnectionParams& params, sim::TimePoint now) {
+  params.validate();
+  ++requests_;
+  Decision d;
+  Connection c;
+  c.id = next_id_++;
+  c.params = params;
+  c.admitted = now;
+  utilisation_ += weight(params);
+  d.admitted = true;
+  d.id = c.id;
+  ma_.emplace(c.id, std::move(c));
+  d.utilisation_after = utilisation_;
+  return d;
+}
+
 bool AdmissionController::release(ConnectionId id) {
   auto it = ma_.find(id);
   if (it == ma_.end()) return false;

@@ -51,6 +51,14 @@ class AdmissionController {
   /// enters the accepted set Ma and receives a fresh id.
   Decision request(const ConnectionParams& params, sim::TimePoint now);
 
+  /// Admits WITHOUT the Eq. 5 bound test: the caller holds a stronger
+  /// feasibility proof (the hypercycle planner's exact constructive
+  /// schedule, core/hypercycle.hpp).  The connection still enters Ma
+  /// and its weight still counts toward utilisation(), which may then
+  /// legitimately exceed effective_u_max().
+  Decision admit_unchecked(const ConnectionParams& params,
+                           sim::TimePoint now);
+
   /// Removes a connection from Ma; returns false if unknown.
   bool release(ConnectionId id);
 

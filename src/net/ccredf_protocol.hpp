@@ -48,6 +48,10 @@ class CcrEdfProtocol final : public MacProtocol {
   /// an empty grant set -- the idle slot is a fixed point.
   [[nodiscard]] bool idle_keeps_master() const override { return true; }
 
+  /// The hypercycle planner lays out exactly this protocol's EDF +
+  /// spatial-reuse arbitration over the known periodic future.
+  [[nodiscard]] bool supports_planning() const override { return true; }
+
   [[nodiscard]] const core::Arbiter& arbiter() const { return arbiter_; }
 
  private:

@@ -97,6 +97,20 @@ struct NetworkConfig {
   /// slot-by-slot path or to debug the engine itself.
   bool fast_forward = true;
 
+  /// Hypercycle reservation planner (ROADMAP item 4, PROTOCOL.md §9):
+  /// at connection admit/close time the engine lays the whole grant
+  /// schedule out over the hyperperiod H = lcm(P_i) and, while the plan
+  /// is in effect, skips the collection phase and arbitration for
+  /// planned traffic -- falling back to slot-by-slot TCMA on any
+  /// divergence (faults, churn, CBS, aperiodic sends).  Admission may
+  /// then exceed the Eq. 6 U_max ceiling when the planner's exact
+  /// feasibility simulation proves the layout meets every deadline.
+  /// CCR-EDF only; other protocols ignore the flag.
+  bool planner = false;
+  /// Hyperperiod cap for the planner: connection sets whose lcm of
+  /// periods exceeds this (or overflows) are simply never planned.
+  std::int64_t planner_max_hyperperiod_slots = std::int64_t{1} << 16;
+
   /// Per-node transmit-buffer capacity in messages; 0 = unlimited.
   /// When full, new best-effort / non-real-time messages are tail-dropped
   /// (counted in NetworkStats); real-time releases are never dropped --

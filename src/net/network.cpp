@@ -76,6 +76,13 @@ Network::Network(NetworkConfig cfg)
   // compares protocols on identical load.
   admission_ =
       core::AdmissionController(timing_->u_max(), cfg_.admission_policy);
+  if (cfg_.planner) {
+    core::HypercyclePlanner::Config pcfg;
+    pcfg.max_hyperperiod_slots = cfg_.planner_max_hyperperiod_slots;
+    pcfg.spatial_reuse = cfg_.spatial_reuse;
+    planner_ = std::make_unique<core::HypercyclePlanner>(
+        phy_.get(), topo_, timing_->slot(), pcfg);
+  }
 
   nodes_.reserve(cfg_.nodes);
   for (NodeId i = 0; i < cfg_.nodes; ++i) {
@@ -127,11 +134,18 @@ core::Priority Network::priority_of(const core::Message& m,
 
 MessageId Network::enqueue(NodeId src, NodeSet dests, core::TrafficClass cls,
                            std::int64_t size_slots, sim::TimePoint deadline,
-                           ConnectionId conn, std::int64_t release_index) {
+                           ConnectionId conn, std::int64_t release_index,
+                           sim::TimePoint arrival) {
   CCREDF_EXPECT(src < nodes_.size(), "enqueue: bad source");
   CCREDF_EXPECT(size_slots >= 1, "enqueue: size must be >= 1 slot");
   CCREDF_EXPECT(!dests.empty() && !dests.contains(src),
                 "enqueue: destinations must be non-empty and exclude src");
+  if (plan_valid_ && !plan_diverged_ &&
+      (conn == kNoConnection || !planner_->is_planned(conn))) {
+    // Traffic outside the plan (plain sends, CBS jobs): the precomputed
+    // outcomes no longer model the wire -- back to slot-by-slot TCMA.
+    mark_plan_diverged();
+  }
   const MessageId id = next_message_id_++;
   if (nodes_[src].failed()) return id;  // dropped: source is down
   if (cfg_.max_queue_messages != 0 &&
@@ -147,7 +161,7 @@ MessageId Network::enqueue(NodeId src, NodeSet dests, core::TrafficClass cls,
   m.traffic_class = cls;
   m.size_slots = size_slots;
   m.remaining_slots = size_slots;
-  m.arrival = sim_.now();
+  m.arrival = arrival;
   m.deadline = deadline;
   m.connection = conn;
   m.release_index = release_index;
@@ -168,7 +182,8 @@ MessageId Network::send(NodeId src, NodeSet dests, core::TrafficClass cls,
       relative_deadline >= sim::Duration::infinity()
           ? sim::TimePoint::infinity()
           : sim_.now() + relative_deadline;
-  return enqueue(src, dests, cls, size_slots, deadline, kNoConnection, 0);
+  return enqueue(src, dests, cls, size_slots, deadline, kNoConnection, 0,
+                 sim_.now());
 }
 
 MessageId Network::send_best_effort(NodeId src, NodeSet dests,
@@ -191,7 +206,7 @@ Network::OpenResult Network::open_connection(
                 "connection: source cannot be a destination");
   CCREDF_EXPECT(params.service == core::ServiceClass::kHardRealTime,
                 "connection: CBS records go through open_cbs_server");
-  const auto decision = admission_.request(params, sim_.now());
+  auto decision = admission_.request(params, sim_.now());
   trace_.emit(sim_.now(), sim::TraceCategory::kAdmission, [&] {
     std::ostringstream os;
     os << (decision.admitted ? "admitted" : "rejected") << " connection from "
@@ -199,7 +214,16 @@ Network::OpenResult Network::open_connection(
        << " total=" << decision.utilisation_after << "/" << admission_.u_max();
     return os.str();
   });
-  if (!decision.admitted) return OpenResult{false, kNoConnection};
+  bool planner_admit = false;
+  if (!decision.admitted) {
+    if (!can_plan_admit()) return OpenResult{false, kNoConnection};
+    // Eq. 5 charges every connection e_i/P_i of per-SLOT capacity, but
+    // spatial reuse packs several segment-disjoint grants into one slot
+    // -- so the planner may still find an exact schedule past U_max.
+    // Admit tentatively; the constructive proof below decides.
+    decision = admission_.admit_unchecked(params, sim_.now());
+    planner_admit = true;
+  }
 
   ReleaseState st;
   st.params = params;
@@ -209,25 +233,66 @@ Network::OpenResult Network::open_connection(
   auto& stored = releases_.at(id);
   stored.next_event = sim_.schedule_at(
       st.base, [this, id] { release_message(id); });
+  rebuild_plan();
+  if (planner_admit) {
+    trace_.emit(sim_.now(), sim::TraceCategory::kAdmission, [&] {
+      std::ostringstream os;
+      os << (plan_valid_ ? "planner admitted" : "planner rejected")
+         << " connection from " << params.source << " ("
+         << (plan_valid_ ? "feasible hypercycle layout"
+                         : planner_->invalid_reason())
+         << ")";
+      return os.str();
+    });
+    if (!plan_valid_) {
+      // The layout/feasibility proof failed: the Eq. 5 rejection stands.
+      sim_.cancel(stored.next_event);
+      releases_.erase(id);
+      admission_.release(id);
+      rebuild_plan();
+      return OpenResult{false, kNoConnection};
+    }
+  }
   return OpenResult{true, id};
+}
+
+void Network::fire_release(ConnectionId id, ReleaseState& st) {
+  const core::ConnectionParams& p = st.params;
+  const sim::TimePoint release_t =
+      st.base + timing_->slot() * (p.period_slots * st.released);
+  const sim::TimePoint deadline =
+      release_t + timing_->slot() * p.effective_deadline_slots();
+  // The arrival is the nominal release instant: the event path fires
+  // exactly there, and the plan-driven table may catch up at the next
+  // slot boundary without skewing latency accounting.
+  const MessageId mid =
+      enqueue(p.source, p.dests, core::TrafficClass::kRealTime, p.size_slots,
+              deadline, id, st.released, release_t);
+  if (plan_valid_ && !plan_diverged_) {
+    // The plan's cursor binds this connection's jobs FIFO: remember the
+    // released id so the bundle grant knows which message it carries.
+    const std::int32_t pi = planner_->planned_index(id);
+    if (pi >= 0) {
+      plan_pending_[static_cast<std::size_t>(pi)].push_back(mid);
+    } else {
+      mark_plan_diverged();  // a release the plan does not know about
+    }
+  }
+  ++conn_stats_slot(id).released;
+  ++st.released;
 }
 
 void Network::release_message(ConnectionId id) {
   auto it = releases_.find(id);
   if (it == releases_.end() || !it->second.open) return;
   ReleaseState& st = it->second;
-  const core::ConnectionParams& p = st.params;
-  const sim::TimePoint release_t =
-      st.base + timing_->slot() * (p.period_slots * st.released);
-  const sim::TimePoint deadline =
-      release_t + timing_->slot() * p.effective_deadline_slots();
-  enqueue(p.source, p.dests, core::TrafficClass::kRealTime, p.size_slots,
-          deadline, id, st.released);
-  ++conn_stats_slot(id).released;
-  ++st.released;
+  fire_release(id, st);
+  // The clamp only bites when a restored event is catching up on more
+  // than one deferred release; on the steady event path next > now.
   const sim::TimePoint next =
-      st.base + timing_->slot() * (p.period_slots * st.released);
-  st.next_event = sim_.schedule_at(next, [this, id] { release_message(id); });
+      st.base + timing_->slot() * (st.params.period_slots * st.released);
+  st.next_event = sim_.schedule_at(std::max(next, sim_.now()),
+                                   [this, id] { release_message(id); });
 }
 
 bool Network::close_connection(ConnectionId id) {
@@ -237,7 +302,11 @@ bool Network::close_connection(ConnectionId id) {
   sim_.cancel(it->second.next_event);
   nodes_[it->second.params.source].queues().drop_connection(id);
   refresh_queued_bit(it->second.params.source);
-  return admission_.release(id);
+  const bool released = admission_.release(id);
+  // Any in-effect plan covered the closed connection: re-derive (a
+  // mid-run close leaves released>0 peers, so this lands on TCMA).
+  rebuild_plan();
+  return released;
 }
 
 Network::OpenResult Network::open_cbs_server(const core::CbsParams& params) {
@@ -257,6 +326,9 @@ Network::OpenResult Network::open_cbs_server(const core::CbsParams& params) {
   cbs_.emplace(decision.id,
                CbsState{core::CbsServer(params, timing_->slot())});
   ++stats_.cbs.servers_opened;
+  // CBS jobs are aperiodic: no plan can cover them (rebuild_plan gates
+  // on an empty server set, so this invalidates any current plan).
+  rebuild_plan();
   return OpenResult{true, decision.id};
 }
 
@@ -272,13 +344,13 @@ MessageId Network::cbs_send(ConnectionId id, std::int64_t size_slots) {
     // must not recharge the budget or move the server deadline (the
     // enqueue call still does the drop accounting and burns the id).
     return enqueue(p.source, p.dests, core::TrafficClass::kBestEffort,
-                   size_slots, sim_.now(), id, st.sent);
+                   size_slots, sim_.now(), id, st.sent, sim_.now());
   }
   const sim::TimePoint deadline =
       st.server.on_arrival(sim_.now(), st.backlog > 0);
   const MessageId mid =
       enqueue(p.source, p.dests, core::TrafficClass::kBestEffort, size_slots,
-              deadline, id, st.sent);
+              deadline, id, st.sent, sim_.now());
   ++st.backlog;
   ++st.sent;
   ++stats_.cbs.jobs;
@@ -293,7 +365,9 @@ bool Network::close_cbs_server(ConnectionId id) {
   nodes_[src].queues().drop_connection(id);
   refresh_queued_bit(src);
   cbs_.erase(it);
-  return admission_.release(id);
+  const bool released = admission_.release(id);
+  rebuild_plan();
+  return released;
 }
 
 const core::CbsServer* Network::cbs_server(ConnectionId id) const {
@@ -322,6 +396,7 @@ bool Network::fail_node(NodeId id) {
   // overlapping churn schedules produce naturally -- must not re-clear
   // queues, re-zero CBS backlogs or emit a second transition trace.
   if (n.failed()) return false;
+  mark_plan_diverged();  // the plan's outcomes assumed a healthy ring
   n.set_failed(true);
   n.queues().clear();
   soa_.failed.insert(id);
@@ -339,6 +414,7 @@ bool Network::fail_node(NodeId id) {
 bool Network::restore_node(NodeId id) {
   Node& n = node(id);
   if (!n.failed()) return false;  // restore-of-healthy: no-op
+  mark_plan_diverged();  // churn: the planned future no longer holds
   n.set_failed(false);
   soa_.failed.erase(id);
   trace_.emit(sim_.now(), sim::TraceCategory::kFault,
@@ -391,6 +467,12 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
     if (!cbs_.empty()) charge_cbs(g, done.has_value());
     if (!done) continue;  // more slots of this message remain
     refresh_queued_bit(g);  // the consumed message may have drained g
+    if (plan_valid_ && !plan_diverged_) {
+      // Divergence-exact completion check: while the plan is in effect
+      // every completion must be the front of its connection's pending
+      // queue, else the engine's view has drifted from the plan's.
+      plan_note_completion(done->connection, done->id);
+    }
 
     core::Delivery d;
     d.id = done->id;
@@ -581,6 +663,7 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
 
 void Network::step_slot() {
   sim_.run_until(slot_start_);
+  plan_release_due(slot_start_);
   const sim::Duration t_slot = timing_->slot();
   const sim::TimePoint slot_end = slot_start_ + t_slot;
 
@@ -623,8 +706,23 @@ void Network::step_slot() {
     }
   }
 
-  // Phase 2: collection for slot k+1 rides the control channel now.
-  collect_requests(rec.requests);
+  // Phase 2: collection for slot k+1 rides the control channel now --
+  // unless an engaged hypercycle plan already knows the outcome, in
+  // which case the wire stays silent (no sampling, no request records,
+  // no arbitration).  The branch is latched here: divergence signalled
+  // later in this slot takes effect at the next slot boundary, exactly
+  // as on the try_plan_forward path.
+  const bool planned = plan_engaged();
+  if (planned) {
+    for (const NodeId j : requesters_) rec.requests[j] = core::Request{};
+    requesters_ = NodeSet{};
+    soa_.bound = NodeSet{};
+    // No failure can have survived engagement (fail_node diverges the
+    // plan), so every node evidences itself on a planned slot.
+    rec.heard = topo_.all_nodes() & ~soa_.failed;
+  } else {
+    collect_requests(rec.requests);
+  }
   const std::vector<core::Request>& requests = rec.requests;
 
   // Phase 3: arbitration at the master; the distribution packet ends with
@@ -633,7 +731,8 @@ void Network::step_slot() {
   // -- so drain events through slot end before judging.
   sim_.run_until(slot_end);
   bool token_lost = false;
-  if (fault_hook_ != nullptr && fault_hook_->drop_distribution(slot_)) {
+  if (!planned && fault_hook_ != nullptr &&
+      fault_hook_->drop_distribution(slot_)) {
     token_lost = true;
     ++stats_.faults.token_losses;
   }
@@ -646,7 +745,9 @@ void Network::step_slot() {
     rec.heard = NodeSet{};
   }
   SlotPlan plan;
-  if (!token_lost) {
+  if (!token_lost && planned) {
+    plan = plan_next_from_cursor();
+  } else if (!token_lost) {
     plan = protocol_->plan_next_slot(requests, master_, slot_, requesters_);
     // Priority-inversion accounting: the globally most urgent requester
     // must be among the granted (always true for CCR-EDF; the simple
@@ -665,7 +766,7 @@ void Network::step_slot() {
       ++stats_.priority_inversions;
     }
   }
-  if (!token_lost && fault_hook_ != nullptr) {
+  if (!token_lost && !planned && fault_hook_ != nullptr) {
     // The distribution packet crosses every link; bit errors on it are
     // the most dangerous fault axis because ALL nodes act on the result.
     core::DistributionPacket pkt;
@@ -749,6 +850,7 @@ void Network::step_slot() {
     // Recovery (paper §8): the designated node times out and restarts the
     // clock; the planned grants died with the distribution packet.
     rec.token_lost = true;
+    mark_plan_diverged();
     gap = (t_slot + protocol_->max_gap()) * cfg_.recovery_timeout_slots;
     // The designated restarter takes over; if it is itself down, the
     // first live node downstream of it assumes the role.
@@ -838,7 +940,10 @@ std::int64_t Network::try_fast_forward(std::int64_t max_slots) {
   // a message a later collection sample of that slot would see, so that
   // slot is simulated normally.
   std::int64_t k = max_slots;
-  const sim::TimePoint t_next = sim_.next_event_time();
+  // With the release events suppressed by an adopted plan, the table
+  // cursor is the release "event" the skip window must not cross.
+  const sim::TimePoint t_next =
+      std::min(sim_.next_event_time(), plan_next_release_time());
   if (t_next < sim::TimePoint::infinity()) {
     const sim::Duration avail = t_next - slot_start_ - t_slot;
     if (avail <= sim::Duration::zero()) return 0;
@@ -871,6 +976,13 @@ std::int64_t Network::try_fast_forward(std::int64_t max_slots) {
   stats_.slots += k;
   stats_.ff_slots_skipped += k;
   ++stats_.ff_windows;
+  if (plan_valid_ && !plan_diverged_) {
+    // Under an engaged plan an idle slot IS a planned wait (the queue
+    // being empty proves the next bundle's releases have not fired), so
+    // the idle fast path must mirror the cursor's wait accounting for
+    // the planned-vs-unplanned and ff-vs-slot-by-slot parity gates.
+    stats_.plan_wait_slots += k;
+  }
   stats_.time_in_slots += t_slot * k;
   stats_.time_in_gaps += g * k;
   stats_.gap.add_n(g.ps(), k);
@@ -889,11 +1001,389 @@ std::int64_t Network::try_fast_forward(std::int64_t max_slots) {
   return k;
 }
 
+bool Network::can_plan_admit() const {
+  return planner_ != nullptr && protocol_->supports_planning() &&
+         fault_hook_ == nullptr && resilience_ == nullptr && cbs_.empty() &&
+         soa_.failed.empty() && current_granted_.empty() &&
+         soa_.queued.empty();
+}
+
+void Network::rebuild_plan() {
+  // A previously adopted plan may have suppressed the release events;
+  // bring them back before re-deriving (a successful build re-adopts).
+  plan_restore_releases();
+  plan_valid_ = false;
+  plan_diverged_ = false;
+  if (planner_ == nullptr || !protocol_->supports_planning()) return;
+  if (fault_hook_ != nullptr || resilience_ != nullptr) return;
+  if (!cbs_.empty() || !soa_.failed.empty()) return;
+  // A plan anchors on a clean slot boundary: no grant in flight, no
+  // message already queued (the plan's feasibility sim assumes every
+  // job is released by its nominal instant and none earlier).
+  if (!current_granted_.empty() || !soa_.queued.empty()) return;
+  const sim::Duration t_slot = timing_->slot();
+  planner_->clear();
+  bool any = false;
+  for (const auto& [id, st] : releases_) {
+    if (!st.open) continue;
+    if (st.released != 0) return;  // mid-stream: stay on TCMA
+    const sim::Duration off = st.base - sim::TimePoint::origin();
+    if (off.ps() % t_slot.ps() != 0) return;  // off the nominal grid
+    planner_->add(id, st.params, off.ps() / t_slot.ps());
+    any = true;
+  }
+  if (!any) return;
+  if (!planner_->build(slot_start_, master_)) return;
+  plan_valid_ = true;
+  ++stats_.plan_builds;
+  plan_prefix_pos_ = 0;
+  plan_cycle_pos_ = 0;
+  plan_cycle_no_ = 0;
+  plan_pending_.assign(planner_->connection_count(), {});
+  plan_adopt_releases();
+}
+
+void Network::plan_adopt_releases() {
+  // While the plan drives the engine, the event heap would hold exactly
+  // one self-rescheduling release event per connection (everything else
+  // is gated off by the rebuild preconditions).  The plan knows the
+  // whole periodic schedule, so those events collapse into a sorted
+  // cyclic table walked by a cursor -- no schedule/sift/pop/dispatch
+  // per message on the planned hot path.  Purely an engine strategy:
+  // plan_release_due fires the same releases, in the same grid order,
+  // with the same arrival instants, as the events it replaces.
+  const std::int64_t h = planner_->hyperperiod_slots();
+  const sim::Duration t_slot = timing_->slot();
+  std::size_t entries = 0;
+  for (const auto& [id, st] : releases_) {
+    if (st.open) entries += static_cast<std::size_t>(h / st.params.period_slots);
+  }
+  if (entries > kMaxPlanReleaseEntries) return;  // keep the events
+  plan_releases_.clear();
+  plan_releases_.reserve(entries);
+  for (auto& [id, st] : releases_) {
+    if (!st.open) continue;
+    sim_.cancel(st.next_event);
+    const std::int64_t base =
+        (st.base - sim::TimePoint::origin()).ps() / t_slot.ps();
+    const std::int64_t period = st.params.period_slots;
+    for (std::int64_t k = 0; k < h / period; ++k) {
+      const std::int64_t first = base + k * period;
+      plan_releases_.push_back(PlanRelease{first % h, first, id, &st});
+    }
+  }
+  std::sort(plan_releases_.begin(), plan_releases_.end(),
+            [](const PlanRelease& a, const PlanRelease& b) {
+              if (a.rel != b.rel) return a.rel < b.rel;
+              if (a.first_abs != b.first_abs) return a.first_abs < b.first_abs;
+              return a.conn < b.conn;
+            });
+  // Position the cursor at the earliest unfired release (rebuild
+  // guarantees released == 0 everywhere, so that is the smallest base).
+  std::int64_t start = plan_releases_.front().first_abs;
+  for (const PlanRelease& r : plan_releases_) {
+    start = std::min(start, r.first_abs);
+  }
+  plan_release_cycle_ = start / h;
+  plan_release_idx_ = 0;
+  while (plan_release_idx_ < plan_releases_.size() &&
+         plan_releases_[plan_release_idx_].rel < start % h) {
+    ++plan_release_idx_;
+  }
+  if (plan_release_idx_ == plan_releases_.size()) {
+    plan_release_idx_ = 0;
+    ++plan_release_cycle_;
+  }
+}
+
+void Network::plan_restore_releases() {
+  if (plan_releases_.empty()) return;
+  // Hand each open connection back to its self-rescheduling event.  A
+  // release the table still owes (a mid-slot deferral) is scheduled at
+  // max(nominal, now) -- it fires on the next event drain, and
+  // fire_release stamps the nominal release instant either way, so the
+  // message is bit-identical to the one the event path would have made.
+  // Nothing fires inline: a release due exactly at now stays pending,
+  // just as its original event would have been.
+  plan_releases_.clear();
+  for (auto& [id, st] : releases_) {
+    if (!st.open) continue;
+    // A connection opened this very call still has its admission-time
+    // event pending (adoption never saw it) -- cancel before
+    // re-scheduling or two self-rescheduling chains would run at once.
+    sim_.cancel(st.next_event);
+    const sim::TimePoint next =
+        st.base + timing_->slot() * (st.params.period_slots * st.released);
+    const ConnectionId cid = id;
+    st.next_event = sim_.schedule_at(std::max(next, sim_.now()),
+                                     [this, cid] { release_message(cid); });
+  }
+}
+
+void Network::plan_release_due_slow(sim::TimePoint upto) {
+  const std::int64_t h = planner_->hyperperiod_slots();
+  const sim::Duration t_slot = timing_->slot();
+  const sim::TimePoint origin = sim::TimePoint::origin();
+  for (;;) {
+    const PlanRelease& r = plan_releases_[plan_release_idx_];
+    const std::int64_t abs = r.rel + plan_release_cycle_ * h;
+    if (origin + t_slot * abs > upto) return;
+    // Visits below first_abs are the start-up transient of an offset
+    // connection (its k-th entry exists in every cycle but only fires
+    // from cycle (first_abs - rel) / H on).
+    if (abs >= r.first_abs && r.st->open) fire_release(r.conn, *r.st);
+    if (plan_releases_.empty()) return;  // a divergence tore the table down
+    if (++plan_release_idx_ == plan_releases_.size()) {
+      plan_release_idx_ = 0;
+      ++plan_release_cycle_;
+    }
+  }
+}
+
+sim::TimePoint Network::plan_next_release_time() const {
+  if (plan_releases_.empty()) return sim::TimePoint::infinity();
+  const PlanRelease& r = plan_releases_[plan_release_idx_];
+  return sim::TimePoint::origin() +
+         timing_->slot() *
+             (r.rel + plan_release_cycle_ * planner_->hyperperiod_slots());
+}
+
+sim::TimePoint Network::plan_next_eligible_time() const {
+  std::int64_t rel;
+  if (plan_prefix_pos_ < planner_->prefix().size()) {
+    rel = planner_->prefix()[plan_prefix_pos_].release_slot;
+  } else {
+    rel = planner_->cycle()[plan_cycle_pos_].release_slot +
+          planner_->cycle_origin_slot() +
+          plan_cycle_no_ * planner_->hyperperiod_slots();
+  }
+  return sim::TimePoint::origin() + timing_->slot() * rel;
+}
+
+SlotPlan Network::plan_next_from_cursor() {
+  SlotPlan plan;
+  plan.next_master = master_;
+  const bool from_prefix = plan_prefix_pos_ < planner_->prefix().size();
+  std::int64_t rel_base = 0;
+  const core::HypercyclePlanner::Bundle* b;
+  if (from_prefix) {
+    b = &planner_->prefix()[plan_prefix_pos_];
+  } else {
+    b = &planner_->cycle()[plan_cycle_pos_];
+    rel_base = planner_->cycle_origin_slot() +
+               plan_cycle_no_ * planner_->hyperperiod_slots();
+  }
+  const sim::TimePoint eligible =
+      sim::TimePoint::origin() + timing_->slot() * (b->release_slot + rel_base);
+  if (eligible > slot_start_) {
+    ++stats_.plan_wait_slots;
+    return plan;  // wait: master keeps the clock, nobody granted
+  }
+  const core::HypercyclePlanner::Grant* gs = planner_->grants(*b);
+  // Validate every pending front BEFORE binding, so a divergence (queue
+  // drift) leaves no partial bindings behind.
+  for (std::uint32_t i = 0; i < b->grant_count; ++i) {
+    const std::int32_t pi = planner_->planned_index(gs[i].conn);
+    if (pi < 0 || plan_pending_[static_cast<std::size_t>(pi)].empty() ||
+        !nodes_[gs[i].source].queues().contains(
+            plan_pending_[static_cast<std::size_t>(pi)].front())) {
+      mark_plan_diverged();
+      return plan;  // idle decision; TCMA resumes next slot
+    }
+  }
+  for (std::uint32_t i = 0; i < b->grant_count; ++i) {
+    const auto& g = gs[i];
+    const NodeId s = g.source;
+    const auto pi = static_cast<std::size_t>(planner_->planned_index(g.conn));
+    soa_.bound.insert(s);
+    soa_.bind_msg[s] = plan_pending_[pi].front();
+    soa_.bind_hops[s] = g.hops;
+    soa_.bind_links[s] = g.links;
+    soa_.bind_dests[s] = g.dests;
+    soa_.bind_conn[s] = g.conn;
+  }
+  plan.next_master = b->master;
+  plan.granted = b->granted;
+  if (from_prefix) {
+    ++plan_prefix_pos_;
+  } else if (++plan_cycle_pos_ == planner_->cycle().size()) {
+    plan_cycle_pos_ = 0;
+    ++plan_cycle_no_;
+  }
+  ++stats_.planned_slots;
+  return plan;
+}
+
+void Network::execute_plan_grants(sim::TimePoint slot_end) {
+  int executed = 0;
+  for (const NodeId g : current_granted_) {
+    Node& src = nodes_[g];
+    if (!soa_.bound.contains(g) || src.failed() ||
+        !src.queues().contains(soa_.bind_msg[g])) {
+      ++stats_.wasted_grants;
+      continue;
+    }
+    ++executed;
+    ++stats_.total_grants;
+    ++stats_.node_grants[g];
+    auto done = src.queues().consume_slot(soa_.bind_msg[g]);
+    if (!done) continue;
+    refresh_queued_bit(g);
+    if (plan_valid_ && !plan_diverged_) {
+      plan_note_completion(done->connection, done->id);
+    }
+    core::Delivery d;
+    d.id = done->id;
+    d.source = done->source;
+    d.dests = done->dests;
+    d.traffic_class = done->traffic_class;
+    d.connection = done->connection;
+    d.arrival = done->arrival;
+    d.completed = slot_end + phy_->path_delay(g, soa_.bind_hops[g]);
+    d.deadline = done->deadline;
+    d.size_slots = done->size_slots;
+    for (const NodeId dst : soa_.bind_dests[g]) {
+      if (!nodes_[dst].failed()) nodes_[dst].deliver(d);
+    }
+    auto& cs = stats_.cls(done->traffic_class);
+    ++cs.delivered;
+    cs.bytes += done->payload_bytes;
+    cs.latency.add(d.latency());
+    const bool sched_miss = !d.met_deadline();
+    const bool user_miss =
+        sched_miss && d.completed > d.deadline + timing_->worst_case_latency();
+    if (sched_miss) ++cs.scheduling_misses;
+    if (user_miss) ++cs.user_misses;
+    if (done->connection != kNoConnection) {
+      auto& conn = conn_stats_slot(done->connection);
+      ++conn.delivered;
+      conn.bytes += done->payload_bytes;
+      conn.latency.add(d.latency());
+      if (sched_miss) ++conn.scheduling_misses;
+      if (user_miss) ++conn.user_misses;
+    }
+  }
+  if (executed > 0) {
+    ++stats_.busy_slots;
+    if (executed > 1) ++stats_.reuse_slots;
+  }
+}
+
+std::int64_t Network::try_plan_forward(std::int64_t max_slots) {
+  if (!cfg_.fast_forward || max_slots <= 0) return 0;
+  if (!plan_valid_ || plan_diverged_) return 0;
+  if (cfg_.with_acks) return 0;  // ack bookkeeping needs the full path
+  const sim::Duration t_slot = timing_->slot();
+  std::int64_t done = 0;
+  while (done < max_slots) {
+    if (!observers_.empty() || trace_.enabled(sim::TraceCategory::kSlot)) {
+      break;
+    }
+    sim_.run_until(slot_start_);
+    plan_release_due(slot_start_);
+    if (!plan_valid_ || plan_diverged_) break;  // an event broke the plan
+    if (current_granted_.empty()) {
+      // Wait stretch: batched exactly like try_fast_forward's idle skip.
+      const sim::TimePoint need = plan_next_eligible_time();
+      if (need > slot_start_) {
+        const sim::Duration g = protocol_->gap(master_, master_);
+        const sim::Duration step = t_slot + g;
+        std::int64_t k = max_slots - done;
+        k = std::min(k,
+                     ((need - slot_start_).ps() + step.ps() - 1) / step.ps());
+        const sim::TimePoint t_next = sim_.next_event_time();
+        if (t_next < sim::TimePoint::infinity()) {
+          const sim::Duration avail = t_next - slot_start_ - t_slot;
+          if (avail <= sim::Duration::zero()) {
+            k = 0;
+          } else {
+            k = std::min(k, (avail.ps() + step.ps() - 1) / step.ps());
+          }
+        }
+        if (k > 0) {
+          stats_.slots += k;
+          stats_.plan_wait_slots += k;
+          stats_.time_in_slots += t_slot * k;
+          stats_.time_in_gaps += g * k;
+          stats_.gap.add_n(g.ps(), k);
+          stats_.handover_hops.add_n(0, k);
+          const sim::TimePoint last_end = slot_start_ + step * (k - 1) + t_slot;
+          sim_.advance_to(last_end);
+          slot_ += k;
+          slot_start_ = last_end + g;
+          done += k;
+          continue;
+        }
+        // An event lands inside the next slot: run it on the full path
+        // below (the decision is still the same wait).
+      }
+    }
+    // One full planned slot on the lean path.
+    const sim::TimePoint slot_end = slot_start_ + t_slot;
+    execute_plan_grants(slot_end);
+    stats_.time_in_slots += t_slot;
+    soa_.bound = NodeSet{};
+    sim_.run_until(slot_end);
+    if (nodes_[master_].failed()) {
+      // Token loss: accounting identical to step_slot's recovery path.
+      mark_plan_diverged();
+      const sim::Duration gap =
+          (t_slot + protocol_->max_gap()) * cfg_.recovery_timeout_slots;
+      NodeId restarter = cfg_.designated_restarter;
+      NodeId tried = 0;
+      while (tried < nodes() && nodes_[restarter].failed()) {
+        restarter = topo_.downstream(restarter);
+        ++tried;
+      }
+      if (tried == nodes()) {
+        ++stats_.faults.ring_dark;
+        restarter = cfg_.designated_restarter;
+      } else {
+        ++recoveries_;
+        ++stats_.faults.recoveries;
+        recovery_time_ += gap;
+        stats_.faults.recovery_gap.add(gap);
+        stats_.faults.recovery_gap_quantiles.add(gap.ps());
+      }
+      soa_.bound = NodeSet{};
+      stats_.time_in_gaps += gap;
+      stats_.gap.add(gap);
+      stats_.handover_hops.add(
+          static_cast<std::int64_t>(topo_.hops(master_, restarter)));
+      ++stats_.slots;
+      current_granted_ = NodeSet{};
+      master_ = restarter;
+      slot_start_ = slot_end + gap;
+      ++slot_;
+      ++done;
+      break;
+    }
+    const SlotPlan plan = plan_next_from_cursor();
+    const sim::Duration gap = protocol_->gap(master_, plan.next_master);
+    stats_.time_in_gaps += gap;
+    stats_.gap.add(gap);
+    stats_.handover_hops.add(
+        static_cast<std::int64_t>(topo_.hops(master_, plan.next_master)));
+    ++stats_.slots;
+    current_granted_ = plan.granted;
+    master_ = plan.next_master;
+    slot_start_ = slot_end + gap;
+    ++slot_;
+    ++done;
+  }
+  return done;
+}
+
 void Network::run_slots(std::int64_t n) {
   std::int64_t done = 0;
   while (done < n) {
     done += try_fast_forward(n - done);
     if (done >= n) break;
+    const std::int64_t p = try_plan_forward(n - done);
+    if (p > 0) {
+      done += p;
+      continue;
+    }
     step_slot();
     ++done;
   }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -30,6 +31,7 @@
 #include "core/connection.hpp"
 #include "core/control_timing.hpp"
 #include "core/frames.hpp"
+#include "core/hypercycle.hpp"
 #include "core/message.hpp"
 #include "core/priority.hpp"
 #include "core/schedulability.hpp"
@@ -279,9 +281,18 @@ class Network {
   void add_slot_observer(SlotObserver obs) {
     observers_.push_back(std::move(obs));
   }
-  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  /// Attaching a fault hook diverges any in-effect hypercycle plan: the
+  /// plan's precomputed outcomes no longer model the wire.
+  void set_fault_hook(FaultHook* hook) {
+    fault_hook_ = hook;
+    if (hook != nullptr) mark_plan_diverged();
+  }
   /// Attaches the resilience hook (one at a time; nullptr detaches).
-  void set_resilience_hook(ResilienceHook* hook) { resilience_ = hook; }
+  /// Same divergence rule as the fault hook: a monitor may quarantine.
+  void set_resilience_hook(ResilienceHook* hook) {
+    resilience_ = hook;
+    if (hook != nullptr) mark_plan_diverged();
+  }
   [[nodiscard]] ResilienceHook* resilience_hook() const {
     return resilience_;
   }
@@ -323,6 +334,20 @@ class Network {
   [[nodiscard]] NodeSet queued_nodes() const { return soa_.queued; }
   /// Nodes currently failed (mirror of the per-node flags as a mask).
   [[nodiscard]] NodeSet failed_nodes() const { return soa_.failed; }
+
+  // -- hypercycle planner (NetworkConfig::planner) -------------------------
+  /// True while a built plan covers the open connection set (it may
+  /// have diverged; see plan_engaged).  Always false with planner off.
+  [[nodiscard]] bool plan_valid() const { return plan_valid_; }
+  /// True while the plan actually drives slot decisions: valid and not
+  /// yet diverged to slot-by-slot TCMA.
+  [[nodiscard]] bool plan_engaged() const {
+    return plan_valid_ && !plan_diverged_;
+  }
+  /// The planner instance (nullptr when NetworkConfig::planner is off).
+  [[nodiscard]] const core::HypercyclePlanner* planner() const {
+    return planner_.get();
+  }
 
  private:
   /// Struct-of-arrays hot state: everything the per-slot pipeline reads
@@ -376,17 +401,88 @@ class Network {
   /// nodes) of keyed fault probes per slot when a hook is armed);
   /// returns the number skipped (0 = the next slot must be simulated).
   std::int64_t try_fast_forward(std::int64_t max_slots);
+  /// Plan-driven engine: while the plan is engaged and nobody observes
+  /// per-slot artefacts, busy planned slots run on a lean path (no
+  /// collection phase, no SlotRecord bookkeeping) and wait stretches
+  /// advance arithmetically; returns the number of slots processed.
+  /// Statistics stay byte-identical to step_slot's planned branch.
+  std::int64_t try_plan_forward(std::int64_t max_slots);
+  /// Lean phase-1 clone of execute_grants for try_plan_forward: no
+  /// fault hook, no CBS, no SlotRecord -- all provably absent or unread
+  /// while the plan is engaged and unobserved.
+  void execute_plan_grants(sim::TimePoint slot_end);
+  /// Consults the plan cursor for the decision phase of the current
+  /// slot (start slot_start_, master master_): on an eligible bundle it
+  /// writes the soa_ bindings, advances the cursor and returns the
+  /// bundle's grants; otherwise the idle wait decision.  A pending-
+  /// queue mismatch marks divergence and returns the idle decision.
+  SlotPlan plan_next_from_cursor();
+  /// Release instant of the bundle the cursor points at (the earliest
+  /// slot start that can grant it).
+  [[nodiscard]] sim::TimePoint plan_next_eligible_time() const;
+  /// Re-derives the plan from the open connection set (admit/close
+  /// time).  The plan only builds from a clean engine state: CCR-EDF,
+  /// no hooks, no CBS, no failed nodes, no in-flight grants or queued
+  /// messages, and every connection still unreleased and grid-aligned;
+  /// otherwise the engine stays on slot-by-slot TCMA.
+  void rebuild_plan();
+  /// Whether a rejected admission may be retried through the planner's
+  /// constructive feasibility proof.
+  [[nodiscard]] bool can_plan_admit() const;
+  /// Sticky divergence: the plan stays valid but stops driving slots
+  /// until the next successful rebuild.  Release generation falls back
+  /// to the event heap (plan_restore_releases) in the same breath.
+  void mark_plan_diverged() {
+    if (plan_valid_ && !plan_diverged_) {
+      plan_diverged_ = true;
+      ++stats_.plan_divergences;
+      plan_restore_releases();
+    }
+  }
+  /// Divergence-exact completion bookkeeping: a planned message must
+  /// complete in plan order (front of its connection's pending queue).
+  void plan_note_completion(ConnectionId conn, MessageId id) {
+    const std::int32_t pi = planner_->planned_index(conn);
+    if (pi < 0 || plan_pending_[static_cast<std::size_t>(pi)].empty() ||
+        plan_pending_[static_cast<std::size_t>(pi)].front() != id) {
+      mark_plan_diverged();
+    } else {
+      plan_pending_[static_cast<std::size_t>(pi)].pop_front();
+    }
+  }
   /// Notifies the dirty-node tracking that `src`'s queue may have
   /// drained (after a consume/drop/clear).
   void refresh_queued_bit(NodeId src);
   void release_message(ConnectionId id);
+  /// Releases connection `st`'s next periodic message (shared by the
+  /// event path and the plan-driven release table).
+  void fire_release(ConnectionId id, ReleaseState& st);
+  /// Plan adoption: cancels every connection's self-rescheduling release
+  /// event and replaces it with the precomputed cyclic release table --
+  /// the plan knows the whole periodic schedule, so the per-message heap
+  /// round trip (schedule + sift + pop + callback dispatch) vanishes
+  /// from the planned hot path.
+  void plan_adopt_releases();
+  /// Fires everything the release table owes up to now, then hands each
+  /// open connection back to its event (divergence / plan teardown).
+  void plan_restore_releases();
+  /// Fires every table release due at or before `upto`, in grid order.
+  void plan_release_due(sim::TimePoint upto) {
+    if (!plan_releases_.empty()) plan_release_due_slow(upto);
+  }
+  void plan_release_due_slow(sim::TimePoint upto);
+  /// Grid instant of the table cursor's next candidate (infinity when
+  /// the table is inactive); bounds the idle fast-forward exactly like
+  /// a pending release event would.
+  [[nodiscard]] sim::TimePoint plan_next_release_time() const;
   /// Charges one granted data slot to the CBS server owning the message
   /// bound at node `g` (no-op for non-CBS traffic); on budget exhaustion
   /// the server postpones and its queued backlog is re-keyed.
   void charge_cbs(NodeId g, bool completed);
   MessageId enqueue(NodeId src, NodeSet dests, core::TrafficClass cls,
                     std::int64_t size_slots, sim::TimePoint deadline,
-                    ConnectionId conn, std::int64_t release_index);
+                    ConnectionId conn, std::int64_t release_index,
+                    sim::TimePoint arrival);
   [[nodiscard]] core::Priority priority_of(const core::Message& m,
                                            sim::TimePoint sample) const;
   /// Hot-path accessor for stats_.per_connection[id]: connection ids are
@@ -439,6 +535,39 @@ class Network {
   /// ~15% of slot time), plus each master's last-sample offset.
   std::vector<sim::Duration> sample_off_;
   std::array<sim::Duration, kMaxNodes> last_sample_off_{};
+
+  // Hypercycle-planner state (null/false unless NetworkConfig::planner).
+  std::unique_ptr<core::HypercyclePlanner> planner_;
+  bool plan_valid_ = false;
+  bool plan_diverged_ = false;
+  /// Cursor over the plan: next transient bundle, then position within
+  /// the cyclic window and the occurrence count.
+  std::size_t plan_prefix_pos_ = 0;
+  std::size_t plan_cycle_pos_ = 0;
+  std::int64_t plan_cycle_no_ = 0;
+  /// Per planned connection (dense planner index): released message ids
+  /// not yet fully delivered, in release order.  The cursor binds the
+  /// front; execute_grants pops it on completion (plan order is FIFO
+  /// per connection by construction).
+  std::vector<std::deque<MessageId>> plan_pending_;
+  /// One cyclic-release-table entry: connection `conn` releases a
+  /// message at grid slots first_abs, first_abs + H, first_abs + 2H, ...
+  /// (rel = first_abs mod H keys the sorted table; visits of the entry
+  /// at abs < first_abs are start-up transients and fire nothing).
+  struct PlanRelease {
+    std::int64_t rel = 0;
+    std::int64_t first_abs = 0;
+    ConnectionId conn = kNoConnection;
+    ReleaseState* st = nullptr;  // node-stable unordered_map entry
+  };
+  /// The plan-driven release schedule for one hypercycle, sorted by rel
+  /// (non-empty exactly while release events are suppressed).  Bounded:
+  /// adoption skips (keeping the events) when sum H/P_i exceeds
+  /// kMaxPlanReleaseEntries, so a pathological grid cannot balloon it.
+  static constexpr std::size_t kMaxPlanReleaseEntries = std::size_t{1} << 20;
+  std::vector<PlanRelease> plan_releases_;
+  std::size_t plan_release_idx_ = 0;
+  std::int64_t plan_release_cycle_ = 0;
 
   std::unordered_map<ConnectionId, ReleaseState> releases_;
   /// Open constant-bandwidth servers (empty on RT-only runs: every CBS

@@ -61,6 +61,14 @@ class MacProtocol {
   /// The engine only fast-forwards idle stretches when this holds --
   /// otherwise the master (and with it every gap) changes slot to slot.
   [[nodiscard]] virtual bool idle_keeps_master() const { return false; }
+
+  /// True iff the hypercycle planner may stand in for this protocol's
+  /// arbitration: a planned bundle must be exactly what plan_next_slot
+  /// would have granted had every planned job requested (EDF order,
+  /// spatial-reuse packing, master = highest-priority source, idle keeps
+  /// master).  Only CCR-EDF satisfies this; CC-FPR's fixed-priority
+  /// clocking and TDMA's rotation do not, so they stay slot-by-slot.
+  [[nodiscard]] virtual bool supports_planning() const { return false; }
 };
 
 }  // namespace ccredf::net

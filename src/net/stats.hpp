@@ -178,6 +178,20 @@ struct NetworkStats {
   /// Number of contiguous fast-forward windows taken.
   std::int64_t ff_windows = 0;
 
+  /// Hypercycle-planner accounting (NetworkConfig::planner; all zero
+  /// when the planner is off or never engaged).  A slot's next-slot
+  /// decision either GRANTS a planned bundle (planned_slots) or WAITS
+  /// for the next bundle's release instant (plan_wait_slots, including
+  /// wait stretches batched arithmetically) -- both counters identical
+  /// between the plan-driven fast-forward and slot-by-slot paths.
+  std::int64_t planned_slots = 0;
+  std::int64_t plan_wait_slots = 0;
+  /// Successful plan builds (admit/close-time relayouts).
+  std::int64_t plan_builds = 0;
+  /// Times an in-effect plan was abandoned for slot-by-slot TCMA
+  /// (divergence: faults, churn, CBS, aperiodic traffic, queue drift).
+  std::int64_t plan_divergences = 0;
+
   /// Per-node activity, parallel flat arrays sized to the node count at
   /// construction (SoA: a slot touches only the entries that changed).
   /// node_requests[j]: slots whose collection phase sampled a live
@@ -206,6 +220,13 @@ struct NetworkStats {
   [[nodiscard]] double fast_forward_ratio() const {
     return slots == 0 ? 0.0
                       : static_cast<double>(ff_slots_skipped) /
+                            static_cast<double>(slots);
+  }
+
+  /// Fraction of all slots whose decision granted a planned bundle.
+  [[nodiscard]] double planned_slot_fraction() const {
+    return slots == 0 ? 0.0
+                      : static_cast<double>(planned_slots) /
                             static_cast<double>(slots);
   }
 

@@ -105,7 +105,7 @@ bool parse_service(const std::string& s, ServiceMix& out) {
 std::size_t GridSpec::point_count() const {
   return protocols.size() * node_counts.size() * utilisations.size() *
          bers.size() * data_bers.size() * churns.size() * mixes.size() *
-         services.size() * set_seeds.size();
+         services.size() * planners.size() * set_seeds.size();
 }
 
 std::vector<GridPoint> GridSpec::expand() const {
@@ -120,19 +120,22 @@ std::vector<GridPoint> GridSpec::expand() const {
             for (const double churn : churns) {
               for (const WorkloadMix mix : mixes) {
                 for (const ServiceMix service : services) {
-                  for (const std::uint64_t seed : set_seeds) {
-                    GridPoint p;
-                    p.index = index++;
-                    p.protocol = proto;
-                    p.nodes = nodes;
-                    p.utilisation = u;
-                    p.ber = ber;
-                    p.data_ber = data_ber;
-                    p.churn = churn;
-                    p.mix = mix;
-                    p.service = service;
-                    p.set_seed = seed;
-                    points.push_back(p);
+                  for (const bool planner : planners) {
+                    for (const std::uint64_t seed : set_seeds) {
+                      GridPoint p;
+                      p.index = index++;
+                      p.protocol = proto;
+                      p.nodes = nodes;
+                      p.utilisation = u;
+                      p.ber = ber;
+                      p.data_ber = data_ber;
+                      p.churn = churn;
+                      p.mix = mix;
+                      p.service = service;
+                      p.planner = planner;
+                      p.set_seed = seed;
+                      points.push_back(p);
+                    }
                   }
                 }
               }
@@ -155,7 +158,10 @@ std::string GridSpec::validate() const {
     if (n < 2 || n > kMaxNodes) return "node count out of [2, 64]";
   }
   for (const double u : utilisations) {
-    if (!(u > 0.0) || u > 1.0) return "utilisation fraction out of (0, 1]";
+    // Past-1.0 fractions are meaningful only for planner cells (the
+    // hypercycle planner admits past U_max through spatial reuse); 8x
+    // is the hard packing ceiling of the ring's unit segments.
+    if (!(u > 0.0) || u > 8.0) return "utilisation fraction out of (0, 8]";
   }
   if (bers.empty()) return "bers axis is empty";
   for (const double b : bers) {
@@ -169,6 +175,7 @@ std::string GridSpec::validate() const {
   for (const double c : churns) {
     if (!(c >= 0.0)) return "churn mean up-dwell must be >= 0";
   }
+  if (planners.empty()) return "planners axis is empty";
   if (churn_nodes < 1) return "churn_nodes must be >= 1";
   if (!(churn_down_slots > 0.0)) return "churn_down_slots must be > 0";
   if (churn_detect_slots < 2) return "churn_detect_slots must be >= 2";
@@ -207,7 +214,9 @@ std::uint64_t workload_key(const GridPoint& p) {
   // The churn axis is excluded likewise: churned and churn-free points
   // run the identical workload (the E22 containment gate compares
   // disjoint connections across churn levels), with dwells drawn from
-  // the "churn"-tagged stream family.
+  // the "churn"-tagged stream family.  The planner axis is excluded
+  // too: planner-on and planner-off cells must offer the identical
+  // traffic so the E23 gates compare engines, not workloads.
   std::uint64_t k = sim::Rng::stream_seed(p.set_seed, p.nodes,
                                           std::bit_cast<std::uint64_t>(
                                               p.utilisation));
@@ -236,6 +245,7 @@ net::NetworkConfig make_network_config(const GridSpec& spec,
   cfg.record_inboxes = false;
   cfg.max_queue_messages = static_cast<std::size_t>(spec.queue_cap);
   cfg.fast_forward = spec.fast_forward;
+  cfg.planner = p.planner;
   switch (p.protocol) {
     case Protocol::kCcrEdf:
       break;  // default factory
@@ -408,6 +418,13 @@ bool parse_grid(const std::string& text, GridSpec& spec,
           return fail("unknown service class `" + it + "`");
         }
         out.services.push_back(s);
+      }
+    } else if (key == "planners") {
+      out.planners.clear();
+      for (const auto& it : items) {
+        bool b;
+        if (!parse_flag(it, b)) return fail("bad planner flag `" + it + "`");
+        out.planners.push_back(b);
       }
     } else if (key == "seeds") {
       out.set_seeds.clear();

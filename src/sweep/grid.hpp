@@ -75,6 +75,9 @@ struct GridPoint {
   Protocol protocol = Protocol::kCcrEdf;
   NodeId nodes = 8;
   /// Offered utilisation as a fraction of the ring's U_max (Eq. 6).
+  /// Planner cells may exceed 1.0: the hypercycle planner admits past
+  /// the per-slot ceiling through spatial reuse (validate() allows up
+  /// to 8x, the ring's segment-packing limit).
   double utilisation = 0.5;
   /// Control-channel bit-error rate applied uniformly per link (fault
   /// axis); 0 disables injection entirely.
@@ -89,6 +92,9 @@ struct GridPoint {
   WorkloadMix mix = WorkloadMix::kPeriodic;
   /// Service-class population riding beside the RT set.
   ServiceMix service = ServiceMix::kRtOnly;
+  /// Hypercycle-planner axis: NetworkConfig::planner for this cell's
+  /// network (E23 compares planner on/off as paired cells).
+  bool planner = false;
   /// Workload-set seed axis (distinct sets at identical load).
   std::uint64_t set_seed = 1;
 };
@@ -114,6 +120,14 @@ struct GridSpec {
   /// workload_key: rt-only vs cbs points run the identical RT set, so a
   /// service sweep is a paired comparison (the E21 gate depends on it).
   std::vector<ServiceMix> services{ServiceMix::kRtOnly};
+  /// Hypercycle-planner axis (E23); the default single `off` keeps
+  /// legacy grids' point numbering and shard seeds untouched.  EXCLUDED
+  /// from workload_key: planner-on and planner-off cells run the
+  /// identical workload (the planner must change only the engine, never
+  /// the offered traffic), so a planner sweep is a paired comparison --
+  /// and wherever the plan is not in effect the statistics themselves
+  /// must come out byte-identical.
+  std::vector<bool> planners{false};
   std::vector<std::uint64_t> set_seeds{1};
   /// Independent repetitions per point (distinct RNG streams).
   int repetitions = 1;
@@ -210,6 +224,7 @@ struct GridSpec {
 //   data_bers     = 0, 1e-5
 //   churns        = 0, 25000
 //   mixes         = periodic
+//   planners      = off, on
 //   seeds         = 1, 2
 //   repetitions   = 3
 //   slots         = 5000

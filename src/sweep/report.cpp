@@ -38,6 +38,9 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("services").begin_array();
   for (const ServiceMix s : spec.services) w.value(service_name(s));
   w.end_array();
+  w.key("planners").begin_array();
+  for (const bool p : spec.planners) w.value(p);
+  w.end_array();
   w.key("seeds").begin_array();
   for (const std::uint64_t s : spec.set_seeds) w.value(s);
   w.end_array();
@@ -81,6 +84,7 @@ void write_point(analysis::JsonWriter& w, const PointResult& pr) {
   w.key("churn").value(pr.point.churn);
   w.key("mix").value(mix_name(pr.point.mix));
   w.key("service").value(service_name(pr.point.service));
+  w.key("planner").value(pr.point.planner);
   w.key("set_seed").value(pr.point.set_seed);
   w.key("failed_shards").value(pr.failed_shards);
   w.key("metrics").begin_object();
@@ -131,9 +135,9 @@ analysis::Table to_table(const SweepResult& result,
                          const std::vector<Metric>& metrics,
                          const std::string& title) {
   analysis::Table t(title);
-  std::vector<std::string> headers{"protocol", "nodes",    "u/U_max",
-                                   "ber",      "data_ber", "churn",
-                                   "mix",      "service",  "seed"};
+  std::vector<std::string> headers{"protocol", "nodes",   "u/U_max", "ber",
+                                   "data_ber", "churn",   "mix",     "service",
+                                   "planner",  "seed"};
   for (const Metric m : metrics) headers.emplace_back(metric_name(m));
   t.columns(std::move(headers));
   for (const PointResult& pr : result.points) {
@@ -146,6 +150,7 @@ analysis::Table to_table(const SweepResult& result,
         .cell(pr.point.churn, 0)
         .cell(mix_name(pr.point.mix))
         .cell(service_name(pr.point.service))
+        .cell(pr.point.planner ? "on" : "off")
         .cell(static_cast<std::int64_t>(pr.point.set_seed));
     for (const Metric m : metrics) row.cell(pr.mean(m), 4);
   }

@@ -82,6 +82,12 @@ const char* metric_name(Metric m) {
       return "churn_readmit_fraction";
     case Metric::kChurnDisjointMisses:
       return "churn_disjoint_misses";
+    case Metric::kPlannedSlotFraction:
+      return "planned_slot_fraction";
+    case Metric::kPlanBuilds:
+      return "plan_builds";
+    case Metric::kPlanDivergences:
+      return "plan_divergences";
   }
   return "?";
 }
@@ -282,6 +288,10 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
     }
     m[Metric::kChurnDisjointMisses] = static_cast<double>(disjoint_misses);
   }
+  m[Metric::kPlannedSlotFraction] = n.stats().planned_slot_fraction();
+  m[Metric::kPlanBuilds] = static_cast<double>(n.stats().plan_builds);
+  m[Metric::kPlanDivergences] =
+      static_cast<double>(n.stats().plan_divergences);
   m.ok = true;
   return m;
 }

@@ -50,10 +50,14 @@ enum class Metric : std::size_t {
   kChurnDetectLatency,   // mean detection latency, slots
   kChurnReclaimedU,      // Eq. 5/6 weight reclaimed by quarantines
   kChurnReadmitFraction,  // re-admission attempts that succeeded
-  kChurnDisjointMisses    // user misses on connections disjoint from
+  kChurnDisjointMisses,   // user misses on connections disjoint from
                           // every churned node (containment gate: 0)
+  kPlannedSlotFraction,   // slots granted from a hypercycle plan
+                          // (planner axis; 0 with the planner off)
+  kPlanBuilds,            // successful plan builds at admit/close time
+  kPlanDivergences        // plans abandoned back to slot-by-slot TCMA
 };
-inline constexpr std::size_t kMetricCount = 30;
+inline constexpr std::size_t kMetricCount = 33;
 
 [[nodiscard]] const char* metric_name(Metric m);
 

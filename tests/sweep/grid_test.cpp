@@ -33,7 +33,11 @@ TEST(GridTest, ExpansionIsFullCrossProductInCanonicalOrder) {
 TEST(GridTest, ValidateCatchesBadAxes) {
   GridSpec spec;
   EXPECT_TRUE(spec.validate().empty());
+  // Planner cells may legitimately oversubscribe the per-slot ceiling
+  // through spatial reuse, up to the ring's 8x segment-packing limit.
   spec.utilisations = {1.5};
+  EXPECT_TRUE(spec.validate().empty());
+  spec.utilisations = {8.5};
   EXPECT_FALSE(spec.validate().empty());
   spec = GridSpec{};
   spec.protocols.clear();
@@ -53,6 +57,7 @@ protocols    = ccr-edf, cc-fpr, tdma
 nodes        = 4, 8       # trailing comment
 utilisations = 0.3, 0.85
 mixes        = periodic, mixed, saturation
+planners     = off, on
 seeds        = 7, 11
 repetitions  = 3
 slots        = 1234
@@ -74,6 +79,7 @@ base_seed = 99
   EXPECT_EQ(spec.node_counts, (std::vector<NodeId>{4, 8}));
   EXPECT_EQ(spec.utilisations, (std::vector<double>{0.3, 0.85}));
   EXPECT_EQ(spec.mixes.size(), 3u);
+  EXPECT_EQ(spec.planners, (std::vector<bool>{false, true}));
   EXPECT_EQ(spec.set_seeds, (std::vector<std::uint64_t>{7, 11}));
   EXPECT_EQ(spec.repetitions, 3);
   EXPECT_EQ(spec.slots, 1234);

@@ -1,0 +1,203 @@
+// Sweep-level hypercycle-planner contract (E23 methodology):
+//
+//  * the `planners` axis is EXCLUDED from workload_key -- planner-on and
+//    planner-off cells offer bit-identical traffic, so the sweep is a
+//    paired comparison of engines, never of workloads;
+//  * wherever the plan is NOT in effect (fault and churn cells attach
+//    hooks before any connection opens, so no plan ever builds) the
+//    planner-on report is byte-identical to planner-off, planner
+//    counters included;
+//  * where the plan IS in effect (fault-free fully-periodic cells) the
+//    planner counters light up, admission is unchanged at sub-U_max
+//    load, and the planned schedule keeps zero deadline misses -- it may
+//    pack grants differently (that is the point), so only the guarantees
+//    are gated, not the byte-level schedule;
+//  * the whole report stays byte-identical across engine strategy
+//    (fast-forward vs slot-by-slot) and worker-thread count.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
+
+namespace ccredf::sweep {
+namespace {
+
+bool is_planner_metric(Metric m) {
+  return m == Metric::kPlannedSlotFraction || m == Metric::kPlanBuilds ||
+         m == Metric::kPlanDivergences;
+}
+
+// Hexfloat serialization of a point's aggregated metrics: equality of
+// these strings is bitwise equality of the statistics.
+std::string stats_fingerprint(const PointResult& pr,
+                              bool include_planner_metrics) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const auto m = static_cast<Metric>(i);
+    if (!include_planner_metrics && is_planner_metric(m)) continue;
+    const sim::OnlineStats& st = pr.stat(m);
+    os << metric_name(m) << ':' << st.count() << ',' << st.mean() << ','
+       << st.stddev() << ',' << st.min() << ',' << st.max() << ';';
+  }
+  return os.str();
+}
+
+// Identity of a point with the planner axis erased -- planner-on and
+// planner-off cells sharing this key are the paired comparison.
+std::string pair_key(const GridPoint& p) {
+  std::ostringstream os;
+  os << std::hexfloat << protocol_name(p.protocol) << '/' << p.nodes << '/'
+     << p.utilisation << '/' << p.ber << '/' << p.data_ber << '/' << p.churn
+     << '/' << mix_name(p.mix) << '/' << service_name(p.service) << '/'
+     << p.set_seed;
+  return os.str();
+}
+
+// Fault-free, fully periodic, one shared period: every planner-on cell
+// lays out an H = 32 hypercycle and runs it.
+GridSpec planned_grid() {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {4, 8};
+  spec.utilisations = {0.35};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.planners = {false, true};
+  spec.set_seeds = {5};
+  spec.repetitions = 2;
+  spec.slots = 600;
+  spec.min_period_slots = 32;
+  spec.max_period_slots = 32;
+  spec.base_seed = 3;
+  return spec;
+}
+
+// Fault and churn axes: hooks attach before the first open, so the
+// planner never engages and must be a byte-level no-op.
+GridSpec faulted_grid() {
+  GridSpec spec;
+  spec.protocols = {Protocol::kCcrEdf};
+  spec.node_counts = {6};
+  spec.utilisations = {0.4};
+  spec.bers = {1e-3};
+  spec.data_bers = {0.0, 2e-4};
+  spec.churns = {0.0, 20000.0};
+  spec.mixes = {WorkloadMix::kPeriodic};
+  spec.planners = {false, true};
+  spec.set_seeds = {5};
+  spec.repetitions = 2;
+  spec.slots = 400;
+  spec.frame_crc = true;
+  spec.payload_crc = true;
+  spec.base_seed = 3;
+  return spec;
+}
+
+TEST(SweepPlanner, PlannerAxisExcludedFromWorkloadKey) {
+  const GridSpec spec = planned_grid();
+  std::map<std::string, std::vector<std::uint64_t>> keys;
+  for (const GridPoint& p : spec.expand()) {
+    keys[pair_key(p)].push_back(workload_key(p));
+  }
+  for (const auto& [key, ks] : keys) {
+    ASSERT_EQ(ks.size(), 2u) << key;
+    EXPECT_EQ(ks[0], ks[1]) << "workload moved with the planner axis: "
+                            << key;
+  }
+}
+
+TEST(SweepPlanner, EngagedCellsKeepGuaranteesAndLightCounters) {
+  const SweepResult result = run_sweep(planned_grid(), {.threads = 1});
+  ASSERT_EQ(result.failed_shards, 0);
+  std::map<std::string, const PointResult*> off, on;
+  for (const PointResult& pr : result.points) {
+    (pr.point.planner ? on : off)[pair_key(pr.point)] = &pr;
+  }
+  ASSERT_EQ(off.size(), on.size());
+  ASSERT_FALSE(off.empty());
+  for (const auto& [key, pr_off] : off) {
+    const auto it = on.find(key);
+    ASSERT_NE(it, on.end()) << key;
+    const PointResult* pr_on = it->second;
+    // Sub-U_max load: admission is decided by Eq. 5/6 either way.
+    EXPECT_EQ(pr_off->mean(Metric::kAdmittedFraction),
+              pr_on->mean(Metric::kAdmittedFraction))
+        << key;
+    // The planned schedule is a feasibility PROOF: zero misses, and the
+    // CCR-EDF inversion-freedom guarantee survives the plan.
+    EXPECT_EQ(pr_on->mean(Metric::kSchedMissRatio), 0.0) << key;
+    EXPECT_EQ(pr_on->mean(Metric::kUserMisses), 0.0) << key;
+    EXPECT_EQ(pr_on->mean(Metric::kInversions), 0.0) << key;
+    // Same offered traffic, same horizon: throughput within the edge
+    // effect of differently-packed in-flight messages at the cutoff.
+    EXPECT_NEAR(pr_on->mean(Metric::kRtDelivered),
+                pr_off->mean(Metric::kRtDelivered),
+                0.01 * pr_off->mean(Metric::kRtDelivered))
+        << key;
+    // The plan actually ran on every repetition, and never diverged.
+    EXPECT_GT(pr_on->mean(Metric::kPlanBuilds), 0.0) << key;
+    EXPECT_GT(pr_on->stat(Metric::kPlannedSlotFraction).min(), 0.0) << key;
+    EXPECT_EQ(pr_on->mean(Metric::kPlanDivergences), 0.0) << key;
+    EXPECT_EQ(pr_off->mean(Metric::kPlanBuilds), 0.0) << key;
+    EXPECT_EQ(pr_off->mean(Metric::kPlannedSlotFraction), 0.0) << key;
+  }
+}
+
+TEST(SweepPlanner, FaultAndChurnCellsAreByteIdenticalPlannerOnOff) {
+  const SweepResult result = run_sweep(faulted_grid(), {.threads = 1});
+  ASSERT_EQ(result.failed_shards, 0);
+  std::map<std::string, const PointResult*> off, on;
+  for (const PointResult& pr : result.points) {
+    (pr.point.planner ? on : off)[pair_key(pr.point)] = &pr;
+  }
+  ASSERT_EQ(off.size(), on.size());
+  ASSERT_FALSE(off.empty());
+  for (const auto& [key, pr_off] : off) {
+    const auto it = on.find(key);
+    ASSERT_NE(it, on.end()) << key;
+    const PointResult* pr_on = it->second;
+    // Hooks attach before any open, so no plan ever builds: planner-on
+    // must be a byte-level no-op, planner counters included.
+    EXPECT_EQ(stats_fingerprint(*pr_off, true),
+              stats_fingerprint(*pr_on, true))
+        << "planner-on diverged on a fault/churn cell: " << key;
+    EXPECT_EQ(pr_on->mean(Metric::kPlanBuilds), 0.0) << key;
+    EXPECT_EQ(pr_on->mean(Metric::kPlannedSlotFraction), 0.0) << key;
+  }
+}
+
+TEST(SweepPlanner, ReportInvariantAcrossEngineAndThreads) {
+  GridSpec spec = planned_grid();
+  spec.fast_forward = true;
+  const std::string reference = to_json(run_sweep(spec, {.threads = 1}));
+  for (const bool fast_forward : {true, false}) {
+    for (const int threads : {1, 8}) {
+      if (fast_forward && threads == 1) continue;  // the reference run
+      spec.fast_forward = fast_forward;
+      EXPECT_EQ(reference, to_json(run_sweep(spec, {.threads = threads})))
+          << "report diverged at fast_forward="
+          << (fast_forward ? "on" : "off") << ", threads=" << threads;
+    }
+  }
+}
+
+TEST(SweepPlanner, GridFilePlannersKeyParses) {
+  GridSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_grid("planners = off, on\n", spec, error)) << error;
+  EXPECT_EQ(spec.planners, (std::vector<bool>{false, true}));
+  EXPECT_FALSE(parse_grid("planners = maybe\n", spec, error));
+  // Default single `off` keeps legacy grids' numbering untouched.
+  EXPECT_EQ(GridSpec{}.planners, (std::vector<bool>{false}));
+  EXPECT_FALSE(make_network_config(GridSpec{}, GridPoint{}).planner);
+  GridPoint p;
+  p.planner = true;
+  EXPECT_TRUE(make_network_config(GridSpec{}, p).planner);
+}
+
+}  // namespace
+}  // namespace ccredf::sweep

@@ -105,7 +105,16 @@ int main(int argc, char** argv) {
         sweep::Metric::kAdmittedFraction, sweep::Metric::kRtDelivered,
         sweep::Metric::kUserMissRatio,    sweep::Metric::kInversions,
         sweep::Metric::kMeanLatencyUs,    sweep::Metric::kGoodputBps};
-    sweep::to_table(result, cols, "sweep: " + grid_path).print(std::cout);
+    // The engine flags change how shards execute (never what they
+    // compute), so surface them in the header where a reader comparing
+    // two tables will see them first.
+    std::string title = "sweep: " + grid_path + "  [planner=";
+    for (std::size_t i = 0; i < spec.planners.size(); ++i) {
+      if (i > 0) title += ',';
+      title += spec.planners[i] ? "on" : "off";
+    }
+    title += spec.fast_forward ? " fast_forward=on]" : " fast_forward=off]";
+    sweep::to_table(result, cols, title).print(std::cout);
   }
 
   if (out_path.empty()) {
