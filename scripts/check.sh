@@ -65,6 +65,7 @@ run_bench bench_data_reliability ${QUICK}
 run_bench bench_cbs_fairness ${QUICK}
 run_bench bench_fault_churn ${QUICK}
 run_bench bench_hypercycle ${QUICK}
+run_bench bench_link_fault ${QUICK}
 
 # E21b's fairness floor, asserted through the same generic floor checker
 # as the throughput gate (bench/cbs_floors.json pins Jain >= 0.9).
@@ -178,6 +179,27 @@ python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/p1.json"
   --out "${TMPDIR_SWEEP}/p1_noff.json"
 cmp "${TMPDIR_SWEEP}/p1.json" "${TMPDIR_SWEEP}/p1_noff.json"
 echo "planner-grid reports byte-identical across thread counts and" \
+     "fast-forward modes"
+
+# Same two gates over the link-fault grid: the severed-segment cycle
+# (cut detection, degraded-mode anchoring, segment quarantine, staged
+# splice healing) crosses an engine hand-off that forces slot-by-slot
+# execution exactly at the cut and splice instants -- the reports must
+# still be thread-count deterministic AND byte-identical between the
+# fast-forward and slot-by-slot engines.
+if [[ "${HW_THREADS}" -gt 1 ]]; then
+  echo "==== link-fault-grid determinism (1 vs 8 threads) ===="
+else
+  echo "==== link-fault-grid determinism (byte-equality gate) ===="
+fi
+"${SWEEP}" tools/grids/link_fault_smoke.grid --threads 1 --out "${TMPDIR_SWEEP}/l1.json"
+"${SWEEP}" tools/grids/link_fault_smoke.grid --threads 8 --out "${TMPDIR_SWEEP}/l8.json"
+cmp "${TMPDIR_SWEEP}/l1.json" "${TMPDIR_SWEEP}/l8.json"
+python3 scripts/validate_bench_json.py "${TMPDIR_SWEEP}/l1.json"
+"${SWEEP}" tools/grids/link_fault_smoke.grid --threads 1 --no-fast-forward \
+  --out "${TMPDIR_SWEEP}/l1_noff.json"
+cmp "${TMPDIR_SWEEP}/l1.json" "${TMPDIR_SWEEP}/l1_noff.json"
+echo "link-fault-grid reports byte-identical across thread counts and" \
      "fast-forward modes"
 
 echo "==== check.sh: all green ===="

@@ -210,6 +210,95 @@ def validate_fault_churn(path, metrics):
     return True
 
 
+def validate_link_fault(path, metrics):
+    """E24 acceptance gates, re-checked at validation time.
+
+    Same rationale as the other per-bench validators: the bench exits
+    non-zero on a failed gate, but a stale or hand-edited JSON must not
+    green past CI.  Re-asserted: the containment invariant (connections
+    whose segments avoid the severed link miss nothing across the full
+    cut -> detect -> quarantine -> splice -> re-admit cycle), the
+    in-protocol detection bound (at most 2 slots per cut: the absorbing
+    collection plus at most one mid-slot carry), reclamation exactness,
+    the ordered-pair capacity derate and its restoration on splice, a
+    quarantine cycle that actually staged re-admissions, ring-dark
+    parking under a double cut that healed and delivered, and all three
+    determinism gates (thread count, fast-forward, planner no-op).
+    """
+    required = (
+        "disjoint_connections",
+        "disjoint_user_misses",
+        "link_cuts",
+        "cut_detect_slots",
+        "segment_downs",
+        "segment_quarantines",
+        "reclaim_error",
+        "capacity_while_severed",
+        "capacity_after_splice",
+        "readmissions",
+        "ring_dark_slots",
+        "delivered_after_heal",
+        "threads_json_identical",
+        "ff_json_identical",
+        "planner_json_identical",
+    )
+    for key in required:
+        value = metrics.get(key)
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            return fail(path, f"link_fault needs numeric `{key}`")
+    if metrics["disjoint_connections"] <= 0:
+        return fail(path, "no cut-disjoint connections: gate tested nothing")
+    if metrics["disjoint_user_misses"] != 0:
+        return fail(
+            path,
+            f"{metrics['disjoint_user_misses']:.0f} user misses on "
+            "connections whose segments avoid the severed link",
+        )
+    if metrics["link_cuts"] <= 0:
+        return fail(path, "the severed-segment cycle never cut a link")
+    if not (
+        1 <= metrics["cut_detect_slots"] <= 2 * metrics["link_cuts"]
+    ):
+        return fail(
+            path,
+            f"detection took {metrics['cut_detect_slots']:.0f} slots for "
+            f"{metrics['link_cuts']:.0f} cut(s): outside the in-protocol "
+            "1..2-per-cut bound",
+        )
+    if metrics["segment_downs"] <= 0 or metrics["segment_quarantines"] <= 0:
+        return fail(path, "the cut never triggered a segment quarantine")
+    if metrics["reclaim_error"] > 1e-9:
+        return fail(
+            path,
+            "segment-quarantine released weight diverges from the "
+            f"utilisation drop by {metrics['reclaim_error']}",
+        )
+    if metrics["capacity_while_severed"] >= metrics["capacity_after_splice"]:
+        return fail(
+            path,
+            "capacity factor did not derate under the cut "
+            f"({metrics['capacity_while_severed']} vs "
+            f"{metrics['capacity_after_splice']} after splice)",
+        )
+    if metrics["capacity_after_splice"] != 1:
+        return fail(path, "splice did not restore the full capacity factor")
+    if metrics["readmissions"] <= 0:
+        return fail(path, "splice staged no re-admissions")
+    if metrics["ring_dark_slots"] <= 0:
+        return fail(path, "the double cut never parked the ring dark")
+    if metrics["delivered_after_heal"] <= 0:
+        return fail(path, "nothing delivered after the ring-dark heal")
+    if metrics["threads_json_identical"] != 1:
+        return fail(path, "link-cut sweep not thread-count deterministic")
+    if metrics["ff_json_identical"] != 1:
+        return fail(path, "link-cut sweep not fast-forward invariant")
+    if metrics["planner_json_identical"] != 1:
+        return fail(
+            path, "planner divergence fallback not thread-count deterministic"
+        )
+    return True
+
+
 def validate_hypercycle(path, metrics):
     """E23 acceptance gates, re-checked at validation time.
 
@@ -344,6 +433,8 @@ def validate(path):
         return validate_fault_churn(path, doc["metrics"])
     if doc["bench"] == "hypercycle":
         return validate_hypercycle(path, doc["metrics"])
+    if doc["bench"] == "link_fault":
+        return validate_link_fault(path, doc["metrics"])
     return True
 
 

@@ -75,6 +75,39 @@ class FaultInjector final : public net::FaultHook {
   /// Restore node `id` at simulated time `at` (no-op if healthy).
   void schedule_node_restore(NodeId id, sim::TimePoint at);
 
+  // -- severed segments (hard link cuts) ------------------------------------
+  //
+  // Same idempotence contract as the fail/restore pair: `Network::cut_link`
+  // on an already-severed link and `Network::splice_link` on an intact one
+  // are no-ops, and same-timestamp events fire in scheduling order (FIFO
+  // across kinds -- a link event scheduled before a node event at the same
+  // timestamp takes effect first).
+  /// Sever link `l` (node l -> node l+1) at simulated time `at`.
+  void schedule_link_cut(LinkId l, sim::TimePoint at);
+  /// Splice (repair) link `l` at simulated time `at`.
+  void schedule_link_splice(LinkId l, sim::TimePoint at);
+
+  /// One entry of the merged fault-event schedule (node AND link events).
+  struct FaultEvent {
+    enum class Kind : std::uint8_t {
+      kNodeFail,
+      kNodeRestore,
+      kLinkCut,
+      kLinkSplice,
+    };
+    sim::TimePoint at;
+    std::uint64_t seq = 0;  // global scheduling order (FIFO tie-break)
+    Kind kind = Kind::kNodeFail;
+    NodeId id = 0;  // node index, or link index for cut/splice
+  };
+  /// Merged, timestamp-sorted view of every scheduled node and link
+  /// event.  Same-timestamp entries keep their scheduling order (the
+  /// FIFO tie-break the simulator's event queue applies), so the view
+  /// predicts exactly the order the events will fire in -- the contract
+  /// ResilienceHook::next_deadline_slot needs when a link event precedes
+  /// a node event in the same slot.
+  [[nodiscard]] std::vector<FaultEvent> scheduled_events() const;
+
   // -- control-channel bit errors -----------------------------------------
   /// Uniform bit-error rate on every link of the ring.
   void set_control_ber(double ber);
@@ -167,6 +200,9 @@ class FaultInjector final : public net::FaultHook {
 
   NodeId babbler_ = kInvalidNode;
   double babble_p_ = 0.0;
+
+  std::vector<FaultEvent> events_;  // scheduling order (seq ascending)
+  std::uint64_t next_event_seq_ = 0;
 
   std::int64_t injected_ = 0;
   std::int64_t bits_flipped_ = 0;

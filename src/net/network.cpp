@@ -422,6 +422,53 @@ bool Network::restore_node(NodeId id) {
   return true;
 }
 
+bool Network::cut_link(LinkId l) {
+  CCREDF_EXPECT(l < nodes(), "Network: link out of range");
+  // Idempotence contract (fault/injector.hpp): cutting an already-
+  // severed link -- which overlapping link-fault schedules produce
+  // naturally -- must not re-count the cut or restart detection.
+  if (severed_.contains(l)) return false;
+  mark_plan_diverged();  // the plan's grant layout assumed an intact ring
+  severed_.insert(l);
+  ++stats_.faults.link_cuts;
+  if (!cut_detect_pending_) {
+    // The next collection phase classifies the loss pattern (its heard
+    // evidence truncates at the severed hop) -- that slot books the
+    // in-protocol detection latency.
+    cut_detect_pending_ = true;
+    cut_detect_from_ = slot_;
+  }
+  trace_.emit(sim_.now(), sim::TraceCategory::kFault, [l] {
+    return "link " + std::to_string(l) + " severed";
+  });
+  return true;
+}
+
+bool Network::splice_link(LinkId l) {
+  if (!severed_.contains(l)) return false;  // splice-of-intact: no-op
+  mark_plan_diverged();  // healing changes the feasible grant set too
+  severed_.erase(l);
+  trace_.emit(sim_.now(), sim::TraceCategory::kFault, [l] {
+    return "link " + std::to_string(l) + " spliced";
+  });
+  return true;
+}
+
+NodeId Network::degraded_anchor() const {
+  if (severed_.size() != 1) return kInvalidNode;
+  // The first live node downstream of the cut: anchored there, the
+  // clock-break link coincides with the severed link (any failed nodes
+  // skipped over sit between the cut and the anchor, where no record
+  // travels anyway).
+  NodeId anchor = topo_.downstream(severed_.lowest());
+  NodeId tried = 0;
+  while (tried < nodes() && soa_.failed.contains(anchor)) {
+    anchor = topo_.downstream(anchor);
+    ++tried;
+  }
+  return tried == nodes() ? kInvalidNode : anchor;
+}
+
 std::vector<Network::OpenConnectionInfo> Network::connections_of(
     NodeId src) const {
   std::vector<OpenConnectionInfo> out;
@@ -457,6 +504,13 @@ void Network::execute_grants(SlotRecord& rec, sim::TimePoint slot_end) {
     Node& src = nodes_[g];
     if (!soa_.bound.contains(g) || src.failed() ||
         !src.queues().contains(soa_.bind_msg[g])) {
+      ++stats_.wasted_grants;
+      continue;
+    }
+    if (!severed_.empty() && soa_.bind_links[g].intersects(severed_)) {
+      // The link was cut between arbitration and transmission: the data
+      // packet dies at the severed hop, so the grant is voided and the
+      // message stays queued (quarantine resolves its fate).
       ++stats_.wasted_grants;
       continue;
     }
@@ -549,6 +603,28 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
   requesters_ = NodeSet{};
   soa_.bound = NodeSet{};
 
+  // Severed-segment truncation (PROTOCOL.md section 7.5): the collection
+  // packet dies at the first severed link in collection order, so the
+  // master samples (and hears) only the contiguous prefix of nodes up to
+  // and including the cut's upstream endpoint -- the packet dies LEAVING
+  // that node.  With the single-cut master re-anchored at the cut's
+  // downstream endpoint, the first severed link is the break link itself
+  // and the prefix covers the whole ring.
+  NodeId reach = static_cast<NodeId>(nodes() - 1);
+  if (!severed_.empty()) {
+    for (const NodeId l : severed_) {
+      reach = std::min(reach, topo_.hops(master_, l));
+    }
+    if (cut_detect_pending_) {
+      // First collection under the cut: the truncated heard prefix is
+      // the classified loss pattern (contiguous downstream suffix
+      // unheard while its nodes are alive -- unlike a node death's
+      // isolated gap).  Book the in-protocol detection latency.
+      stats_.faults.cut_detect_slots += slot_ - cut_detect_from_ + 1;
+      cut_detect_pending_ = false;
+    }
+  }
+
   const sim::Duration* off =
       &sample_off_[static_cast<std::size_t>(master_) * nodes()];
   const auto bind = [&](NodeId j, const core::Message& m,
@@ -564,6 +640,13 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
       soa_.bind_links[j] = seg.links();
       soa_.bind_dests[j] = m.dests;
       soa_.bind_conn[j] = m.connection;
+    }
+    if (!severed_.empty() && soa_.bind_links[j].intersects(severed_)) {
+      // Degraded-mode candidate mask: the transfer's segment crosses a
+      // severed link, so the arbiter never sees it (the node still
+      // writes its idle record and stays heard; the message stays
+      // queued -- quarantine, not arbitration, resolves its fate).
+      return;
     }
     reqs[j].priority = priority_of(m, sample);
     reqs[j].links = soa_.bind_links[j];
@@ -583,9 +666,18 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
     // offset, and no event interleaves.  Every live node's record --
     // request or idle -- reaches the master untouched: the failed set
     // cannot change mid-window (no event), so the heard evidence is one
-    // mask expression.
-    rec_.heard = topo_.all_nodes() & ~soa_.failed;
-    const NodeSet candidates = soa_.queued & ~soa_.failed;
+    // mask expression.  Under a severed segment the same expression is
+    // intersected with the reachable prefix (an arc mask, built only on
+    // degraded slots).
+    NodeSet reached = topo_.all_nodes();
+    if (reach + 1 < nodes()) {
+      reached = NodeSet{};
+      for (NodeId h = 0; h <= reach; ++h) {
+        reached.insert(topo_.downstream(master_, h));
+      }
+    }
+    rec_.heard = reached & ~soa_.failed;
+    const NodeSet candidates = soa_.queued & ~soa_.failed & reached;
     for (const NodeId j : candidates) {
       const sim::TimePoint sample = slot_start_ + off[j];
       const core::Message* m = nodes_[j].queues().head(sample);
@@ -596,7 +688,7 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
     return;
   }
 
-  for (NodeId h = 0; h < nodes(); ++h) {
+  for (NodeId h = 0; h <= reach; ++h) {
     const NodeId j = topo_.downstream(master_, h);
     // The collection packet reaches node j after propagating h hops and
     // being delayed in each intermediate node (t_node of Eq. 2).
@@ -659,6 +751,11 @@ void Network::collect_requests(std::vector<core::Request>& reqs) {
         break;
     }
   }
+  // When the walk was truncated by a severed link the engine still burns
+  // the full sampling window -- the dead packet does not shorten the
+  // slot.  A no-op for full walks (hop N-1's run_until already landed
+  // exactly here).
+  sim_.run_until(last_sample);
 }
 
 void Network::step_slot() {
@@ -884,6 +981,32 @@ void Network::step_slot() {
   } else {
     gap = protocol_->gap(master_, plan.next_master);
   }
+  if (!severed_.empty()) {
+    if (severed_.size() >= 2) {
+      // Two or more cuts partition the ring: no single surviving
+      // orientation exists, so the ring parks dark exactly like the
+      // all-failed token-loss case -- grants voided, clock parked at the
+      // designated restarter, resuming the moment splices bring the cut
+      // count back to one or zero.
+      ++stats_.faults.ring_dark;
+      plan.granted = NodeSet{};
+      soa_.bound = NodeSet{};
+      if (!token_lost) {
+        plan.next_master = cfg_.designated_restarter;
+        gap = protocol_->gap(master_, plan.next_master);
+      }
+    } else {
+      // Single cut: master succession re-anchors at the cut's downstream
+      // endpoint so the collection path never traverses the severed
+      // segment (the break link coincides with the cut).
+      const NodeId anchor = degraded_anchor();
+      if (anchor != kInvalidNode && plan.next_master != anchor &&
+          !token_lost) {
+        plan.next_master = anchor;
+        gap = protocol_->gap(master_, anchor);
+      }
+    }
+  }
   stats_.faults.payload_nacks += rec.nacks.size();
 
   rec.gap_after = gap;
@@ -930,6 +1053,19 @@ std::int64_t Network::try_fast_forward(std::int64_t max_slots) {
   if (!current_granted_.empty()) return 0;
   if (!pending_acks_.empty() || !pending_nacks_.empty()) return 0;
   if (soa_.failed.contains(master_)) return 0;
+  // A severed ring is skippable only once it has settled into the stable
+  // degraded orbit: exactly one cut with the master parked at the cut's
+  // downstream anchor (the break link coincides with the cut, so an idle
+  // slot keeps the master and hears everyone -- the same fixed point as
+  // the intact ring).  Multi-cut dark slots and un-anchored slots mutate
+  // state (ring_dark, succession) and must be simulated.
+  if (!severed_.empty() &&
+      (severed_.size() != 1 || master_ != degraded_anchor())) {
+    return 0;
+  }
+  // The first collection under a fresh cut books the detection latency;
+  // that slot must run for real.
+  if (cut_detect_pending_) return 0;
 
   const sim::Duration t_slot = timing_->slot();
   const sim::Duration g = protocol_->gap(master_, master_);
@@ -1004,8 +1140,8 @@ std::int64_t Network::try_fast_forward(std::int64_t max_slots) {
 bool Network::can_plan_admit() const {
   return planner_ != nullptr && protocol_->supports_planning() &&
          fault_hook_ == nullptr && resilience_ == nullptr && cbs_.empty() &&
-         soa_.failed.empty() && current_granted_.empty() &&
-         soa_.queued.empty();
+         soa_.failed.empty() && severed_.empty() &&
+         current_granted_.empty() && soa_.queued.empty();
 }
 
 void Network::rebuild_plan() {
@@ -1017,6 +1153,9 @@ void Network::rebuild_plan() {
   if (planner_ == nullptr || !protocol_->supports_planning()) return;
   if (fault_hook_ != nullptr || resilience_ != nullptr) return;
   if (!cbs_.empty() || !soa_.failed.empty()) return;
+  // The planner's grant layout assumes an intact ring; a severed segment
+  // keeps the engine on slot-by-slot TCMA until spliced whole.
+  if (!severed_.empty()) return;
   // A plan anchors on a clean slot boundary: no grant in flight, no
   // message already queued (the plan's feasibility sim assumes every
   // job is released by its nominal instant and none earlier).

@@ -304,6 +304,30 @@ class Network {
   /// Idempotent: restoring a healthy node is a no-op, returns false.
   bool restore_node(NodeId id);
 
+  /// Hard severed-segment fault: link `l` (node l to its downstream
+  /// neighbour) carries nothing -- control, data or clock -- until
+  /// spliced.  The collection packet dies at the severed hop, so the
+  /// master's heard evidence truncates to the contiguous reachable
+  /// prefix (a loss pattern distinguishable from a single node death),
+  /// transfers whose segment crosses the cut are masked out of
+  /// arbitration, and with a single cut the master re-anchors to the
+  /// cut's downstream endpoint, where the clock-break link coincides
+  /// with the severed link and every surviving node stays heard.  Two or
+  /// more simultaneous cuts partition the ring: it parks dark (counted
+  /// in FaultStats::ring_dark) until splices bring it back to <= 1.
+  /// Idempotent: cutting a severed link is a no-op, returns false.
+  bool cut_link(LinkId l);
+  /// Repairs a severed link.  Idempotent: splicing an intact link is a
+  /// no-op, returns false.
+  bool splice_link(LinkId l);
+  /// Currently severed links (empty on a healthy ring).
+  [[nodiscard]] LinkSet severed_links() const { return severed_; }
+  /// The master position degraded mode re-anchors to: the first live
+  /// node downstream of the single severed link (its clock-break link
+  /// is then the cut itself).  kInvalidNode when the ring is intact,
+  /// dark (>= 2 cuts) or has no live node downstream of the cut.
+  [[nodiscard]] NodeId degraded_anchor() const;
+
   /// Open hard-RT connections sourced at `src`, sorted by id.  The
   /// sorted order matters: quarantine (services::ResilienceMonitor)
   /// enumerates these to close them, and every downstream admission id
@@ -518,6 +542,14 @@ class Network {
   std::vector<SlotObserver> observers_;
   FaultHook* fault_hook_ = nullptr;
   ResilienceHook* resilience_ = nullptr;
+
+  // Severed-segment state (empty/false on a healthy ring).
+  LinkSet severed_;
+  /// A cut landed and no collection phase has run under it yet: the
+  /// next simulated slot's collection classifies the loss pattern and
+  /// books the in-protocol detection latency.
+  bool cut_detect_pending_ = false;
+  SlotIndex cut_detect_from_ = 0;
 
   // Slot-engine state.
   SlotIndex slot_ = 0;

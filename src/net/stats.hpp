@@ -131,6 +131,20 @@ struct FaultStats {
   /// admission capacity factor (services::AdmissionAgent).
   std::int64_t admission_renegotiations = 0;
 
+  // -- severed-segment (hard link cut) axis -------------------------------
+  /// Hard link cuts applied (Network::cut_link transitions; splices are
+  /// the complementary transition and are not separately counted).
+  std::int64_t link_cuts = 0;
+  /// Connections and CBS servers closed by a segment-down quarantine
+  /// (services::ResilienceMonitor's third quarantine kind: the source is
+  /// alive but the transfer's segment crosses a severed link).
+  std::int64_t segment_quarantines = 0;
+  /// Summed in-protocol detection latency, in slots: for every cut, the
+  /// distance from the cut event to the first slot whose collection
+  /// phase ran with the cut in effect (the slot whose truncated heard
+  /// evidence classifies the loss pattern).
+  std::int64_t cut_detect_slots = 0;
+
   /// Corruptions the receivers caught before acting on them.
   [[nodiscard]] std::int64_t detected() const {
     return collection_detected + distribution_detected +

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "ring/segment.hpp"
+
 namespace ccredf::services {
 
 ResilienceMonitor::ResilienceMonitor(net::Network& net,
@@ -41,8 +43,25 @@ ConnectionId ResilienceMonitor::current_incarnation(ConnectionId id) const {
 
 void ResilienceMonitor::on_slot_end(const net::SlotRecord& rec) {
   const SlotIndex s = rec.index;
+  if (net_.severed_links() != severed_seen_) sync_severed(s);
   for (NodeId j : rec.heard) heard_node(j, s);
-  const NodeSet unheard = net_.topology().all_nodes() & ~rec.heard;
+  NodeSet unheard = net_.topology().all_nodes() & ~rec.heard;
+  if (!severed_seen_.empty() && !rec.heard.empty()) {
+    // Degraded collection truncates at the first severed link in
+    // collection order: nodes beyond it wrote no record REGARDLESS of
+    // health, so their silence is not evidence.  The contiguous
+    // unreachable suffix is excused rather than suspected -- this is
+    // what distinguishes the cut's classified loss pattern from a node
+    // death's isolated gap.
+    const auto& topo = net_.topology();
+    NodeId reach = static_cast<NodeId>(net_.nodes() - 1);
+    for (const NodeId l : severed_seen_) {
+      reach = std::min(reach, topo.hops(rec.master, l));
+    }
+    for (NodeId h = reach + 1; h < net_.nodes(); ++h) {
+      unheard.erase(topo.downstream(rec.master, h));
+    }
+  }
   for (NodeId j : unheard) {
     Tracked& t = tracked_[j];
     if (t.state == NodeState::kDown) continue;
@@ -75,6 +94,14 @@ void ResilienceMonitor::on_fast_forward(SlotIndex first, std::int64_t k,
 
 SlotIndex ResilienceMonitor::next_deadline_slot(SlotIndex from,
                                                 SlotIndex limit) {
+  if (net_.severed_links() != severed_seen_) {
+    // A cut or splice the monitor has not acted on yet: the very next
+    // slot performs the quarantine / renegotiation, so nothing may be
+    // skipped over it.  (Scheduled link events inside the window bound
+    // the skip via the simulator's event queue; this guard covers the
+    // hand-off slot itself.)
+    return from;
+  }
   SlotIndex bound = limit;
   const NodeSet failed = net_.failed_nodes();
   for (NodeId j = 0; j < net_.nodes(); ++j) {
@@ -97,6 +124,16 @@ SlotIndex ResilienceMonitor::next_deadline_slot(SlotIndex from,
     // happen on upcoming slots; simulate them (the queue empties in
     // bounded time, so this cannot pin the engine permanently).
     for (const PendingReadmit& p : queue_) {
+      if (p.segment) {
+        // Segment entries drain once their links are spliced (and the
+        // source is not separately down); until then they are inert and
+        // cannot pin the engine to slot-by-slot execution.
+        if (!p.cut_links.intersects(severed_seen_) &&
+            tracked_[p.node].state != NodeState::kDown) {
+          return from;
+        }
+        continue;
+      }
       if (tracked_[p.node].state != NodeState::kDown) return from;
     }
   }
@@ -153,6 +190,105 @@ void ResilienceMonitor::declare_down(NodeId j, SlotIndex s) {
   if (err > stats_.reclaim_error) stats_.reclaim_error = err;
 }
 
+void ResilienceMonitor::sync_severed(SlotIndex s) {
+  const LinkSet severed = net_.severed_links();
+  const bool fresh_cut = !(severed & ~severed_seen_).empty();
+  severed_seen_ = severed;
+  // Order matters: quarantine releases weight against the OLD capacity,
+  // then the renegotiation derates the bound -- the reclaim-exactness
+  // invariant is measured before the bound moves.
+  if (fresh_cut) quarantine_segment(s);
+  renegotiate_capacity();
+}
+
+void ResilienceMonitor::quarantine_segment(SlotIndex s) {
+  ++stats_.segment_downs;
+  const double u_before = net_.admission().utilisation();
+  double released = 0.0;
+  const auto& topo = net_.topology();
+  // Deterministic closure order: sources ascending, each source's
+  // connections then CBS servers in id order (both accessors sort) --
+  // identical at any sweep thread count.
+  for (NodeId j = 0; j < net_.nodes(); ++j) {
+    for (const auto& c : net_.connections_of(j)) {
+      const auto links =
+          ring::Segment::for_transmission(topo, j, c.params.dests).links();
+      if (!links.intersects(severed_seen_)) continue;
+      released += net_.admission().weight(c.params);
+      net_.close_connection(c.id);
+      ++stats_.segment_quarantines;
+      ++net_.mutable_stats().faults.segment_quarantines;
+      incarnation_[c.id] = kNoConnection;
+      PendingReadmit p;
+      p.node = j;
+      p.is_cbs = false;
+      p.rt = c.params;
+      p.former_id = c.id;
+      p.eligible = s;
+      p.segment = true;
+      p.cut_links = links & severed_seen_;
+      queue_.push_back(std::move(p));
+    }
+    for (const auto& srv : net_.cbs_servers_of(j)) {
+      const auto links =
+          ring::Segment::for_transmission(topo, j, srv.params.dests).links();
+      if (!links.intersects(severed_seen_)) continue;
+      released += net_.admission().weight(srv.params.admission_params());
+      net_.close_cbs_server(srv.id);
+      ++stats_.segment_quarantines;
+      ++net_.mutable_stats().faults.segment_quarantines;
+      incarnation_[srv.id] = kNoConnection;
+      PendingReadmit p;
+      p.node = j;
+      p.is_cbs = true;
+      p.cbs = srv.params;
+      p.former_id = srv.id;
+      p.eligible = s;
+      p.segment = true;
+      p.cut_links = links & severed_seen_;
+      queue_.push_back(std::move(p));
+    }
+  }
+  stats_.weight_reclaimed += released;
+  const double err =
+      std::abs((u_before - net_.admission().utilisation()) - released);
+  if (err > stats_.reclaim_error) stats_.reclaim_error = err;
+}
+
+void ResilienceMonitor::renegotiate_capacity() {
+  // Derate Eq. 6 to the surviving-region capacity: the fraction of
+  // ordered (src, dst) pairs whose arc avoids every severed link.
+  // Closed form for any single cut on any ring size: exactly 0.5 (for
+  // each source at h hops before the cut, precisely h of its n-1
+  // destinations stay reachable; h sweeps 0..n-1 over the sources).
+  double f = 1.0;
+  if (!severed_seen_.empty()) {
+    const auto& topo = net_.topology();
+    const NodeId n = net_.nodes();
+    std::int64_t ok = 0;
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        if (a == b) continue;
+        bool crosses = false;
+        for (const NodeId l : severed_seen_) {
+          // The arc a -> b rides the links of nodes at hops 0..hops-1.
+          if (topo.hops(a, l) < topo.hops(a, b)) {
+            crosses = true;
+            break;
+          }
+        }
+        if (!crosses) ++ok;
+      }
+    }
+    f = static_cast<double>(ok) /
+        static_cast<double>(std::int64_t{n} * (n - 1));
+  }
+  if (f == capacity_factor_) return;
+  capacity_factor_ = f;
+  ++net_.mutable_stats().faults.admission_renegotiations;
+  net_.admission().set_capacity_factor(f);
+}
+
 std::int64_t ResilienceMonitor::tokens_at(SlotIndex s) const {
   const std::int64_t refills = (s - anchor_) / params_.readmit_interval_slots;
   return std::min<std::int64_t>(params_.readmit_burst, tokens_ + refills);
@@ -164,10 +300,12 @@ void ResilienceMonitor::drain_readmissions(SlotIndex s) {
   bool spent = false;
   for (auto it = queue_.begin(); it != queue_.end() && avail > 0;) {
     PendingReadmit& p = *it;
-    // Entries stay parked while their node is down or backing off; the
-    // queue is scanned front-to-back so the oldest eligible entry wins
-    // the token (FIFO fairness within the staging).
-    if (tracked_[p.node].state == NodeState::kDown || s < p.eligible) {
+    // Entries stay parked while their node is down, their cut links
+    // unspliced (segment entries) or their back-off running; the queue
+    // is scanned front-to-back so the oldest eligible entry wins the
+    // token (FIFO fairness within the staging).
+    if (tracked_[p.node].state == NodeState::kDown || s < p.eligible ||
+        (p.segment && p.cut_links.intersects(severed_seen_))) {
       ++it;
       continue;
     }

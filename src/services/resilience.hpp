@@ -27,6 +27,17 @@
 // never reuses ids); current_incarnation() maps a quarantined id to its
 // live successor.
 //
+// Severed segments (third quarantine kind, *segment-down*): a hard link
+// cut truncates the collection packet, so the master hears a contiguous
+// unreachable suffix go silent -- a loss pattern the monitor excuses
+// from the per-node miss accounting (the nodes are alive; only the path
+// died).  Instead it adopts the network's severed-link view, closes
+// exactly the cut-crossing connections/CBS servers (same teardown and
+// reclaim-exactness invariant as a node quarantine), derates the
+// admission capacity to the surviving-region pair fraction (0.5 for any
+// single cut), and parks the closed entries until their links are
+// spliced -- then the same token bucket stages their re-admission.
+//
 // Determinism: the monitor is a net::ResilienceHook, not a SlotObserver,
 // so the engine's idle fast-forward stays enabled.  next_deadline_slot()
 // bounds every skip at the earliest slot where a suspect/down transition
@@ -101,6 +112,13 @@ struct ResilienceStats {
   double weight_reclaimed = 0.0;
   /// Weight successfully re-admitted from the queue.
   double weight_readmitted = 0.0;
+  /// Segment-down events acted on (each fresh-cut observation, however
+  /// many transfers it closed).
+  std::int64_t segment_downs = 0;
+  /// Connections + CBS servers closed by segment-down quarantines (the
+  /// third quarantine kind: the source is alive but the transfer's
+  /// segment crosses a severed link).
+  std::int64_t segment_quarantines = 0;
   /// Re-admission attempts charged against the token bucket.
   std::int64_t readmit_attempts = 0;
   /// ... of which the admission test accepted.
@@ -175,10 +193,20 @@ class ResilienceMonitor final : public net::ResilienceHook {
     SlotIndex eligible = 0;
     /// Consecutive rejections (exponential back-off exponent).
     std::int64_t rejections = 0;
+    /// Segment-down entry: parked until every link in `cut_links` is
+    /// spliced (instead of until its node reappears).
+    bool segment = false;
+    LinkSet cut_links;
   };
 
   void heard_node(NodeId j, SlotIndex s);
   void declare_down(NodeId j, SlotIndex s);
+  /// Adopts the network's severed-link view: a fresh cut quarantines
+  /// every cut-crossing transfer, and any change renegotiates the
+  /// admission capacity to the surviving-region fraction.
+  void sync_severed(SlotIndex s);
+  void quarantine_segment(SlotIndex s);
+  void renegotiate_capacity();
   void drain_readmissions(SlotIndex s);
   [[nodiscard]] std::int64_t tokens_at(SlotIndex s) const;
 
@@ -195,6 +223,12 @@ class ResilienceMonitor final : public net::ResilienceHook {
   // fast-forward): tokens_ held at slot anchor_, refilled on demand.
   SlotIndex anchor_ = 0;
   std::int64_t tokens_ = 0;
+  /// The severed-link view the monitor has acted on; a mismatch with the
+  /// network's live view forces slot-by-slot execution until synced
+  /// (next_deadline_slot), making the cut hand-off byte-deterministic
+  /// through fast-forward.
+  LinkSet severed_seen_;
+  double capacity_factor_ = 1.0;
 };
 
 }  // namespace ccredf::services

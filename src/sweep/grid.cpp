@@ -104,8 +104,9 @@ bool parse_service(const std::string& s, ServiceMix& out) {
 
 std::size_t GridSpec::point_count() const {
   return protocols.size() * node_counts.size() * utilisations.size() *
-         bers.size() * data_bers.size() * churns.size() * mixes.size() *
-         services.size() * planners.size() * set_seeds.size();
+         bers.size() * data_bers.size() * churns.size() *
+         link_cuts.size() * mixes.size() * services.size() *
+         planners.size() * set_seeds.size();
 }
 
 std::vector<GridPoint> GridSpec::expand() const {
@@ -118,23 +119,26 @@ std::vector<GridPoint> GridSpec::expand() const {
         for (const double ber : bers) {
           for (const double data_ber : data_bers) {
             for (const double churn : churns) {
-              for (const WorkloadMix mix : mixes) {
-                for (const ServiceMix service : services) {
-                  for (const bool planner : planners) {
-                    for (const std::uint64_t seed : set_seeds) {
-                      GridPoint p;
-                      p.index = index++;
-                      p.protocol = proto;
-                      p.nodes = nodes;
-                      p.utilisation = u;
-                      p.ber = ber;
-                      p.data_ber = data_ber;
-                      p.churn = churn;
-                      p.mix = mix;
-                      p.service = service;
-                      p.planner = planner;
-                      p.set_seed = seed;
-                      points.push_back(p);
+              for (const int cuts : link_cuts) {
+                for (const WorkloadMix mix : mixes) {
+                  for (const ServiceMix service : services) {
+                    for (const bool planner : planners) {
+                      for (const std::uint64_t seed : set_seeds) {
+                        GridPoint p;
+                        p.index = index++;
+                        p.protocol = proto;
+                        p.nodes = nodes;
+                        p.utilisation = u;
+                        p.ber = ber;
+                        p.data_ber = data_ber;
+                        p.churn = churn;
+                        p.link_cuts = cuts;
+                        p.mix = mix;
+                        p.service = service;
+                        p.planner = planner;
+                        p.set_seed = seed;
+                        points.push_back(p);
+                      }
                     }
                   }
                 }
@@ -175,6 +179,18 @@ std::string GridSpec::validate() const {
   for (const double c : churns) {
     if (!(c >= 0.0)) return "churn mean up-dwell must be >= 0";
   }
+  if (link_cuts.empty()) return "link_cuts axis is empty";
+  for (const int c : link_cuts) {
+    if (c < 0) return "link_cuts must be >= 0";
+    // A point cannot cut more links than the smallest ring has.
+    for (const NodeId n : node_counts) {
+      if (c >= static_cast<int>(n)) {
+        return "link_cuts must be < the smallest node count";
+      }
+    }
+  }
+  if (cut_slot < 0) return "cut_slot must be >= 0";
+  if (cut_down_slots < 1) return "cut_down_slots must be >= 1";
   if (planners.empty()) return "planners axis is empty";
   if (churn_nodes < 1) return "churn_nodes must be >= 1";
   if (!(churn_down_slots > 0.0)) return "churn_down_slots must be > 0";
@@ -214,7 +230,10 @@ std::uint64_t workload_key(const GridPoint& p) {
   // The churn axis is excluded likewise: churned and churn-free points
   // run the identical workload (the E22 containment gate compares
   // disjoint connections across churn levels), with dwells drawn from
-  // the "churn"-tagged stream family.  The planner axis is excluded
+  // the "churn"-tagged stream family.  The link_cuts axis is excluded
+  // for the same reason: the E24 containment gate compares cut-disjoint
+  // connections between cut and cut-free cells of the SAME workload,
+  // and the cut/splice instants are deterministic scalars, not draws.  The planner axis is excluded
   // too: planner-on and planner-off cells must offer the identical
   // traffic so the E23 gates compare engines, not workloads.
   std::uint64_t k = sim::Rng::stream_seed(p.set_seed, p.nodes,
@@ -403,6 +422,15 @@ bool parse_grid(const std::string& text, GridSpec& spec,
         }
         out.churns.push_back(c);
       }
+    } else if (key == "link_cuts") {
+      out.link_cuts.clear();
+      for (const auto& it : items) {
+        std::int64_t c;
+        if (!parse_i64(it, c) || c < 0) {
+          return fail("bad link_cuts `" + it + "`");
+        }
+        out.link_cuts.push_back(static_cast<int>(c));
+      }
     } else if (key == "mixes") {
       out.mixes.clear();
       for (const auto& it : items) {
@@ -491,6 +519,12 @@ bool parse_grid(const std::string& text, GridSpec& spec,
       } else if (key == "churn_detect_slots") {
         if (!parse_i64(it, i) || i < 2) return fail("bad churn_detect_slots");
         out.churn_detect_slots = i;
+      } else if (key == "cut_slot") {
+        if (!parse_i64(it, i) || i < 0) return fail("bad cut_slot");
+        out.cut_slot = i;
+      } else if (key == "cut_down_slots") {
+        if (!parse_i64(it, i) || i < 1) return fail("bad cut_down_slots");
+        out.cut_down_slots = i;
       } else if (key == "queue_cap") {
         if (!parse_i64(it, i) || i < 0) return fail("bad queue_cap");
         out.queue_cap = i;

@@ -89,6 +89,12 @@ struct GridPoint {
   /// 0 disables churn entirely.  The churned node set, repair time and
   /// detection window are per-run scalars (GridSpec).
   double churn = 0.0;
+  /// Severed-segment axis: number of hard link cuts applied at the
+  /// per-run `cut_slot` instant (the HIGHEST-numbered links first, so a
+  /// single cut severs link nodes-1 and the degraded anchor is node 0,
+  /// the designated restarter); 0 disables link faults entirely.  Cuts
+  /// are spliced after `cut_down_slots` slot extents.
+  int link_cuts = 0;
   WorkloadMix mix = WorkloadMix::kPeriodic;
   /// Service-class population riding beside the RT set.
   ServiceMix service = ServiceMix::kRtOnly;
@@ -114,6 +120,12 @@ struct GridSpec {
   /// sweep compares failure pressure on the SAME workload, and churn
   /// dwells draw from their own "churn"-tagged stream family.
   std::vector<double> churns{0.0};
+  /// Severed-segment axis (hard link cuts per point; 0 = intact ring).
+  /// Default single 0 keeps legacy grids' numbering untouched, and the
+  /// axis is EXCLUDED from workload_key like the other fault axes: a
+  /// link-fault sweep compares cut pressure on the SAME workload (the
+  /// E24 containment gate pairs cut and cut-free cells).
+  std::vector<int> link_cuts{0};
   std::vector<WorkloadMix> mixes{WorkloadMix::kPeriodic};
   /// Service-class axis; the default single rt-only keeps legacy grids'
   /// point numbering and shard seeds untouched.  EXCLUDED from
@@ -162,6 +174,12 @@ struct GridSpec {
   /// services::ResilienceParams::detection_window_slots for the monitor
   /// attached to churned points.
   std::int64_t churn_detect_slots = 16;
+  // -- severed-segment scenario (ignored on link_cuts == 0 points) -------
+  /// Slot index at which every cut of a point lands (between slots: the
+  /// injector schedules the events at that slot's nominal start).
+  std::int64_t cut_slot = 500;
+  /// Slots each cut stays severed before its splice is scheduled.
+  std::int64_t cut_down_slots = 400;
   /// Per-node transmit-buffer cap in messages (NetworkConfig::
   /// max_queue_messages); 0 keeps the library default (unbounded).
   /// Saturated long-horizon grids MUST set this: an unbounded
@@ -223,6 +241,7 @@ struct GridSpec {
 //   bers          = 0, 1e-4, 1e-3
 //   data_bers     = 0, 1e-5
 //   churns        = 0, 25000
+//   link_cuts     = 0, 1, 2
 //   mixes         = periodic
 //   planners      = off, on
 //   seeds         = 1, 2

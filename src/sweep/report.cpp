@@ -32,6 +32,9 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("churns").begin_array();
   for (const double c : spec.churns) w.value(c);
   w.end_array();
+  w.key("link_cuts").begin_array();
+  for (const int c : spec.link_cuts) w.value(static_cast<std::int64_t>(c));
+  w.end_array();
   w.key("mixes").begin_array();
   for (const WorkloadMix m : spec.mixes) w.value(mix_name(m));
   w.end_array();
@@ -60,6 +63,8 @@ void write_spec(analysis::JsonWriter& w, const GridSpec& spec) {
   w.key("churn_nodes").value(spec.churn_nodes);
   w.key("churn_down_slots").value(spec.churn_down_slots);
   w.key("churn_detect_slots").value(spec.churn_detect_slots);
+  w.key("cut_slot").value(spec.cut_slot);
+  w.key("cut_down_slots").value(spec.cut_down_slots);
   w.key("queue_cap").value(spec.queue_cap);
   w.key("link_length_m").value(spec.link_length_m);
   w.key("payload_bytes").value(spec.slot_payload_bytes);
@@ -82,6 +87,7 @@ void write_point(analysis::JsonWriter& w, const PointResult& pr) {
   w.key("ber").value(pr.point.ber);
   w.key("data_ber").value(pr.point.data_ber);
   w.key("churn").value(pr.point.churn);
+  w.key("link_cuts").value(static_cast<std::int64_t>(pr.point.link_cuts));
   w.key("mix").value(mix_name(pr.point.mix));
   w.key("service").value(service_name(pr.point.service));
   w.key("planner").value(pr.point.planner);

@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "fault/injector.hpp"
 #include "net/network.hpp"
+#include "ring/segment.hpp"
 #include "services/cbs.hpp"
 #include "services/resilience.hpp"
 #include "workload/aperiodic.hpp"
@@ -88,6 +89,14 @@ const char* metric_name(Metric m) {
       return "plan_builds";
     case Metric::kPlanDivergences:
       return "plan_divergences";
+    case Metric::kLinkCuts:
+      return "link_cuts";
+    case Metric::kSegmentQuarantines:
+      return "segment_quarantines";
+    case Metric::kCutDetectSlots:
+      return "cut_detect_slots";
+    case Metric::kCutDisjointMisses:
+      return "cut_disjoint_misses";
   }
   return "?";
 }
@@ -113,7 +122,8 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
   // Fault axis: the injector derives its own stream family from the
   // shard seed, so the workload below is byte-identical at every BER.
   std::optional<fault::FaultInjector> injector;
-  if (point.ber > 0.0 || point.data_ber > 0.0 || point.churn > 0.0) {
+  if (point.ber > 0.0 || point.data_ber > 0.0 || point.churn > 0.0 ||
+      point.link_cuts > 0) {
     injector.emplace(n, seed);
     if (point.ber > 0.0) injector->set_control_ber(point.ber);
     if (point.data_ber > 0.0) injector->set_data_ber(point.data_ber);
@@ -122,18 +132,43 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
   // Churn axis: the HIGHEST-numbered nodes churn -- node 0 (designated
   // restarter and admission node) must survive -- and the resilience
   // monitor closes the detection -> reclamation -> re-admission loop.
+  // Link-cut points attach the same monitor: it carries the
+  // segment-down quarantine and the splice-staged re-admission.
   NodeSet churned;
   std::optional<services::ResilienceMonitor> monitor;
-  if (point.churn > 0.0) {
-    const int cnt = std::min<int>(spec.churn_nodes,
-                                  static_cast<int>(point.nodes) - 1);
-    for (int j = static_cast<int>(point.nodes) - cnt;
-         j < static_cast<int>(point.nodes); ++j) {
-      churned.insert(static_cast<NodeId>(j));
+  if (point.churn > 0.0 || point.link_cuts > 0) {
+    if (point.churn > 0.0) {
+      const int cnt = std::min<int>(spec.churn_nodes,
+                                    static_cast<int>(point.nodes) - 1);
+      for (int j = static_cast<int>(point.nodes) - cnt;
+           j < static_cast<int>(point.nodes); ++j) {
+        churned.insert(static_cast<NodeId>(j));
+      }
     }
     services::ResilienceParams rp;
     rp.detection_window_slots = spec.churn_detect_slots;
     monitor.emplace(n, rp);
+  }
+
+  // Severed-segment axis: cut the HIGHEST-numbered links -- a single
+  // cut severs link nodes-1 (node nodes-1 -> node 0), so the degraded
+  // anchor is node 0, the designated restarter -- at the nominal start
+  // of `cut_slot`, and splice them `cut_down_slots` extents later.  The
+  // instants are deterministic scalars: no draw, no stream.
+  LinkSet cut_links;
+  if (point.link_cuts > 0) {
+    const sim::Duration extent = n.timing().slot_plus_max_gap();
+    const sim::TimePoint cut_at =
+        sim::TimePoint::origin() + extent * spec.cut_slot;
+    const sim::TimePoint splice_at =
+        cut_at + extent * spec.cut_down_slots;
+    for (int i = 0; i < point.link_cuts; ++i) {
+      const LinkId l = static_cast<LinkId>(
+          static_cast<int>(point.nodes) - 1 - i);
+      cut_links.insert(l);
+      injector->schedule_link_cut(l, cut_at);
+      injector->schedule_link_splice(l, splice_at);
+    }
   }
 
   int requested = 0;
@@ -142,6 +177,9 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
   // destination): the E22 containment gate demands zero user misses on
   // exactly these.
   std::vector<ConnectionId> disjoint;
+  // Connections whose transmission segment avoids EVERY cut link: the
+  // E24 containment gate demands zero user misses on exactly these.
+  std::vector<ConnectionId> cut_disjoint;
   if (point.mix != WorkloadMix::kSaturation) {
     workload::PeriodicSetParams wp;
     wp.nodes = point.nodes;
@@ -161,6 +199,12 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
       if (point.churn > 0.0 && !churned.contains(c.source) &&
           !c.dests.intersects(churned)) {
         disjoint.push_back(r.id);
+      }
+      if (point.link_cuts > 0 &&
+          !ring::Segment::for_transmission(n.topology(), c.source, c.dests)
+               .links()
+               .intersects(cut_links)) {
+        cut_disjoint.push_back(r.id);
       }
     }
   }
@@ -292,6 +336,19 @@ ShardMetrics run_shard_impl(const GridSpec& spec, const GridPoint& point,
   m[Metric::kPlanBuilds] = static_cast<double>(n.stats().plan_builds);
   m[Metric::kPlanDivergences] =
       static_cast<double>(n.stats().plan_divergences);
+  if (point.link_cuts > 0) {
+    m[Metric::kLinkCuts] = static_cast<double>(n.stats().faults.link_cuts);
+    m[Metric::kSegmentQuarantines] =
+        static_cast<double>(n.stats().faults.segment_quarantines);
+    m[Metric::kCutDetectSlots] =
+        static_cast<double>(n.stats().faults.cut_detect_slots);
+    std::int64_t cut_disjoint_misses = 0;
+    for (const ConnectionId id : cut_disjoint) {
+      cut_disjoint_misses += n.connection_stats(id).user_misses;
+    }
+    m[Metric::kCutDisjointMisses] =
+        static_cast<double>(cut_disjoint_misses);
+  }
   m.ok = true;
   return m;
 }

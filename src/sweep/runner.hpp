@@ -55,9 +55,14 @@ enum class Metric : std::size_t {
   kPlannedSlotFraction,   // slots granted from a hypercycle plan
                           // (planner axis; 0 with the planner off)
   kPlanBuilds,            // successful plan builds at admit/close time
-  kPlanDivergences        // plans abandoned back to slot-by-slot TCMA
+  kPlanDivergences,       // plans abandoned back to slot-by-slot TCMA
+  kLinkCuts,              // hard link cuts applied (link_cuts axis)
+  kSegmentQuarantines,    // transfers closed by segment-down quarantines
+  kCutDetectSlots,        // summed in-protocol cut-detection latency
+  kCutDisjointMisses      // user misses on connections whose segment
+                          // avoids every cut link (containment gate: 0)
 };
-inline constexpr std::size_t kMetricCount = 33;
+inline constexpr std::size_t kMetricCount = 37;
 
 [[nodiscard]] const char* metric_name(Metric m);
 
